@@ -1,0 +1,35 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``test_eN_*.py`` module wraps the corresponding experiment kernel from
+``repro.bench.experiments`` (the ``python -m repro.bench`` harness prints the
+full paper-style tables; these targets give statistically careful timings of
+the hot kernels).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.engine import Engine
+from repro.workloads.books import books_document
+from repro.workloads.xmarklike import auction_document
+from repro.workloads import queries as Q
+
+
+@pytest.fixture(scope="session")
+def books_engine_300():
+    engine = Engine()
+    engine.load("book.xml", books_document(300, seed=2))
+    return engine
+
+
+@pytest.fixture(scope="session")
+def auction_engine_300():
+    engine = Engine()
+    engine.load("auction.xml", auction_document(items=300, seed=3))
+    # Pre-build the cached virtual view so query benchmarks measure
+    # evaluation, not Algorithm 1 (which E1 measures on its own).
+    engine.virtual("auction.xml", Q.AUCTION_FLAT.spec)
+    return engine

@@ -1,0 +1,29 @@
+"""E10 — query rewriting vs vPBN on the rewritable fragment."""
+
+import pytest
+
+from repro.transform.rewrite import rewrite_query
+
+_QUERIES = {
+    "chain": (
+        'virtualDoc("book.xml", "title { author { name } }")'
+        "//title/author/name/text()"
+    ),
+    "descendant": 'virtualDoc("book.xml", "title { author { name } }")//name',
+    "inversion": 'virtualDoc("book.xml", "name { author }")//name/author',
+}
+
+
+@pytest.mark.parametrize("label", list(_QUERIES))
+def test_virtual_evaluation(benchmark, books_engine_300, label):
+    engine = books_engine_300
+    result = benchmark(engine.execute, _QUERIES[label])
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("label", list(_QUERIES))
+def test_rewritten_evaluation(benchmark, books_engine_300, label):
+    engine = books_engine_300
+    rewritten = rewrite_query(_QUERIES[label], engine)
+    result = benchmark(engine.execute, rewritten)
+    assert len(result) > 0

@@ -1,0 +1,58 @@
+"""E11 — per-insert cost: renumbering vs ORDPATH careting."""
+
+import random
+
+import pytest
+
+from repro.pbn.assign import assign_numbers
+from repro.pbn.ordpath import after, before, between, initial_numbering
+from repro.xmlmodel.builder import elem
+from repro.xmlmodel.nodes import Document
+
+_SIBLINGS = 400
+_INSERTS = 50
+
+
+@pytest.fixture(scope="module")
+def positions():
+    rng = random.Random(11)
+    return [rng.random() for _ in range(_INSERTS)]
+
+
+def test_renumber_on_insert(benchmark, positions):
+    def run():
+        document = Document("u")
+        root = elem("data")
+        document.append(root)
+        for _ in range(_SIBLINGS):
+            root.append(elem("x"))
+        assign_numbers(document)
+        for fraction in positions:
+            index = int(fraction * len(root.children))
+            child = elem("x")
+            child.parent = root
+            root.children.insert(index, child)
+            assign_numbers(document)
+        return document
+
+    document = benchmark(run)
+    assert len(document.root.children) == _SIBLINGS + _INSERTS
+
+
+def test_ordpath_careting(benchmark, positions):
+    def run():
+        numbers = initial_numbering(_SIBLINGS)
+        for fraction in positions:
+            index = int(fraction * len(numbers))
+            if index == 0:
+                new = before(numbers[0])
+            elif index >= len(numbers):
+                new = after(numbers[-1])
+            else:
+                new = between(numbers[index - 1], numbers[index])
+            numbers.insert(index, new)
+        return numbers
+
+    numbers = benchmark(run)
+    assert numbers == sorted(numbers)
+    assert len(numbers) == _SIBLINGS + _INSERTS

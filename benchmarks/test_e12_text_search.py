@@ -1,0 +1,46 @@
+"""E12 — keyword search through the virtual hierarchy: index reuse."""
+
+import pytest
+
+from repro.query.engine import Engine
+from repro.transform.materialize import materialize_to_store
+from repro.workloads.books import books_document
+from repro.workloads import queries as Q
+
+
+@pytest.fixture(scope="module")
+def search_setup():
+    engine = Engine()
+    engine.load("book.xml", books_document(300, seed=12))
+    _ = engine.store("book.xml").text_index  # built once
+    engine.virtual("book.xml", Q.BOOKS_INVERT.spec)
+    return engine
+
+
+def test_virtual_keyword_search(benchmark, search_setup):
+    engine = search_setup
+    query = (
+        f'virtualDoc("book.xml", "{Q.BOOKS_INVERT.spec}")'
+        '//title[contains-text(., "codd")]'
+    )
+    result = benchmark(engine.execute, query)
+    benchmark.extra_info["hits"] = len(result)
+    assert len(result) > 0
+
+
+def test_materialize_then_keyword_search(benchmark, search_setup):
+    engine = search_setup
+    vdoc = engine.virtual("book.xml", Q.BOOKS_INVERT.spec)
+
+    def run():
+        store, _ = materialize_to_store(vdoc, "mat.xml")
+        mat_engine = Engine()
+        mat_engine._stores["mat.xml"] = store
+        mat_engine._store_by_document[id(store.document)] = store
+        return mat_engine.execute(
+            'doc("mat.xml")//title[contains-text(., "codd")]'
+        )
+
+    result = benchmark(run)
+    benchmark.extra_info["hits"] = len(result)
+    assert len(result) > 0

@@ -1,0 +1,29 @@
+"""E1 — Algorithm 1 (level-array construction) is O(cN)."""
+
+import pytest
+
+from repro.bench.experiments import _synthetic_guide
+from repro.core.level_arrays import build_level_arrays
+from repro.dataguide.spec import guide_to_spec
+from repro.vdataguide.grammar import parse_vdataguide
+
+
+def _vguide(types: int, depth: int):
+    guide = _synthetic_guide(types, depth)
+    return parse_vdataguide(guide_to_spec(guide), guide)
+
+
+@pytest.mark.parametrize("types", [128, 512, 2048])
+def test_build_level_arrays_size_sweep(benchmark, types):
+    vguide = _vguide(types, 8)
+    result = benchmark(build_level_arrays, vguide)
+    benchmark.extra_info["vguide_types"] = len(vguide)
+    assert len(result) == len(vguide)
+
+
+@pytest.mark.parametrize("depth", [8, 32, 64])
+def test_build_level_arrays_depth_sweep(benchmark, depth):
+    vguide = _vguide(512, depth)
+    result = benchmark(build_level_arrays, vguide)
+    benchmark.extra_info["depth"] = depth
+    assert len(result) == len(vguide)

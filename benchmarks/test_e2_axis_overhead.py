@@ -1,0 +1,58 @@
+"""E2 — vPBN axis comparisons vs plain PBN axis comparisons."""
+
+import random
+
+import pytest
+
+from repro.core import vpbn as V
+from repro.core.virtual_document import VirtualDocument
+from repro.dataguide.build import build_dataguide
+from repro.pbn import axes as pbn_axes
+from repro.vdataguide.grammar import parse_vdataguide
+from repro.workloads.books import books_document
+from repro.workloads import queries as Q
+
+_AXES = ["self", "child", "ancestor", "descendant", "preceding", "following-sibling"]
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    document = books_document(books=200, seed=2)
+    guide = build_dataguide(document)
+    vguide = parse_vdataguide(Q.BOOKS_INVERT.spec, guide)
+    vdoc = VirtualDocument(document, vguide)
+    rng = random.Random(5)
+    vnodes = [
+        vnode
+        for vtype in vguide.iter_vtypes()
+        for vnode in vdoc.reachable_instances(vtype)
+    ]
+    sample = [(rng.choice(vnodes), rng.choice(vnodes)) for _ in range(1000)]
+    return (
+        [(a.node.pbn, b.node.pbn) for a, b in sample],
+        [(a.vpbn, b.vpbn) for a, b in sample],
+    )
+
+
+@pytest.mark.parametrize("axis", _AXES)
+def test_pbn_axis(benchmark, pairs, axis):
+    pbn_pairs, _ = pairs
+    predicate = pbn_axes.AXIS_PREDICATES[axis]
+
+    def run():
+        for a, b in pbn_pairs:
+            predicate(a, b)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("axis", _AXES)
+def test_vpbn_axis(benchmark, pairs, axis):
+    _, vpbn_pairs = pairs
+    predicate = V.VIRTUAL_AXIS_PREDICATES[axis]
+
+    def run():
+        for a, b in vpbn_pairs:
+            predicate(a, b)
+
+    benchmark(run)

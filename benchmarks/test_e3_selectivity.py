@@ -1,0 +1,39 @@
+"""E3 — virtual query vs materialize-then-query across selectivities."""
+
+import pytest
+
+from repro.transform.materialize import materialize_to_store
+from repro.query.engine import Engine
+from repro.workloads import queries as Q
+
+_THRESHOLDS = [4995, 2500, 0]  # ~0.2%, ~50%, 100% of items
+
+
+@pytest.mark.parametrize("threshold", _THRESHOLDS)
+def test_virtual_query(benchmark, auction_engine_300, threshold):
+    engine = auction_engine_300
+    spec = Q.AUCTION_FLAT.spec
+    query = (
+        f'virtualDoc("auction.xml", "{spec}")'
+        f"/site/item[price > {threshold}]/name/text()"
+    )
+    result = benchmark(engine.execute, query)
+    benchmark.extra_info["results"] = len(result)
+
+
+@pytest.mark.parametrize("threshold", _THRESHOLDS)
+def test_materialize_then_query(benchmark, auction_engine_300, threshold):
+    engine = auction_engine_300
+    vdoc = engine.virtual("auction.xml", Q.AUCTION_FLAT.spec)
+
+    def run():
+        store, _ = materialize_to_store(vdoc, "mat.xml")
+        mat_engine = Engine()
+        mat_engine._stores["mat.xml"] = store
+        mat_engine._store_by_document[id(store.document)] = store
+        return mat_engine.execute(
+            f'doc("mat.xml")/site/item[price > {threshold}]/name/text()'
+        )
+
+    result = benchmark(run)
+    benchmark.extra_info["results"] = len(result)

@@ -1,0 +1,42 @@
+"""E4 — virtual query cost tracks an ordinary indexed query as data grows."""
+
+import pytest
+
+from repro.query.engine import Engine
+from repro.workloads.xmarklike import auction_document
+from repro.workloads import queries as Q
+
+
+@pytest.fixture(scope="module", params=[100, 400])
+def sized_engine(request):
+    engine = Engine()
+    engine.load("auction.xml", auction_document(items=request.param, seed=4))
+    engine.virtual("auction.xml", Q.AUCTION_FLAT.spec)
+    return request.param, engine
+
+
+def test_virtual_aggregation(benchmark, sized_engine):
+    items, engine = sized_engine
+    query = (
+        f'for $a in virtualDoc("auction.xml", "{Q.AUCTION_FLAT.spec}")/site/auction '
+        "return count($a/bid)"
+    )
+    result = benchmark(engine.execute, query)
+    benchmark.extra_info["items"] = items
+    assert len(result) == items
+
+
+def test_indexed_original_aggregation(benchmark, sized_engine):
+    items, engine = sized_engine
+    query = 'for $a in doc("auction.xml")//auctions/auction return count($a/bid)'
+    result = benchmark(engine.execute, query)
+    benchmark.extra_info["items"] = items
+    assert len(result) == items
+
+
+def test_tree_original_aggregation(benchmark, sized_engine):
+    items, engine = sized_engine
+    query = 'for $a in doc("auction.xml")//auctions/auction return count($a/bid)'
+    result = benchmark(engine.execute, query, mode="tree")
+    benchmark.extra_info["items"] = items
+    assert len(result) == items

@@ -1,0 +1,52 @@
+"""E5 — codec throughput, with the space figures attached as extra info.
+
+Space itself is not a timing quantity; the benchmark measures the
+order-preserving codec (the component that realizes compact storage) and
+attaches the E5 byte counts to the report.
+"""
+
+import pytest
+
+from repro.core.virtual_document import VirtualDocument
+from repro.dataguide.build import build_dataguide
+from repro.pbn.assign import iter_numbered
+from repro.pbn.codec import decode_pbn, encode_pbn
+from repro.vdataguide.grammar import parse_vdataguide
+from repro.workloads.books import books_document
+from repro.workloads import queries as Q
+
+
+@pytest.fixture(scope="module")
+def numbers():
+    document = books_document(300, seed=5)
+    return document, [node.pbn for node in iter_numbered(document)]
+
+
+def test_encode_throughput(benchmark, numbers):
+    document, pbns = numbers
+
+    def run():
+        total = 0
+        for number in pbns:
+            total += len(encode_pbn(number))
+        return total
+
+    total_bytes = benchmark(run)
+    guide = build_dataguide(document)
+    vguide = parse_vdataguide(Q.BOOKS_INVERT.spec, guide)
+    VirtualDocument(document, vguide)  # builds arrays
+    per_type = sum(2 * len(v.level_array) for v in vguide.iter_vtypes())
+    benchmark.extra_info["pbn_bytes"] = total_bytes
+    benchmark.extra_info["level_arrays_per_type_bytes"] = per_type
+    assert per_type < total_bytes / 100  # the paper's space claim
+
+
+def test_decode_throughput(benchmark, numbers):
+    _, pbns = numbers
+    encoded = [encode_pbn(number) for number in pbns]
+
+    def run():
+        for data in encoded:
+            decode_pbn(data)
+
+    benchmark(run)

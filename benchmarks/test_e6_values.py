@@ -1,0 +1,43 @@
+"""E6 — transformed values: range stitching vs per-element construction."""
+
+import pytest
+
+from repro.core.values import VirtualValueBuilder
+from repro.query.engine import Engine
+from repro.workloads.books import books_document
+
+
+@pytest.fixture(scope="module")
+def value_setup():
+    engine = Engine()
+    store = engine.load("book.xml", books_document(300, seed=6))
+    vdoc = engine.virtual("book.xml", "book { ** }")
+    return store, vdoc, vdoc.roots()
+
+
+def test_spliced_values(benchmark, value_setup):
+    store, vdoc, roots = value_setup
+
+    def run():
+        builder = VirtualValueBuilder(vdoc, store, use_splicing=True)
+        for vnode in roots:
+            builder.value(vnode)
+        return builder
+
+    builder = benchmark(run)
+    benchmark.extra_info["spliced_ranges"] = builder.stats.spliced_ranges
+    assert builder.stats.constructed_elements == 0
+
+
+def test_constructed_values(benchmark, value_setup):
+    store, vdoc, roots = value_setup
+
+    def run():
+        builder = VirtualValueBuilder(vdoc, store, use_splicing=False)
+        for vnode in roots:
+            builder.value(vnode)
+        return builder
+
+    builder = benchmark(run)
+    benchmark.extra_info["constructed_elements"] = builder.stats.constructed_elements
+    assert builder.stats.constructed_elements > 0

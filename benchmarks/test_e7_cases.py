@@ -1,0 +1,19 @@
+"""E7 — the three Algorithm 1 transformation cases cost the same regime."""
+
+import pytest
+
+_CASES = [
+    ("case1", "book { name }", "//book/name"),
+    ("case2", "name { author }", "//name/author"),
+    ("case3", "title { author }", "//title/author"),
+]
+
+
+@pytest.mark.parametrize("label,spec,path", _CASES, ids=[c[0] for c in _CASES])
+def test_transformation_case(benchmark, books_engine_300, label, spec, path):
+    engine = books_engine_300
+    engine.virtual("book.xml", spec)  # cache the view
+    query = f'virtualDoc("book.xml", "{spec}"){path}'
+    result = benchmark(engine.execute, query)
+    benchmark.extra_info["results"] = len(result)
+    assert len(result) > 0

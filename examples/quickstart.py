@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example, end to end.
+
+Walks through the whole Section 2 story:
+
+1. load the Figure 2 book document,
+2. run Sam's transformation query (Figure 1) the classical way,
+3. run Rhonda's count through ``virtualDoc`` (Figure 6) — no data is
+   physically transformed,
+4. peek under the hood: DataGuide, level arrays (Figure 10), vPBN
+   predicates, and the materialized view (Figure 3).
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro import Engine
+from repro.core.vpbn import VPbn, v_descendant, v_preceding
+from repro.pbn.number import Pbn
+
+BOOK_XML = (
+    "<data>"
+    "<book><title>X</title><author><name>C</name></author>"
+    "<publisher><location>W</location></publisher></book>"
+    "<book><title>Y</title><author><name>D</name></author>"
+    "<publisher><location>M</location></publisher></book>"
+    "</data>"
+)
+
+SPEC = "title { author { name } }"
+
+
+def main() -> None:
+    engine = Engine()
+    engine.load("book.xml", BOOK_XML)
+
+    print("== Sam's query (Figure 1): list authors per title ==")
+    sam = (
+        'for $t in doc("book.xml")//book/title let $a := $t/../author '
+        "return <title>{$t/text()}{$a}</title>"
+    )
+    print(engine.execute(sam).to_xml())
+
+    print()
+    print("== Rhonda's query over the virtual hierarchy (Figure 6) ==")
+    rhonda = (
+        f'for $t in virtualDoc("book.xml", "{SPEC}")//title '
+        "return <title>{$t/text()}<count>{count($t/author)}</count></title>"
+    )
+    print(engine.execute(rhonda).to_xml())
+
+    print()
+    print("== Under the hood: level arrays (Figure 10) ==")
+    vdoc = engine.virtual("book.xml", SPEC)
+    for vtype in vdoc.vguide.iter_vtypes():
+        print(
+            f"  {vtype.dotted():28s} original={vtype.original.dotted():32s} "
+            f"level array={list(vtype.level_array)}"
+        )
+
+    print()
+    print("== vPBN predicates from numbers alone ==")
+    vtypes = {v.dotted(): v for v in vdoc.vguide.iter_vtypes()}
+    name1 = VPbn(Pbn(1, 1, 2, 1), vtypes["title.author.name"])
+    title1 = VPbn(Pbn(1, 1, 1), vtypes["title"])
+    title2 = VPbn(Pbn(1, 2, 1), vtypes["title"])
+    c_text = VPbn(Pbn(1, 1, 2, 1, 1), vtypes["title.author.name.#text"])
+    author2 = VPbn(Pbn(1, 2, 2), vtypes["title.author"])
+    print(f"  name 1.1.2.1 under title 1.1.1?  {v_descendant(name1, title1)}")
+    print(f"  name 1.1.2.1 under title 1.2.1?  {v_descendant(name1, title2)}")
+    print(f"  C 1.1.2.1.1 precedes author 1.2.2?  {v_preceding(c_text, author2)}")
+
+    print()
+    print("== The materialized view (Figure 3), for comparison only ==")
+    from repro.xmlmodel.serializer import serialize
+
+    print(serialize(vdoc.materialize(), indent="  "))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is configured in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose setuptools predates
+PEP 660 editable wheels (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro — reproduction of *Querying Virtual Hierarchies using Virtual
+Prefix-Based Numbers* (Dyreson, Bhowmick, Grapp; SIGMOD 2014).
+
+The package implements the paper's contribution — virtual prefix-based
+numbering (vPBN) — together with every substrate it depends on: an XML data
+model and parser, prefix-based (Dewey) numbering, DataGuides, the vDataGuide
+specification language, a paged storage engine with value/type indexes, and a
+query engine with ``doc()`` / ``virtualDoc()`` entry points.
+
+Quickstart::
+
+    from repro import Engine
+
+    engine = Engine()
+    engine.load("book.xml", "<data><book><title>X</title>...</book></data>")
+    result = engine.execute(
+        'for $t in virtualDoc("book.xml", "title { author { name } }")//title '
+        'return <count>{ count($t/author) }</count>'
+    )
+
+See ``examples/quickstart.py`` for a complete runnable tour.
+"""
+
+from repro.errors import (
+    NumberingError,
+    QueryEvaluationError,
+    QueryParseError,
+    ReproError,
+    SpecParseError,
+    SpecResolutionError,
+    StorageError,
+    XmlParseError,
+)
+from repro.pbn.number import Pbn
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import serialize
+from repro.dataguide.build import build_dataguide
+from repro.vdataguide.grammar import parse_vdataguide
+from repro.core.vpbn import VPbn
+from repro.core.level_arrays import build_level_arrays
+from repro.core.virtual_document import VirtualDocument
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    """Lazily expose the query engine facade (PEP 562).
+
+    The engine pulls in the whole query subsystem; importing it on demand
+    keeps ``import repro`` light for users who only need the numbering
+    layers.
+    """
+    if name == "Engine":
+        from repro.query.engine import Engine
+
+        return Engine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Engine",
+    "Pbn",
+    "VPbn",
+    "VirtualDocument",
+    "build_dataguide",
+    "build_level_arrays",
+    "parse_document",
+    "parse_vdataguide",
+    "serialize",
+    "ReproError",
+    "XmlParseError",
+    "SpecParseError",
+    "SpecResolutionError",
+    "QueryParseError",
+    "QueryEvaluationError",
+    "StorageError",
+    "NumberingError",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Benchmark harness: the reconstructed experiment suite E1-E9.
+
+Run everything::
+
+    python -m repro.bench all
+
+or one experiment (``python -m repro.bench e3``).  Each experiment prints a
+paper-style table; EXPERIMENTS.md records a captured run with commentary.
+The pytest-benchmark targets under ``benchmarks/`` wrap the same experiment
+bodies for statistically careful timing of the hot kernels.
+"""
+
+from repro.bench.harness import EXPERIMENTS, run_experiment, run_all
+from repro.bench.report import Table
+
+__all__ = ["EXPERIMENTS", "Table", "run_all", "run_experiment"]

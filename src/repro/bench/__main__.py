@@ -1,0 +1,27 @@
+"""CLI entry point: ``python -m repro.bench [all | e1 ... e9 | list]``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import EXPERIMENTS, run_all, run_experiment
+
+
+def main(argv: list[str]) -> int:
+    # Importing registers the experiments.
+    from repro.bench import experiments as _experiments  # noqa: F401
+
+    if not argv or argv[0] in ("all",):
+        run_all()
+        return 0
+    if argv[0] in ("list", "--list"):
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    for name in argv:
+        run_experiment(name)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,64 @@
+"""Experiment runner: timing helpers and the experiment registry."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.bench.report import Table
+
+#: name -> zero-argument callable returning a list of Tables.
+EXPERIMENTS: dict[str, Callable[[], list[Table]]] = {}
+
+
+def experiment(name: str):
+    """Register an experiment function under ``name``."""
+
+    def wrap(fn: Callable[[], list[Table]]):
+        EXPERIMENTS[name] = fn
+        return fn
+
+    return wrap
+
+
+def best_of(fn: Callable[[], object], repeat: int = 3) -> float:
+    """Best wall-clock time of ``repeat`` calls (the conventional
+    microbenchmark reduction: the minimum is the least noisy estimate)."""
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def per_op_ns(fn: Callable[[], object], inner_loops: int, repeat: int = 3) -> float:
+    """Nanoseconds per operation for a function that runs ``inner_loops``
+    operations per call."""
+    return best_of(fn, repeat) / inner_loops * 1e9
+
+
+def run_experiment(name: str) -> list[Table]:
+    """Run one experiment and print its tables."""
+    # Import for the registration side effect.
+    from repro.bench import experiments as _experiments  # noqa: F401
+
+    fn = EXPERIMENTS.get(name)
+    if fn is None:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise SystemExit(f"unknown experiment {name!r}; known: {known}, all")
+    tables = fn()
+    for table in tables:
+        print(table.render())
+        print()
+    return tables
+
+
+def run_all() -> list[Table]:
+    """Run every experiment, in numeric order (e1 ... e12)."""
+    from repro.bench import experiments as _experiments  # noqa: F401
+
+    tables: list[Table] = []
+    for name in sorted(EXPERIMENTS, key=lambda n: (len(n), n)):
+        tables.extend(run_experiment(name))
+    return tables

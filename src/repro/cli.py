@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``query``
+    Load documents and evaluate a query::
+
+        python -m repro query -d book.xml=./books.xml \\
+            'for $t in virtualDoc("book.xml", "title { author }")//title \\
+             return <t>{$t/text()}</t>'
+
+    ``--books N`` / ``--auction N`` / ``--dblp N`` load synthetic datasets
+    under ``book.xml`` / ``auction.xml`` / ``dblp.xml`` instead of files.
+
+``explain``
+    Print the parsed expression tree of a query.
+
+``guide``
+    Print a document's DataGuide in vDataGuide (brace) notation, with
+    instance counts.
+
+``arrays``
+    Resolve a vDataGuide against a document and print each virtual type's
+    level array and lca length (Algorithm 1's output).
+
+``bench``
+    Alias for ``python -m repro.bench`` (the experiment suite).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.query.engine import Engine
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="vPBN reproduction: query virtual hierarchies from the command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_documents(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "-d",
+            "--document",
+            action="append",
+            default=[],
+            metavar="URI=FILE",
+            help="load FILE under URI (repeatable)",
+        )
+        p.add_argument("--books", type=int, metavar="N",
+                       help="load a synthetic books document as book.xml")
+        p.add_argument("--auction", type=int, metavar="N",
+                       help="load a synthetic auction document as auction.xml")
+        p.add_argument("--dblp", type=int, metavar="N",
+                       help="load a synthetic bibliography as dblp.xml")
+        p.add_argument("--seed", type=int, default=7, help="generator seed")
+
+    query = sub.add_parser("query", help="evaluate a query")
+    add_documents(query)
+    query.add_argument("text", help="the query")
+    query.add_argument("--mode", choices=["indexed", "tree"], default="indexed")
+    query.add_argument("--values", action="store_true",
+                       help="print string values, one per line, instead of XML")
+    query.add_argument("--stats", action="store_true",
+                       help="print logical cost counters after the result")
+
+    explain = sub.add_parser("explain", help="print the parsed expression tree")
+    explain.add_argument("text", help="the query")
+
+    guide = sub.add_parser("guide", help="print a document's DataGuide")
+    add_documents(guide)
+    guide.add_argument("uri", nargs="?", help="which loaded document (default: only one)")
+
+    arrays = sub.add_parser("arrays", help="print Algorithm 1's level arrays")
+    add_documents(arrays)
+    arrays.add_argument("spec", help="the vDataGuide specification")
+    arrays.add_argument("uri", nargs="?", help="which loaded document (default: only one)")
+
+    save = sub.add_parser("save", help="save a loaded document to a store image")
+    add_documents(save)
+    save.add_argument("path", help="output .vpbn file")
+    save.add_argument("uri", nargs="?", help="which loaded document (default: only one)")
+
+    sub.add_parser("bench", help="run the experiment suite (see repro.bench)")
+    return parser
+
+
+def _load_documents(engine: Engine, args: argparse.Namespace) -> list[str]:
+    uris: list[str] = []
+    for spec in args.document:
+        if "=" not in spec:
+            raise SystemExit(f"--document expects URI=FILE, got {spec!r}")
+        uri, _, path = spec.partition("=")
+        with open(path, "rb") as probe:
+            is_image = probe.read(4) == b"VPBN"
+        if is_image:
+            engine.open(path, uri=uri)
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                engine.load(uri, handle.read())
+        uris.append(uri)
+    if args.books:
+        from repro.workloads.books import books_document
+
+        engine.load("book.xml", books_document(args.books, seed=args.seed))
+        uris.append("book.xml")
+    if args.auction:
+        from repro.workloads.xmarklike import auction_document
+
+        engine.load("auction.xml", auction_document(items=args.auction, seed=args.seed))
+        uris.append("auction.xml")
+    if args.dblp:
+        from repro.workloads.dblplike import dblp_document
+
+        engine.load("dblp.xml", dblp_document(args.dblp, seed=args.seed))
+        uris.append("dblp.xml")
+    return uris
+
+
+def _pick_uri(uris: list[str], requested: Optional[str]) -> str:
+    if requested is not None:
+        if requested not in uris:
+            raise SystemExit(f"{requested!r} is not loaded (have: {', '.join(uris)})")
+        return requested
+    if len(uris) != 1:
+        raise SystemExit("several documents loaded; name one explicitly")
+    return uris[0]
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        from repro.bench.__main__ import main as bench_main
+
+        return bench_main(argv[1:])
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "explain":
+        from repro.query.plan import explain_expr
+        from repro.query.parser import parse_query
+
+        print(explain_expr(parse_query(args.text)))
+        return 0
+
+    engine = Engine()
+    uris = _load_documents(engine, args)
+
+    if args.command == "query":
+        if not uris:
+            print("note: no documents loaded; doc()/virtualDoc() will fail",
+                  file=sys.stderr)
+        result = engine.execute(args.text, mode=args.mode)
+        if args.values:
+            for value in result.values():
+                print(value)
+        else:
+            print(result.to_xml())
+        if args.stats:
+            for name, value in engine.stats.snapshot().items():
+                print(f"# {name}: {value}", file=sys.stderr)
+        return 0
+
+    if args.command == "guide":
+        from repro.dataguide.spec import guide_to_spec
+
+        store = engine.store(_pick_uri(uris, args.uri))
+        print(guide_to_spec(store.guide))
+        print()
+        for guide_type in store.guide.iter_types():
+            print(f"{guide_type.dotted():48s} count={guide_type.count}")
+        return 0
+
+    if args.command == "arrays":
+        store = engine.store(_pick_uri(uris, args.uri))
+        vdoc = engine.virtual(store.document.uri, args.spec)
+        print(f"{'virtual type':32s} {'original type':36s} {'level array':20s} lca")
+        for vtype in vdoc.vguide.iter_vtypes():
+            print(
+                f"{vtype.dotted():32s} {vtype.original.dotted():36s} "
+                f"{str(list(vtype.level_array)):20s} {vtype.lca_length}"
+            )
+        report = vdoc.vguide.report()
+        if report["dropped"]:
+            names = ", ".join(t.dotted() for t in report["dropped"][:8])
+            print(f"\nwarning: data invisible through this view: {names}",
+                  file=sys.stderr)
+        if report["duplicated"]:
+            names = ", ".join(t.dotted() for t in report["duplicated"])
+            print(f"warning: types placed more than once: {names}",
+                  file=sys.stderr)
+        if not report["chain_exact"]:
+            print(
+                "warning: view is not chain-exact; bare vPBN ancestor/order "
+                "predicates over-approximate across broken chains (queries "
+                "are unaffected)",
+                file=sys.stderr,
+            )
+        return 0
+
+    if args.command == "save":
+        uri = _pick_uri(uris, args.uri)
+        size = engine.save(uri, args.path)
+        print(f"saved {uri} to {args.path} ({size} bytes)")
+        return 0
+
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,16 @@
+"""The paper's contribution: virtual prefix-based numbering (vPBN).
+
+* :mod:`repro.core.level_arrays` — Algorithm 1: one level array per virtual
+  type, computed from the original DataGuide and the vDataGuide in O(cN).
+* :mod:`repro.core.vpbn` — the vPBN number (PBN + level array) and the ten
+  virtual axis predicates of Section 5.
+* :mod:`repro.core.virtual_document` — navigation over the virtual hierarchy
+  without materializing it, plus a materializer used as baseline and oracle.
+* :mod:`repro.core.values` — virtual value construction (Section 6).
+"""
+
+from repro.core.level_arrays import build_level_arrays
+from repro.core.vpbn import VPbn
+from repro.core.virtual_document import VirtualDocument, VNode
+
+__all__ = ["VPbn", "VNode", "VirtualDocument", "build_level_arrays"]

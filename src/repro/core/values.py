@@ -1,0 +1,148 @@
+"""Computing transformed values (paper Section 6).
+
+The value of a node is its substring of the stored document string.  After a
+virtual transformation, a node's value must reflect the *virtual* subtree —
+children may have moved in, out, or reordered — so the value is stitched
+together: reconstructed tags around recursively built child values.
+
+The efficiency lever is the *intact* check: when a virtual type's subtree
+mirrors its original subtree exactly (every original child type present as
+a real parent/child edge, nothing else), the node's transformed value *is*
+its original value, and one value-index lookup plus one heap range read
+produces it — no per-node work, no matter how large the subtree.  The
+``**`` wildcard produces intact subtrees by construction, so a typical
+vDataGuide pins a few types and copies everything below them wholesale.
+
+:class:`ValueStats` counts spliced ranges versus constructed elements; the
+E6 experiment compares stitching against element-by-element construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.virtual_document import VirtualDocument, VNode
+from repro.storage.store import DocumentStore
+from repro.vdataguide.ast import VType
+from repro.xmlmodel.nodes import NodeKind
+
+
+@dataclass
+class ValueStats:
+    """Work counters for one builder.
+
+    :ivar spliced_ranges: whole subtrees copied by a single range read.
+    :ivar constructed_elements: elements whose tags were re-synthesized.
+    :ivar bytes_copied: characters delivered into values.
+    """
+
+    spliced_ranges: int = 0
+    constructed_elements: int = 0
+    bytes_copied: int = 0
+
+    def reset(self) -> None:
+        self.spliced_ranges = 0
+        self.constructed_elements = 0
+        self.bytes_copied = 0
+
+
+class VirtualValueBuilder:
+    """Builds transformed values from the stored source string.
+
+    :param vdoc: the virtual document (navigation + level arrays).
+    :param store: the document's store (value index + heap).
+    :param use_splicing: when ``False``, every element is constructed
+        piece by piece even if its subtree is intact — the naive strategy
+        the E6 experiment compares against.
+    """
+
+    def __init__(
+        self,
+        vdoc: VirtualDocument,
+        store: DocumentStore,
+        use_splicing: bool = True,
+    ) -> None:
+        if store.document is not vdoc.document:
+            raise ValueError("store and virtual document must share the document")
+        self.vdoc = vdoc
+        self.store = store
+        self.use_splicing = use_splicing
+        self.stats = ValueStats()
+        self._intact: dict[VType, bool] = {}
+
+    # -- intactness ---------------------------------------------------------------
+
+    def is_intact(self, vtype: VType) -> bool:
+        """True iff the virtual subtree below ``vtype`` mirrors the original
+        subtree below its original type, so original values can be reused."""
+        cached = self._intact.get(vtype)
+        if cached is not None:
+            return cached
+        # Break potential recursion defensively (vDataGuides are trees, so
+        # recursion terminates; the seed value is never observed).
+        self._intact[vtype] = False
+        result = self._compute_intact(vtype)
+        self._intact[vtype] = result
+        return result
+
+    def _compute_intact(self, vtype: VType) -> bool:
+        original_children = vtype.original.children
+        virtual_children = vtype.children
+        if len(original_children) != len(virtual_children):
+            return False
+        parent_length = vtype.original.length
+        matched = set()
+        for child in virtual_children:
+            if child.lca_length != parent_length:
+                return False  # not a real parent/child edge
+            if id(child.original) in matched:
+                return False  # duplicated placement
+            if child.original.parent is not vtype.original:
+                return False
+            matched.add(id(child.original))
+            if not self.is_intact(child):
+                return False
+        return len(matched) == len(original_children)
+
+    # -- value construction ------------------------------------------------------
+
+    def value(self, vnode: VNode) -> str:
+        """The transformed value of ``vnode`` — equal to serializing its
+        subtree in the materialized virtual document."""
+        node = vnode.node
+        entry = self.store.value_index.lookup(node.pbn)
+        if node.kind in (NodeKind.TEXT, NodeKind.ATTRIBUTE):
+            text = self.store.heap.read_range(entry.start, entry.end)
+            self.stats.spliced_ranges += 1
+            self.stats.bytes_copied += len(text)
+            return text
+        if self.use_splicing and self.is_intact(vnode.vtype):
+            text = self.store.heap.read_range(entry.start, entry.end)
+            self.stats.spliced_ranges += 1
+            self.stats.bytes_copied += len(text)
+            return text
+        return self._construct_element(vnode)
+
+    def _construct_element(self, vnode: VNode) -> str:
+        self.stats.constructed_elements += 1
+        name = vnode.node.name
+        attribute_parts: list[str] = []
+        content_parts: list[str] = []
+        for child in self.vdoc.children(vnode):
+            if child.vtype.is_attribute:
+                attribute_parts.append(self.value(child))
+            else:
+                content_parts.append(self.value(child))
+        attributes = "".join(" " + part for part in attribute_parts)
+        if not content_parts:
+            text = f"<{name}{attributes}/>"
+        else:
+            inner = "".join(content_parts)
+            text = f"<{name}{attributes}>{inner}</{name}>"
+        # Children already counted their own bytes; add only the tag text
+        # synthesized at this level.
+        synthesized = len(text) - sum(len(part) for part in content_parts) - sum(
+            len(part) for part in attribute_parts
+        )
+        self.stats.bytes_copied += synthesized
+        return text

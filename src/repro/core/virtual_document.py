@@ -1,0 +1,341 @@
+"""Navigation over a virtual hierarchy without materializing it.
+
+A :class:`VirtualDocument` couples an original (PBN-numbered) document with a
+resolved vDataGuide.  A position in the virtual hierarchy is a
+:class:`VNode` — an (original node, virtual type) pair; the same original
+node can occupy several virtual positions (see the duplication caveat in
+:mod:`repro.core.vpbn`).
+
+Navigation never walks the virtual tree top-down from scratch: the children
+of a virtual node are found by a binary-search range scan over the per-type
+node lists (the in-memory analogue of the type index a PBN-based XML DBMS
+maintains), using the ``lcaLength`` prefix that defines the virtual
+parent/child relation.  Only data the caller actually navigates to is
+touched — the paper's core efficiency argument.
+
+:meth:`VirtualDocument.materialize` instantiates the transformed document
+(the "rewrite the data" strategy) and renumbers it; the library uses it as
+the comparison baseline and as the ground-truth oracle for the Theorem 1
+property tests.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, Optional
+
+from repro.core.vpbn import VPbn
+from repro.dataguide.build import build_dataguide
+from repro.dataguide.guide import DataGuide, GuideType
+from repro.pbn.assign import assign_numbers
+from repro.vdataguide.ast import VGuide, VType
+from repro.xmlmodel.nodes import Attribute, Document, Element, Node, NodeKind, Text
+
+
+class VNode:
+    """A position in the virtual hierarchy: an original node under a
+    virtual type.  Identity (equality, hashing) is the pair.
+
+    The ``_vdoc`` slot lets the query layer tag a VNode with the
+    :class:`VirtualDocument` it came from; it carries no identity.
+    """
+
+    __slots__ = ("vtype", "node", "_vdoc")
+
+    def __init__(self, vtype: VType, node: Node, vdoc: "Optional[VirtualDocument]" = None) -> None:
+        self.vtype = vtype
+        self.node = node
+        self._vdoc = vdoc
+
+    @property
+    def vpbn(self) -> VPbn:
+        """The node's vPBN number at this virtual position."""
+        return VPbn(self.node.pbn, self.vtype)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def kind(self) -> NodeKind:
+        return self.node.kind
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, VNode)
+            and self.vtype is other.vtype
+            and self.node is other.node
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.vtype), id(self.node)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VNode({self.node.pbn} @ {self.vtype.dotted()})"
+
+
+class VirtualDocument:
+    """A document reinterpreted through a vDataGuide.
+
+    :param document: the original document; must be PBN-numbered (call
+        :func:`repro.pbn.assign.assign_numbers` first — the constructor
+        numbers it automatically if it is not).
+    :param vguide: a resolved virtual guide with level arrays built (use
+        :func:`repro.vdataguide.grammar.parse_vdataguide`).
+    """
+
+    def __init__(self, document: Document, vguide: VGuide, stats=None) -> None:
+        from repro.storage.stats import StorageStats
+
+        root = document.root
+        if root is not None and root.pbn is None:
+            assign_numbers(document)
+        self.document = document
+        self.vguide = vguide
+        self.stats = stats if stats is not None else StorageStats()
+        self._nodes_by_type: dict[GuideType, list[Node]] = {}
+        self._keys_by_type: dict[GuideType, list[tuple[int, ...]]] = {}
+        self._reachable: dict[VType, list[Node]] = {}
+        self._index_nodes()
+
+    @classmethod
+    def from_spec(
+        cls, document: Document, spec: str, guide: Optional[DataGuide] = None
+    ) -> "VirtualDocument":
+        """Build directly from a specification string (parses, resolves,
+        and runs Algorithm 1)."""
+        from repro.vdataguide.grammar import parse_vdataguide
+
+        if guide is None:
+            guide = build_dataguide(document)
+        return cls(document, parse_vdataguide(spec, guide))
+
+    def _index_nodes(self) -> None:
+        """Group data nodes by original type, in document order (one pass)."""
+        guide = self.vguide.source
+        for root in self.document.children:
+            stack: list[tuple[Node, tuple[str, ...]]] = [(root, ())]
+            # Manual preorder keeps document order per type without sorting.
+            order: list[tuple[Node, tuple[str, ...]]] = []
+            while stack:
+                node, parent_path = stack.pop()
+                order.append((node, parent_path))
+                path = parent_path + (node.name,)
+                stack.extend(
+                    (child, path) for child in reversed(node.children)
+                )
+            for node, parent_path in order:
+                guide_type = guide.lookup_path(parent_path + (node.name,))
+                if guide_type is None:
+                    continue  # type absent from the guide: not addressable
+                self._nodes_by_type.setdefault(guide_type, []).append(node)
+                self._keys_by_type.setdefault(guide_type, []).append(
+                    node.pbn.components
+                )
+
+    # -- navigation ----------------------------------------------------------
+
+    def instances(self, vtype: VType) -> list[VNode]:
+        """All virtual nodes of ``vtype``, in original document order."""
+        return [
+            VNode(vtype, node, self)
+            for node in self._nodes_by_type.get(vtype.original, [])
+        ]
+
+    def roots(self) -> list[VNode]:
+        """Virtual root nodes: instances of each root type, grouped by the
+        vDataGuide's root order."""
+        out: list[VNode] = []
+        for root_vtype in self.vguide.roots:
+            out.extend(self.instances(root_vtype))
+        return out
+
+    def _range(self, original: GuideType, prefix: tuple[int, ...]) -> list[Node]:
+        """Nodes of ``original`` whose numbers start with ``prefix``
+        (binary-search range scan on the per-type document-order list —
+        the in-memory stand-in for a type-index scan, counted as one)."""
+        self.stats.index_range_scans += 1
+        keys = self._keys_by_type.get(original)
+        if keys is None:
+            return []
+        low = bisect_left(keys, prefix)
+        upper = prefix[:-1] + (prefix[-1] + 1,)
+        high = bisect_left(keys, upper, low)
+        return self._nodes_by_type[original][low:high]
+
+    def children(self, vnode: VNode) -> list[VNode]:
+        """Virtual children of ``vnode``, in virtual sibling order:
+        attributes first (the data model's sibling invariant), then
+        original document order, with specification order breaking ties."""
+        found: list[tuple[int, tuple[int, ...], int, VNode]] = []
+        for position, child_vtype in enumerate(vnode.vtype.children):
+            prefix = vnode.node.pbn.components[: child_vtype.lca_length]
+            group = 0 if child_vtype.is_attribute else 1
+            for node in self._range(child_vtype.original, prefix):
+                found.append(
+                    (
+                        group,
+                        node.pbn.components,
+                        position,
+                        VNode(child_vtype, node, self),
+                    )
+                )
+        found.sort(key=lambda item: item[:3])
+        return [vnode for (_, _, _, vnode) in found]
+
+    def parents(self, vnode: VNode) -> list[VNode]:
+        """Virtual parents of ``vnode`` — plural because each copy of the
+        node has one (an author under each of a book's titles).
+
+        Only parents that occur in the virtual document are returned: a
+        candidate matching the lca prefix can itself be orphaned (its own
+        ancestor chain broken), in which case no copy of ``vnode`` sits
+        under it.
+        """
+        parent_vtype = vnode.vtype.parent
+        if parent_vtype is None:
+            return []
+        prefix = vnode.node.pbn.components[: vnode.vtype.lca_length]
+        reachable = self._reachable_ids(parent_vtype)
+        return [
+            VNode(parent_vtype, node, self)
+            for node in self._range(parent_vtype.original, prefix)
+            if id(node) in reachable
+        ]
+
+    def _reachable_ids(self, vtype: VType) -> frozenset:
+        """Identity set of the reachable instances of ``vtype`` (memoized
+        alongside :meth:`reachable_instances`)."""
+        cached = getattr(self, "_reachable_id_sets", None)
+        if cached is None:
+            cached = {}
+            self._reachable_id_sets = cached
+        ids = cached.get(vtype)
+        if ids is None:
+            self.reachable_instances(vtype)  # populate self._reachable
+            ids = frozenset(id(node) for node in self._reachable[vtype])
+            cached[vtype] = ids
+        return ids
+
+    def reachable_instances(self, vtype: VType) -> list[VNode]:
+        """Instances of ``vtype`` that actually occur in the virtual
+        document — i.e. have a chain of virtual ancestors up to a root.
+
+        An instance can be orphaned: with the vDataGuide
+        ``title { author }``, an author whose book has no title appears
+        nowhere in the transformed document.  ``//author`` must therefore
+        filter instances by reachability, which this method computes once
+        per type with a structural semi-join against the parent type's
+        reachable prefixes (memoized on the virtual document).
+        """
+        cached = self._reachable.get(vtype)
+        if cached is None:
+            nodes = self._nodes_by_type.get(vtype.original, [])
+            if vtype.parent is None:
+                cached = list(nodes)
+            else:
+                k = vtype.lca_length
+                parent_prefixes = {
+                    parent.node.pbn.components[:k]
+                    for parent in self.reachable_instances(vtype.parent)
+                }
+                cached = [
+                    node
+                    for node in nodes
+                    if node.pbn.components[:k] in parent_prefixes
+                ]
+            self._reachable[vtype] = cached
+        return [VNode(vtype, node, self) for node in cached]
+
+    def sibling_ordinal(self, vnode: VNode) -> int:
+        """The node's 1-based position among its virtual siblings.
+
+        Section 5.1: vPBN preserves document order but does not *store*
+        sibling ordinals (the final PBN component numbers the original
+        sibling order, not the virtual one); when a query needs the
+        ordinal it is computed dynamically by queueing the siblings, which
+        is what this method does.  For a duplicated node the ordinal under
+        its first virtual parent is returned.
+        """
+        parents = self.parents(vnode)
+        siblings = self.children(parents[0]) if parents else self.roots()
+        for position, sibling in enumerate(siblings, start=1):
+            if sibling == vnode:
+                return position
+        raise ValueError(f"{vnode!r} is not reachable in this virtual document")
+
+    def vnodes_for(self, node: Node) -> list[VNode]:
+        """Every virtual position the original ``node`` occupies a type at
+        (instance-level membership under each position is not checked here;
+        it depends on the ancestor the node is reached through)."""
+        guide_type = self.vguide.source.type_of(node)
+        return [
+            VNode(vtype, node, self)
+            for vtype in self.vguide.vtypes_of(guide_type)
+        ]
+
+    def iter_preorder(self) -> Iterator[tuple[VNode, int]]:
+        """Yield ``(vnode, depth)`` in virtual document order.  Copies are
+        expanded the way the materialized document would contain them."""
+        for root in self.roots():
+            yield from self._preorder(root, 0)
+
+    def _preorder(self, vnode: VNode, depth: int) -> Iterator[tuple[VNode, int]]:
+        yield vnode, depth
+        for child in self.children(vnode):
+            yield from self._preorder(child, depth + 1)
+
+    # -- materialization (baseline + oracle) ---------------------------------
+
+    def materialize(self, uri: Optional[str] = None) -> Document:
+        """Physically construct and renumber the transformed document —
+        the "rewrite the data" strategy the paper argues against; used as
+        the baseline and the correctness oracle."""
+        document, _ = self.materialize_with_provenance(uri)
+        return document
+
+    def materialize_with_provenance(
+        self, uri: Optional[str] = None
+    ) -> tuple[Document, dict[Node, VNode]]:
+        """Like :meth:`materialize`, also returning a map from every built
+        node back to the virtual position (original node + virtual type) it
+        copies.  One original node maps from *several* built nodes when the
+        transformation duplicates it; the Theorem 1 tests quantify over
+        exactly these copies."""
+        provenance: dict[Node, VNode] = {}
+        result = Document(uri or f"virtual:{self.document.uri}")
+        for root in self.roots():
+            result.append(self._build(root, provenance))
+        return assign_numbers(result), provenance
+
+    def _build(self, vnode: VNode, provenance: Optional[dict[Node, VNode]] = None) -> Node:
+        node = vnode.node
+        built: Node
+        if node.kind is NodeKind.TEXT:
+            built = Text(node.value)  # type: ignore[attr-defined]
+        elif node.kind is NodeKind.ATTRIBUTE:
+            built = Attribute(node.attr_name, node.value)  # type: ignore[attr-defined]
+        else:
+            element = Element(node.name)
+            for child in self.children(vnode):
+                element.append(self._build(child, provenance))
+            built = element
+        if provenance is not None:
+            provenance[built] = vnode
+        return built
+
+    def copy_subtree(self, vnode: VNode) -> Node:
+        """A free-standing copy of the node's virtual subtree — what a
+        query constructor embeds when it uses a virtual node.  Only the
+        data below ``vnode`` is touched (the paper's "transform only the
+        data needed by the query")."""
+        return self._build(vnode)
+
+    def value(self, vnode: VNode) -> str:
+        """The node's *transformed value* (Section 6): the serialization of
+        its subtree in the virtual hierarchy.  This is the reference
+        implementation; :mod:`repro.core.values` reproduces it by stitching
+        stored character ranges."""
+        from repro.xmlmodel.serializer import serialize
+
+        return serialize(self._build(vnode))

@@ -1,0 +1,14 @@
+"""DataGuide substrate (paper Section 4.1).
+
+A DataGuide is a structural summary: a forest of *types*, one per distinct
+root-to-node label path in the data, with parent/child edges mirroring the
+data's hierarchy.  The guide is itself PBN-numbered so least-common-ancestor
+types can be found by comparing type numbers — exactly how Algorithm 1
+computes level arrays in ``O(c)`` per type.
+"""
+
+from repro.dataguide.guide import DataGuide, GuideType
+from repro.dataguide.build import build_dataguide
+from repro.dataguide.spec import guide_to_spec
+
+__all__ = ["DataGuide", "GuideType", "build_dataguide", "guide_to_spec"]

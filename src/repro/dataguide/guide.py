@@ -1,0 +1,195 @@
+"""DataGuide structure and the helper functions the paper assumes.
+
+A :class:`GuideType` is identified by its *path* — the tuple of labels from a
+data root down to the type (``("data", "book", "author")``), matching the
+paper's ``typeOf`` definition ("the concatenation of element/attribute names
+on the path from the root").  Because paths are the identity, a recursive
+schema gets one type per recursion level, as the paper requires.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import SpecResolutionError
+from repro.pbn.number import Pbn
+from repro.xmlmodel.nodes import Node, TEXT_NAME
+
+
+class GuideType:
+    """One type (node) of a DataGuide.
+
+    :ivar path: label path identifying the type.
+    :ivar parent: parent type, or ``None`` for a root type.
+    :ivar children: child types in first-encountered order.
+    :ivar pbn: the type's own PBN number within the guide (used for fast
+        lca computation).
+    :ivar count: number of data nodes with this type (guide statistics).
+    """
+
+    __slots__ = ("path", "parent", "children", "pbn", "count")
+
+    def __init__(self, path: tuple[str, ...], parent: Optional["GuideType"]) -> None:
+        self.path = path
+        self.parent = parent
+        self.children: list[GuideType] = []
+        self.pbn: Optional[Pbn] = None
+        self.count = 0
+
+    @property
+    def name(self) -> str:
+        """The type's own label (last path component)."""
+        return self.path[-1]
+
+    @property
+    def length(self) -> int:
+        """The paper's ``length(S, v)``: number of labels in the path."""
+        return len(self.path)
+
+    @property
+    def is_text(self) -> bool:
+        """True for the text-node type (label ``#text``)."""
+        return self.path[-1] == TEXT_NAME
+
+    @property
+    def is_attribute(self) -> bool:
+        """True for attribute types (label ``@name``)."""
+        return self.path[-1].startswith("@")
+
+    def dotted(self) -> str:
+        """The path in the paper's dotted notation, e.g. ``data.book.author``."""
+        return ".".join(self.path)
+
+    def iter_subtree(self) -> Iterator["GuideType"]:
+        """This type and all descendant types, preorder."""
+        stack = [self]
+        while stack:
+            guide_type = stack.pop()
+            yield guide_type
+            stack.extend(reversed(guide_type.children))
+
+    def is_ancestor_of(self, other: "GuideType") -> bool:
+        """True iff this type is a proper ancestor of ``other`` in the guide."""
+        return (
+            len(self.path) < len(other.path)
+            and other.path[: len(self.path)] == self.path
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GuideType({self.dotted()})"
+
+
+class DataGuide:
+    """A forest of :class:`GuideType` nodes with path and name lookups.
+
+    Implements the paper's helper functions: :meth:`roots`, :meth:`type_of`
+    (``typeOf``), :meth:`lca_type_of` (``lcaTypeOf``), and name resolution
+    for the vDataGuide grammar's possibly-qualified labels.
+    """
+
+    def __init__(self) -> None:
+        self.roots: list[GuideType] = []
+        self._by_path: dict[tuple[str, ...], GuideType] = {}
+        self._by_name: dict[str, list[GuideType]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def ensure_type(self, path: tuple[str, ...]) -> GuideType:
+        """Return the type for ``path``, creating it (and missing ancestors)
+        on first use."""
+        existing = self._by_path.get(path)
+        if existing is not None:
+            return existing
+        parent = self.ensure_type(path[:-1]) if len(path) > 1 else None
+        guide_type = GuideType(path, parent)
+        self._by_path[path] = guide_type
+        self._by_name.setdefault(guide_type.name, []).append(guide_type)
+        if parent is None:
+            self.roots.append(guide_type)
+            guide_type.pbn = Pbn(len(self.roots))
+        else:
+            parent.children.append(guide_type)
+            guide_type.pbn = parent.pbn.child(len(parent.children))  # type: ignore[union-attr]
+        return guide_type
+
+    # -- paper helper functions ----------------------------------------------
+
+    def type_of(self, node: Node) -> GuideType:
+        """The paper's ``typeOf(S, v)`` for a data node.
+
+        :raises SpecResolutionError: if the node's path is not in the guide
+            (the node belongs to a different document).
+        """
+        path = tuple(node.path_names())
+        guide_type = self._by_path.get(path)
+        if guide_type is None:
+            raise SpecResolutionError(f"no type {'.'.join(path)!r} in this DataGuide")
+        return guide_type
+
+    def lookup_path(self, path: tuple[str, ...]) -> Optional[GuideType]:
+        """The type with exactly this label path, or ``None``."""
+        return self._by_path.get(path)
+
+    def lca_type_of(self, a: GuideType, b: GuideType) -> Optional[GuideType]:
+        """The paper's ``lcaTypeOf``: lowest common ancestor type of ``a``
+        and ``b`` (possibly ``a`` or ``b`` itself), or ``None`` when the
+        types are in different trees of the forest.
+
+        Computed, as Section 5.2 suggests, by taking the shared prefix of
+        the types' own PBN numbers — an ``O(c)`` operation.
+        """
+        shared = a.pbn.shared_prefix_length(b.pbn)  # type: ignore[union-attr]
+        if shared == 0:
+            return None
+        return self._by_path[a.path[:shared]]
+
+    # -- label resolution ------------------------------------------------------
+
+    def resolve_label(self, label: str) -> GuideType:
+        """Resolve a (possibly dot-qualified) vDataGuide label to a type.
+
+        An unqualified label must name exactly one type; a qualified label
+        (``x.y``) must match the *suffix* of exactly one type path, with a
+        fully spelled path always accepted.  Matches the grammar note that a
+        label "can be fully qualified to disambiguate".
+
+        :raises SpecResolutionError: on unknown or ambiguous labels.
+        """
+        parts = tuple(label.split("."))
+        exact = self._by_path.get(parts)
+        if exact is not None:
+            return exact
+        if len(parts) == 1:
+            candidates = self._by_name.get(parts[0], [])
+        else:
+            candidates = [
+                t
+                for t in self._by_name.get(parts[-1], [])
+                if t.path[-len(parts) :] == parts
+            ]
+        if not candidates:
+            raise SpecResolutionError(f"label {label!r} names no type in the DataGuide")
+        if len(candidates) > 1:
+            options = ", ".join(t.dotted() for t in candidates)
+            raise SpecResolutionError(
+                f"label {label!r} is ambiguous; qualify it (candidates: {options})"
+            )
+        return candidates[0]
+
+    def types_named(self, name: str) -> list[GuideType]:
+        """All types whose own label is ``name`` (used by query planning
+        to find the candidate types of a name test)."""
+        return list(self._by_name.get(name, ()))
+
+    # -- iteration -------------------------------------------------------------
+
+    def iter_types(self) -> Iterator[GuideType]:
+        """All types, preorder across the forest."""
+        for root in self.roots:
+            yield from root.iter_subtree()
+
+    def __len__(self) -> int:
+        return len(self._by_path)
+
+    def __contains__(self, path: tuple[str, ...]) -> bool:
+        return path in self._by_path

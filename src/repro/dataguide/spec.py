@@ -1,0 +1,33 @@
+"""Rendering a DataGuide in the vDataGuide brace notation.
+
+``guide_to_spec`` prints a guide in the same grammar ``virtualDoc`` accepts,
+so the identity transformation of any document is literally
+``guide_to_spec(its_guide)`` — handy for examples, debugging, and the
+round-trip tests.
+"""
+
+from __future__ import annotations
+
+from repro.dataguide.guide import DataGuide, GuideType
+
+
+def guide_to_spec(guide: DataGuide, include_leaves: bool = False) -> str:
+    """Render ``guide`` as a vDataGuide specification string.
+
+    :param include_leaves: also print text (``#text``) and attribute types.
+        They are implicit in the vDataGuide language, so the default omits
+        them for readability.
+    """
+    return " ".join(_render(root, include_leaves) for root in guide.roots)
+
+
+def _render(guide_type: GuideType, include_leaves: bool) -> str:
+    children = [
+        child
+        for child in guide_type.children
+        if include_leaves or not (child.is_text or child.is_attribute)
+    ]
+    if not children:
+        return guide_type.name
+    inner = " ".join(_render(child, include_leaves) for child in children)
+    return f"{guide_type.name} {{ {inner} }}"

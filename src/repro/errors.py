@@ -1,0 +1,64 @@
+"""Exception hierarchy for the vPBN reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Parsing errors carry enough position
+information to point at the offending character.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XmlParseError(ReproError):
+    """Raised when the XML parser encounters malformed input.
+
+    :param message: human-readable description of the problem.
+    :param position: character offset into the source string.
+    :param line: 1-based line number of the problem.
+    :param column: 1-based column number of the problem.
+    """
+
+    def __init__(self, message: str, position: int = 0, line: int = 1, column: int = 1):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class SpecParseError(ReproError):
+    """Raised when a vDataGuide specification string is malformed."""
+
+    def __init__(self, message: str, position: int = 0):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class SpecResolutionError(ReproError):
+    """Raised when a vDataGuide label cannot be resolved against the
+    original DataGuide (unknown label, ambiguous unqualified label, ...)."""
+
+
+class QueryParseError(ReproError):
+    """Raised when a query string is malformed."""
+
+    def __init__(self, message: str, position: int = 0):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class QueryEvaluationError(ReproError):
+    """Raised when a well-formed query cannot be evaluated
+    (unknown function, type error, unbound variable, ...)."""
+
+
+class StorageError(ReproError):
+    """Raised on misuse of the storage engine (unknown page, full record,
+    lookup of a number that was never indexed, ...)."""
+
+
+class NumberingError(ReproError):
+    """Raised on invalid PBN/vPBN construction or comparison
+    (empty number, non-positive component, mismatched documents, ...)."""

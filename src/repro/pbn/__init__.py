@@ -1,0 +1,23 @@
+"""Prefix-based numbering (PBN) substrate.
+
+PBN (also called Dewey order or containment encoding) numbers a node ``p.k``
+where ``p`` is its parent's number and ``k`` its 1-based sibling ordinal.
+This package provides the number type, all ten axis predicates computed from
+numbers alone, a document-order comparator, assignment of numbers to a
+document tree, and a compact order-preserving binary codec.
+"""
+
+from repro.pbn.number import Pbn
+from repro.pbn.assign import assign_numbers
+from repro.pbn.order import compare_document_order
+from repro.pbn.codec import decode_pbn, encode_pbn
+from repro.pbn import axes
+
+__all__ = [
+    "Pbn",
+    "assign_numbers",
+    "axes",
+    "compare_document_order",
+    "decode_pbn",
+    "encode_pbn",
+]

@@ -1,0 +1,48 @@
+"""Assignment of PBN numbers to a document tree.
+
+Numbering follows the paper's Figure 8: root elements are numbered 1, 2, ...
+across the forest; every other node is its parent's number extended by its
+1-based sibling ordinal.  Attribute nodes (kept at the front of the sibling
+list by the data model) receive ordinals like any other child, mirroring the
+DataGuide's treatment of attribute types.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.pbn.number import Pbn
+from repro.xmlmodel.nodes import Document, Node
+
+
+def assign_numbers(document: Document) -> Document:
+    """Number every node of ``document`` in place and return the document.
+
+    Existing numbers are overwritten, so re-numbering after a structural
+    edit is a single call.  The document node itself carries no number (it
+    is not part of the numbered forest).
+    """
+    document.pbn = None
+    for ordinal, root in enumerate(document.children, start=1):
+        _number_subtree(root, Pbn(ordinal))
+    return document
+
+
+def _number_subtree(node: Node, number: Pbn) -> None:
+    node.pbn = number
+    for ordinal, child in enumerate(node.children, start=1):
+        _number_subtree(child, number.child(ordinal))
+
+
+def iter_numbered(document: Document) -> Iterator[Node]:
+    """Yield every numbered node of ``document`` in document order.
+
+    :raises ValueError: if the document has not been numbered yet.
+    """
+    for root in document.children:
+        for node in root.iter_subtree():
+            if node.pbn is None:
+                raise ValueError(
+                    "document is not numbered; call assign_numbers() first"
+                )
+            yield node

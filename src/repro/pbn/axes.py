@@ -1,0 +1,89 @@
+"""Axis predicates computed from PBN numbers alone (paper Section 4.2).
+
+Each predicate answers "is ``x`` <axis> of ``y``?" by comparing the two
+numbers, never touching the tree.  For example ``1.1.2`` compared to ``1.2``
+is neither prefix nor extension, so it is neither ancestor nor descendant; it
+precedes ``1.2`` in document order but is not a preceding *sibling* because
+the parents (``1.1`` vs ``1``) differ — exactly the paper's worked example.
+"""
+
+from __future__ import annotations
+
+from repro.pbn.number import Pbn
+
+
+def is_self(x: Pbn, y: Pbn) -> bool:
+    """x is the same node as y."""
+    return x == y
+
+
+def is_ancestor(x: Pbn, y: Pbn) -> bool:
+    """x is a proper ancestor of y (x's number is a strict prefix of y's)."""
+    return len(x) < len(y) and x.is_prefix_of(y)
+
+
+def is_ancestor_or_self(x: Pbn, y: Pbn) -> bool:
+    """x is y or a proper ancestor of y."""
+    return x.is_prefix_of(y)
+
+
+def is_parent(x: Pbn, y: Pbn) -> bool:
+    """x is the parent of y."""
+    return len(x) + 1 == len(y) and x.is_prefix_of(y)
+
+
+def is_descendant(x: Pbn, y: Pbn) -> bool:
+    """x is a proper descendant of y."""
+    return is_ancestor(y, x)
+
+
+def is_descendant_or_self(x: Pbn, y: Pbn) -> bool:
+    """x is y or a proper descendant of y."""
+    return y.is_prefix_of(x)
+
+
+def is_child(x: Pbn, y: Pbn) -> bool:
+    """x is a child of y."""
+    return is_parent(y, x)
+
+
+def is_sibling(x: Pbn, y: Pbn) -> bool:
+    """x and y are distinct nodes sharing a parent (roots share the forest)."""
+    return x != y and len(x) == len(y) and x.components[:-1] == y.components[:-1]
+
+
+def is_preceding(x: Pbn, y: Pbn) -> bool:
+    """x comes before y in document order and is not an ancestor of y."""
+    return x.components < y.components and not x.is_prefix_of(y)
+
+
+def is_following(x: Pbn, y: Pbn) -> bool:
+    """x comes after y in document order and is not a descendant of y."""
+    return is_preceding(y, x)
+
+
+def is_preceding_sibling(x: Pbn, y: Pbn) -> bool:
+    """x is a sibling of y that comes earlier in sibling order."""
+    return is_sibling(x, y) and x.ordinal < y.ordinal
+
+
+def is_following_sibling(x: Pbn, y: Pbn) -> bool:
+    """x is a sibling of y that comes later in sibling order."""
+    return is_sibling(x, y) and x.ordinal > y.ordinal
+
+
+#: Dispatch table from XPath axis name to predicate ``axis(x, y)``:
+#: "x is on this axis of context node y".
+AXIS_PREDICATES = {
+    "self": is_self,
+    "parent": is_parent,
+    "child": is_child,
+    "ancestor": is_ancestor,
+    "ancestor-or-self": is_ancestor_or_self,
+    "descendant": is_descendant,
+    "descendant-or-self": is_descendant_or_self,
+    "preceding": is_preceding,
+    "following": is_following,
+    "preceding-sibling": is_preceding_sibling,
+    "following-sibling": is_following_sibling,
+}

@@ -1,0 +1,85 @@
+"""Compact, order-preserving binary encoding of PBN numbers.
+
+The paper notes (Section 4.2, citing its reference [11]) that PBN numbers
+can be packed into few bits.  This codec implements a self-delimiting,
+order-preserving component encoding so that for any two numbers ``p``, ``q``:
+
+* ``encode_pbn(p) < encode_pbn(q)`` (bytewise) iff ``p`` precedes ``q`` in
+  document order, and
+* ``encode_pbn(p)`` is a byte-prefix of ``encode_pbn(q)`` iff ``p`` is a
+  component-prefix of ``q`` (i.e. an ancestor-or-self),
+
+which means encoded numbers can serve directly as B+-tree keys (the storage
+engine's value index uses them) while keeping every axis predicate a cheap
+bytes comparison.
+
+Encoding per component ``c`` (1-based):
+
+* ``1 <= c <= 128``: one byte ``c - 1`` (``0x00``–``0x7F``).
+* larger: a marker byte ``0x80 + (n - 1)`` where ``n`` is the number of
+  big-endian payload bytes of ``c - 129``, followed by those bytes.  Marker
+  bytes sort above all single-byte encodings and by payload length, and the
+  payload comparison finishes the job, so ordering is preserved for all
+  components up to ``2^(8*112) + 128`` (far beyond any real fan-out).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NumberingError
+from repro.pbn.number import Pbn
+
+_SINGLE_MAX = 128  # components 1..128 fit in one byte
+_MARKER_BASE = 0x80
+
+
+def encode_pbn(number: Pbn) -> bytes:
+    """Encode a PBN number to its order-preserving byte string."""
+    out = bytearray()
+    for component in number.components:
+        if component <= _SINGLE_MAX:
+            out.append(component - 1)
+        else:
+            value = component - _SINGLE_MAX - 1
+            payload = value.to_bytes(max(1, (value.bit_length() + 7) // 8), "big")
+            if len(payload) > 0x7F:
+                raise NumberingError(f"component {component} too large to encode")
+            out.append(_MARKER_BASE + len(payload) - 1)
+            out.extend(payload)
+    return bytes(out)
+
+
+def decode_pbn(data: bytes) -> Pbn:
+    """Decode a byte string produced by :func:`encode_pbn`.
+
+    :raises NumberingError: on truncated or empty input.
+    """
+    components: list[int] = []
+    index = 0
+    length = len(data)
+    while index < length:
+        first = data[index]
+        index += 1
+        if first < _MARKER_BASE:
+            components.append(first + 1)
+        else:
+            payload_length = first - _MARKER_BASE + 1
+            if index + payload_length > length:
+                raise NumberingError("truncated PBN encoding")
+            value = int.from_bytes(data[index : index + payload_length], "big")
+            index += payload_length
+            components.append(value + _SINGLE_MAX + 1)
+    if not components:
+        raise NumberingError("empty PBN encoding")
+    return Pbn(*components)
+
+
+def encoded_size(number: Pbn) -> int:
+    """Size in bytes of the encoding, without materializing it."""
+    size = 0
+    for component in number.components:
+        if component <= _SINGLE_MAX:
+            size += 1
+        else:
+            value = component - _SINGLE_MAX - 1
+            size += 1 + max(1, (value.bit_length() + 7) // 8)
+    return size

@@ -1,0 +1,141 @@
+"""The prefix-based number type.
+
+A :class:`Pbn` is an immutable sequence of positive integers, e.g. ``1.2.2``
+for "second child of the second child of the first root" (paper Figure 8).
+Its length equals the node's level, and its prefixes are exactly the numbers
+of its ancestors — the property every axis predicate exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import NumberingError
+
+
+class Pbn:
+    """An immutable prefix-based (Dewey) number.
+
+    Construct from components (``Pbn(1, 2, 2)``), from an iterable
+    (``Pbn.of([1, 2, 2])``), or from text (``Pbn.parse("1.2.2")``).
+    Instances are hashable, totally ordered by document order (ancestors
+    precede descendants), and usable as index keys.
+    """
+
+    __slots__ = ("components",)
+
+    def __init__(self, *components: int) -> None:
+        if not components:
+            raise NumberingError("a PBN number needs at least one component")
+        for component in components:
+            if not isinstance(component, int) or component < 1:
+                raise NumberingError(
+                    f"PBN components must be positive integers, got {component!r}"
+                )
+        object.__setattr__(self, "components", components)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Pbn is immutable")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def of(cls, components: "list[int] | tuple[int, ...]") -> "Pbn":
+        """Build from a sequence of components."""
+        return cls(*components)
+
+    @classmethod
+    def parse(cls, text: str) -> "Pbn":
+        """Parse dotted notation, e.g. ``"1.2.2"``."""
+        try:
+            return cls(*(int(part) for part in text.split(".")))
+        except ValueError as exc:
+            raise NumberingError(f"malformed PBN number {text!r}") from exc
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        """Tree level of the node this number identifies (root = 1)."""
+        return len(self.components)
+
+    @property
+    def ordinal(self) -> int:
+        """The final component: the node's 1-based sibling position."""
+        return self.components[-1]
+
+    def parent(self) -> "Pbn":
+        """Number of the parent node.
+
+        :raises NumberingError: for a root (level-1) number.
+        """
+        if len(self.components) == 1:
+            raise NumberingError(f"{self} is a root number and has no parent")
+        return Pbn(*self.components[:-1])
+
+    def child(self, ordinal: int) -> "Pbn":
+        """Number of this node's ``ordinal``-th child."""
+        return Pbn(*self.components, ordinal)
+
+    def prefix(self, length: int) -> "Pbn":
+        """The first ``length`` components — the ancestor at that level."""
+        if not 1 <= length <= len(self.components):
+            raise NumberingError(
+                f"prefix length {length} out of range for {self}"
+            )
+        return Pbn(*self.components[:length])
+
+    def is_prefix_of(self, other: "Pbn") -> bool:
+        """True iff this number is a (non-strict) prefix of ``other``."""
+        mine = self.components
+        return other.components[: len(mine)] == mine
+
+    def shared_prefix_length(self, other: "Pbn") -> int:
+        """Number of leading components the two numbers share.
+
+        This is the level of the nodes' lowest common ancestor (0 when the
+        nodes are in different trees of the forest).
+        """
+        count = 0
+        for a, b in zip(self.components, other.components):
+            if a != b:
+                break
+            count += 1
+        return count
+
+    # -- protocol ------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.components)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __getitem__(self, index: int) -> int:
+        return self.components[index]
+
+    def __hash__(self) -> int:
+        return hash(self.components)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Pbn) and self.components == other.components
+
+    def __lt__(self, other: "Pbn") -> bool:
+        """Document order: an ancestor sorts before its descendants, which
+        tuple comparison of the component sequences gives directly."""
+        return self.components < other.components
+
+    def __le__(self, other: "Pbn") -> bool:
+        return self == other or self < other
+
+    def __gt__(self, other: "Pbn") -> bool:
+        return other < self
+
+    def __ge__(self, other: "Pbn") -> bool:
+        return self == other or other < self
+
+    def __str__(self) -> str:
+        return ".".join(str(c) for c in self.components)
+
+    def __repr__(self) -> str:
+        return f"Pbn({str(self)})"

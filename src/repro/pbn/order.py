@@ -1,0 +1,37 @@
+"""Document-order utilities for PBN numbers.
+
+Document order over PBN numbers is lexicographic order of the component
+sequences, with an ancestor ordering before all of its descendants.  Python
+tuple comparison implements it directly, so these helpers exist mainly to
+name the concept and to provide a stable three-way comparator for code that
+needs one (merge joins, the virtual evaluator's ordering checks).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.pbn.number import Pbn
+
+
+def compare_document_order(x: Pbn, y: Pbn) -> int:
+    """Three-way comparison: negative if ``x`` precedes ``y`` in document
+    order (including the ancestor case), positive if it follows, 0 if equal."""
+    if x.components == y.components:
+        return 0
+    return -1 if x.components < y.components else 1
+
+
+def sort_document_order(numbers: Iterable[Pbn]) -> list[Pbn]:
+    """Return the numbers sorted into document order."""
+    return sorted(numbers, key=lambda number: number.components)
+
+
+def is_sorted(numbers: Iterable[Pbn]) -> bool:
+    """True iff the sequence is already in document order (duplicates ok)."""
+    previous = None
+    for number in numbers:
+        if previous is not None and number.components < previous.components:
+            return False
+        previous = number
+    return True

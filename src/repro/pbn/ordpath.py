@@ -1,0 +1,236 @@
+"""ORDPATH-style insertion: new numbers between old ones, no renumbering.
+
+The paper treats update renumbering as orthogonal (Section 3, citing
+O'Neil et al.'s ORDPATH and related schemes [18, 30]) but leans on its
+existence: vPBN reuses "extant physical numbers", which stay stable only if
+inserts do not shift them.  This module supplies that substrate, and the
+E10 ablation benchmark compares it against renumber-on-insert.
+
+The classic scheme: components are integers (any sign); **odd** components
+are ordinals, **even** components are *carets* — order refinements that add
+no tree level.  One *logical* component is a run of carets followed by an
+ordinal, so ``5`` and ``4.9`` and ``4.-2.7`` are all level-1 numbers, in
+the document order ``4.-2.7 < 4.9 < 5``.  Raw tuple comparison is document
+order, exactly like plain PBN.
+
+Initial loads number children with positive odds (1, 3, 5, ...), leaving a
+gap at every position; :func:`between`, :func:`before`, and :func:`after`
+mint fresh sibling numbers in O(component length) without touching any
+existing number.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import NumberingError
+
+
+class OrdPbn:
+    """An ORDPATH-style prefix-based number.
+
+    Raw components are integers; even values are carets, odd values are
+    ordinals, and a number always ends with an ordinal.  Level and
+    parent/child structure follow the *logical* components (caret runs
+    folded into the ordinal they precede).
+    """
+
+    __slots__ = ("raw", "_splits")
+
+    def __init__(self, *raw: int) -> None:
+        if not raw:
+            raise NumberingError("an OrdPbn needs at least one component")
+        for component in raw:
+            if not isinstance(component, int) or isinstance(component, bool):
+                raise NumberingError(
+                    f"OrdPbn components must be integers, got {component!r}"
+                )
+        if raw[-1] % 2 == 0:
+            raise NumberingError(
+                f"an OrdPbn may not end in a caret (even component): {raw}"
+            )
+        object.__setattr__(self, "raw", raw)
+        object.__setattr__(self, "_splits", None)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("OrdPbn is immutable")
+
+    # -- structure ----------------------------------------------------------
+
+    def _split_points(self) -> tuple[int, ...]:
+        """End index (exclusive) of each logical component in ``raw``."""
+        if self._splits is None:
+            splits = tuple(
+                index + 1 for index, value in enumerate(self.raw) if value % 2 != 0
+            )
+            object.__setattr__(self, "_splits", splits)
+        return self._splits
+
+    @property
+    def level(self) -> int:
+        """Tree level: number of logical (caret-run + ordinal) components."""
+        return len(self._split_points())
+
+    def logical(self) -> tuple[tuple[int, ...], ...]:
+        """The raw slices forming each logical component."""
+        splits = self._split_points()
+        start = 0
+        out = []
+        for end in splits:
+            out.append(self.raw[start:end])
+            start = end
+        return tuple(out)
+
+    def parent(self) -> "OrdPbn":
+        """Number of the parent (drop the last logical component)."""
+        splits = self._split_points()
+        if len(splits) == 1:
+            raise NumberingError(f"{self} is a root number and has no parent")
+        return OrdPbn(*self.raw[: splits[-2]])
+
+    def child(self, ordinal: int) -> "OrdPbn":
+        """The ``ordinal``-th child at initial spacing (odd 2k-1)."""
+        if ordinal < 1:
+            raise NumberingError("ordinals are 1-based")
+        return OrdPbn(*self.raw, 2 * ordinal - 1)
+
+    def is_prefix_of(self, other: "OrdPbn") -> bool:
+        """Ancestor-or-self test: raw prefix ending at a logical boundary
+        of ``other`` (a caret run must not be split)."""
+        mine = self.raw
+        if other.raw[: len(mine)] != mine:
+            return False
+        return len(mine) == len(other.raw) or len(mine) in other._split_points()
+
+    def is_ancestor_of(self, other: "OrdPbn") -> bool:
+        return len(self.raw) < len(other.raw) and self.is_prefix_of(other)
+
+    def is_parent_of(self, other: "OrdPbn") -> bool:
+        return self.is_ancestor_of(other) and other.level == self.level + 1
+
+    def is_sibling_of(self, other: "OrdPbn") -> bool:
+        if self == other or self.level != other.level:
+            return False
+        if self.level == 1:
+            return True
+        splits = self._split_points()
+        other_splits = other._split_points()
+        return (
+            splits[-2] == other_splits[-2]
+            and self.raw[: splits[-2]] == other.raw[: other_splits[-2]]
+        )
+
+    # -- protocol ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.raw)
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OrdPbn) and self.raw == other.raw
+
+    def __hash__(self) -> int:
+        return hash(self.raw)
+
+    def __lt__(self, other: "OrdPbn") -> bool:
+        return self.raw < other.raw
+
+    def __le__(self, other: "OrdPbn") -> bool:
+        return self.raw <= other.raw
+
+    def __gt__(self, other: "OrdPbn") -> bool:
+        return self.raw > other.raw
+
+    def __ge__(self, other: "OrdPbn") -> bool:
+        return self.raw >= other.raw
+
+    def __str__(self) -> str:
+        return ".".join(str(component) for component in self.raw)
+
+    def __repr__(self) -> str:
+        return f"OrdPbn({str(self)})"
+
+
+# ---------------------------------------------------------------------------
+# minting fresh sibling numbers
+# ---------------------------------------------------------------------------
+
+
+def _own(number: OrdPbn) -> tuple[int, ...]:
+    """The raw slice of the last logical component."""
+    splits = number._split_points()
+    start = splits[-2] if len(splits) > 1 else 0
+    return number.raw[start:]
+
+
+def _parent_raw(number: OrdPbn) -> tuple[int, ...]:
+    splits = number._split_points()
+    return number.raw[: splits[-2]] if len(splits) > 1 else ()
+
+
+def _step_down(suffix: tuple[int, ...]) -> tuple[int, ...]:
+    """A logical component strictly below ``suffix`` (no lower bound)."""
+    head = suffix[0] - 2
+    return (head,) if head % 2 != 0 else (head, 1)
+
+
+def _step_up(suffix: tuple[int, ...]) -> tuple[int, ...]:
+    """A logical component strictly above ``suffix`` (no upper bound)."""
+    head = suffix[0] + 2
+    return (head,) if head % 2 != 0 else (head, 1)
+
+
+def before(number: OrdPbn) -> OrdPbn:
+    """A fresh sibling ordering before ``number``."""
+    return OrdPbn(*_parent_raw(number), *_step_down(_own(number)))
+
+
+def after(number: OrdPbn) -> OrdPbn:
+    """A fresh sibling ordering after ``number``."""
+    return OrdPbn(*_parent_raw(number), *_step_up(_own(number)))
+
+
+def between(left: OrdPbn, right: OrdPbn) -> OrdPbn:
+    """A fresh sibling number strictly between two siblings — the
+    renumbering-free insert.  O(length of the numbers); never touches an
+    existing number.
+
+    :raises NumberingError: unless ``left`` and ``right`` are siblings with
+        ``left < right``.
+    """
+    if not left.is_sibling_of(right) or not left < right:
+        raise NumberingError(f"{left} and {right} are not ordered siblings")
+    parent = _parent_raw(left)
+    l = _own(left)
+    r = _own(right)
+    # First differing raw position within the own components; neither own
+    # component can be a prefix of the other (both end in an ordinal, and
+    # an ordinal ends the component), so it exists.
+    i = 0
+    while l[i] == r[i]:
+        i += 1
+    a, b = l[i], r[i]
+    if b - a >= 2:
+        middle = a + 1
+        if middle % 2 != 0:
+            new = l[:i] + (middle,)
+        else:
+            new = l[:i] + (middle, 1)
+    elif a % 2 == 0:
+        # Adjacent, and left continues below the caret ``a``: go just
+        # above left's continuation, still under the caret (< right).
+        new = l[: i + 1] + _step_up(l[i + 1 :])
+    else:
+        # Adjacent, left's ordinal is ``a``; right continues below the
+        # caret ``b``: go just below right's continuation, under ``b``.
+        new = l[:i] + (b,) + _step_down(r[i + 1 :])
+    return OrdPbn(*parent, *new)
+
+
+def initial_numbering(count: int, parent: Optional[OrdPbn] = None) -> list[OrdPbn]:
+    """Numbers for ``count`` children at initial load (odd spacing)."""
+    if parent is None:
+        return [OrdPbn(2 * k - 1) for k in range(1, count + 1)]
+    return [parent.child(k) for k in range(1, count + 1)]

@@ -1,0 +1,25 @@
+"""Query engine: an XPath/XQuery subset with three evaluation strategies.
+
+The language covers everything the paper's examples use: path expressions
+with all eleven axes and abbreviations (``//``, ``..``, ``@``), predicates
+(including positional), FLWR blocks (``for``/``let``/``where``/``return``),
+``if``/``then``/``else``, element constructors with ``{...}`` interpolation,
+sequence operators (``,``, ``|``, ``except``, ``intersect``), comparisons,
+arithmetic, and a function library including ``doc`` and the paper's new
+``virtualDoc``.
+
+One evaluator serves three navigation strategies:
+
+* ``tree`` — pointer-chasing over the in-memory tree (the navigational
+  baseline),
+* ``indexed`` — PBN axis checks over the type/value indexes (how a
+  PBN-based XML DBMS evaluates queries), and
+* ``virtual`` — the paper's contribution: vPBN axis checks over the *same*
+  untouched indexes, giving transformed-space evaluation without
+  materialization (used automatically for ``virtualDoc`` sources).
+"""
+
+from repro.query.engine import Engine, Result
+from repro.query.parser import parse_query
+
+__all__ = ["Engine", "Result", "parse_query"]

@@ -1,0 +1,56 @@
+"""Dynamic evaluation context: variable bindings and the focus."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import QueryEvaluationError
+
+
+class Context:
+    """Immutable dynamic context.
+
+    :ivar engine: the owning :class:`~repro.query.engine.Engine` (documents,
+        stats, constructed-node registry).
+    :ivar variables: name -> sequence bindings.
+    :ivar item: the context item (``.``), or ``None`` outside a focus.
+    :ivar position: 1-based ``position()`` within the current focus.
+    :ivar size: ``last()`` of the current focus.
+    """
+
+    __slots__ = ("engine", "variables", "item", "position", "size")
+
+    def __init__(
+        self,
+        engine,
+        variables: Optional[dict[str, list]] = None,
+        item: Any = None,
+        position: int = 1,
+        size: int = 1,
+    ) -> None:
+        self.engine = engine
+        self.variables = variables if variables is not None else {}
+        self.item = item
+        self.position = position
+        self.size = size
+
+    def bind(self, name: str, value: list) -> "Context":
+        """A copy with ``$name`` bound to ``value``."""
+        variables = dict(self.variables)
+        variables[name] = value
+        return Context(self.engine, variables, self.item, self.position, self.size)
+
+    def with_focus(self, item: Any, position: int, size: int) -> "Context":
+        """A copy focused on ``item`` (for predicates and step evaluation)."""
+        return Context(self.engine, self.variables, item, position, size)
+
+    def lookup(self, name: str) -> list:
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise QueryEvaluationError(f"unbound variable ${name}") from None
+
+    def require_item(self) -> Any:
+        if self.item is None:
+            raise QueryEvaluationError("no context item is defined here")
+        return self.item

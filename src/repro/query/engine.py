@@ -1,0 +1,310 @@
+"""The engine facade: load documents, run queries, inspect results.
+
+::
+
+    engine = Engine()
+    engine.load("book.xml", "<data>...</data>")
+    result = engine.execute(
+        'for $t in virtualDoc("book.xml", "title { author { name } }")//title '
+        'return <entry>{ $t/text() }{ count($t/author) }</entry>'
+    )
+    print(result.to_xml())
+
+The engine owns one :class:`~repro.storage.stats.StorageStats` block; every
+store, index, and navigator reports into it, so ``engine.stats`` after a
+query is the query's logical cost.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Optional, Union
+
+from repro.core.virtual_document import VirtualDocument
+from repro.errors import QueryEvaluationError
+from repro.pbn.assign import assign_numbers
+from repro.query.context import Context
+from repro.query.eval import Evaluator
+from repro.query.eval_indexed import IndexedNavigator
+from repro.query.functions import format_atomic
+from repro.query.items import is_node, string_value
+from repro.query.parser import parse_query
+from repro.storage.stats import StorageStats
+from repro.storage.store import DocumentStore
+from repro.vdataguide.grammar import parse_vdataguide
+from repro.xmlmodel.nodes import Document, Element, Node
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import serialize
+
+logger = logging.getLogger("repro.engine")
+
+
+class Result:
+    """A query result: a sequence of items with convenience accessors.
+
+    :ivar elapsed_seconds: wall-clock evaluation time of the query that
+        produced this result (parse + evaluate).
+    """
+
+    def __init__(self, items: list, engine: "Engine", elapsed_seconds: float = 0.0) -> None:
+        self.items = items
+        self.elapsed_seconds = elapsed_seconds
+        self._engine = engine
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index: int):
+        return self.items[index]
+
+    def values(self) -> list[str]:
+        """String values of all items."""
+        return [string_value(item) for item in self.items]
+
+    def to_xml(self) -> str:
+        """Serialize the result sequence: nodes as XML (virtual nodes as
+        their transformed values), atomics via the XPath rules."""
+        parts: list[str] = []
+        for item in self.items:
+            if isinstance(item, Node):
+                parts.append(serialize(item))
+            elif is_node(item):
+                parts.append(serialize(self._engine.copy_item(item)))
+            else:
+                parts.append(format_atomic(item))
+        return "".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Result({len(self.items)} items)"
+
+
+class Engine:
+    """Query engine over a set of loaded documents.
+
+    :param mode: default navigation for stored documents — ``"indexed"``
+        (PBN indexes; the realistic XML DBMS configuration) or ``"tree"``
+        (pointer navigation baseline).  Per-query override via
+        ``execute(..., mode=...)``.
+    :param page_size: heap page size for loaded documents.
+    :param buffer_capacity: buffer pool pages per document.
+    """
+
+    def __init__(
+        self,
+        mode: str = "indexed",
+        page_size: int = 4096,
+        buffer_capacity: int = 256,
+        index_order: int = 64,
+    ) -> None:
+        self.mode = mode
+        self.page_size = page_size
+        self.buffer_capacity = buffer_capacity
+        self.index_order = index_order
+        self.stats = StorageStats()
+        self._stores: dict[str, DocumentStore] = {}
+        self._store_by_document: dict[int, DocumentStore] = {}
+        self._virtuals: dict[tuple[str, str], VirtualDocument] = {}
+        self._navigators: dict[int, IndexedNavigator] = {}
+        self._containers: dict[int, int] = {}
+        self._container_refs: list = []  # keeps ids stable/alive
+        self._constructed = 0
+
+    # -- documents ---------------------------------------------------------------
+
+    def load(self, uri: str, source: Union[str, Document]) -> DocumentStore:
+        """Parse (if given text), number, and store a document under ``uri``."""
+        if isinstance(source, str):
+            document = parse_document(source, uri)
+        else:
+            document = source
+            document.uri = uri
+        store = DocumentStore(
+            document,
+            page_size=self.page_size,
+            buffer_capacity=self.buffer_capacity,
+            stats=self.stats,
+            index_order=self.index_order,
+        )
+        logger.info(
+            "loaded %r: %s nodes, %s types, %s heap pages",
+            uri,
+            store.size_summary()["nodes"],
+            store.size_summary()["types"],
+            store.heap.page_count,
+        )
+        self._stores[uri] = store
+        self._store_by_document[id(document)] = store
+        # Invalidate cached virtual views of a reloaded uri.
+        for key in [k for k in self._virtuals if k[0] == uri]:
+            del self._virtuals[key]
+        return store
+
+    def document(self, uri: str) -> Document:
+        """The document node for ``doc(uri)``."""
+        return self.store(uri).document
+
+    def store(self, uri: str) -> DocumentStore:
+        store = self._stores.get(uri)
+        if store is None:
+            raise QueryEvaluationError(f"no document loaded under {uri!r}")
+        return store
+
+    def virtual(self, uri: str, spec: str) -> VirtualDocument:
+        """The virtual document for ``virtualDoc(uri, spec)``.
+
+        Resolved vDataGuides (with their Algorithm 1 level arrays) are
+        cached per ``(uri, spec)`` — the arrays are a per-type map, built
+        once, reused by every query (paper Section 5.2).
+        """
+        key = (uri, spec)
+        vdoc = self._virtuals.get(key)
+        if vdoc is None:
+            store = self.store(uri)
+            vguide = parse_vdataguide(spec, store.guide)
+            vdoc = VirtualDocument(store.document, vguide, stats=self.stats)
+            logger.info(
+                "built virtual view %r over %r: %d virtual types, chain-exact=%s",
+                spec, uri, len(vguide), vguide.chain_exact(),
+            )
+            self._virtuals[key] = vdoc
+        return vdoc
+
+    def store_of(self, node: Node) -> Optional[DocumentStore]:
+        """The store owning ``node``'s document, or ``None`` for
+        constructed / unregistered nodes."""
+        top = node
+        while top.parent is not None:
+            top = top.parent
+        return self._store_by_document.get(id(top))
+
+    def indexed_navigator(self, store: DocumentStore) -> IndexedNavigator:
+        navigator = self._navigators.get(id(store))
+        if navigator is None:
+            navigator = IndexedNavigator(store)
+            self._navigators[id(store)] = navigator
+        return navigator
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(
+        self,
+        query: str,
+        mode: Optional[str] = None,
+        variables: Optional[dict[str, list]] = None,
+        context_item=None,
+    ) -> Result:
+        """Parse and evaluate ``query``.
+
+        :param mode: override the engine's navigation mode for stored
+            documents (``"indexed"`` or ``"tree"``).
+        :param variables: external ``$var`` bindings (values are wrapped
+            into singleton sequences unless already lists).
+        :param context_item: initial context item, if the query is a
+            relative path.
+        """
+        started = time.perf_counter()
+        expr = parse_query(query)
+        evaluator = Evaluator(self, mode or self.mode)
+        bindings = {
+            name: value if isinstance(value, list) else [value]
+            for name, value in (variables or {}).items()
+        }
+        context = Context(self, bindings, item=context_item)
+        items = evaluator.evaluate(expr, context)
+        elapsed = time.perf_counter() - started
+        if logger.isEnabledFor(logging.DEBUG):
+            preview = query if len(query) <= 120 else query[:117] + "..."
+            logger.debug(
+                "query returned %d item(s) in %.3f ms [%s]: %s",
+                len(items), elapsed * 1e3, mode or self.mode, preview,
+            )
+        return Result(items, self, elapsed)
+
+    def explain(self, query: str) -> str:
+        """A textual rendering of the parsed expression tree, followed —
+        when the referenced documents are loaded — by per-step planner
+        annotations (candidate types and cardinality estimates from the
+        DataGuide statistics)."""
+        from repro.query.plan import annotate_paths, explain_expr
+
+        expr = parse_query(query)
+        text = explain_expr(expr)
+        annotations = annotate_paths(expr, self)
+        if annotations:
+            text += "\n\n" + "\n".join(annotations)
+        return text
+
+    # -- constructed nodes ---------------------------------------------------------
+
+    def register_constructed(self, element: Element) -> Element:
+        """Wrap a constructor result in its own document container and
+        number it, so constructed trees participate in document order."""
+        self._constructed += 1
+        container = Document(f"#constructed-{self._constructed}")
+        container.append(element)
+        assign_numbers(container)
+        return element
+
+    def container_index(self, container) -> int:
+        """Stable ordering index for a document / virtual document /
+        constructed tree (assigned on first sight)."""
+        key = id(container)
+        index = self._containers.get(key)
+        if index is None:
+            index = len(self._container_refs)
+            self._containers[key] = index
+            self._container_refs.append(container)
+        return index
+
+    def copy_item(self, item) -> Node:
+        """Materialize any node item into a free-standing tree node."""
+        evaluator = Evaluator(self, "tree")
+        return evaluator._copy_item(item)
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, uri: str, path: str) -> int:
+        """Save the document loaded under ``uri`` to a store image file;
+        returns the image size in bytes."""
+        from repro.storage.persist import save_store
+
+        return save_store(self.store(uri), path)
+
+    def open(self, path: str, uri: Optional[str] = None) -> DocumentStore:
+        """Load a store image and register it (under its saved uri, or a
+        caller-supplied override)."""
+        from repro.storage.persist import load_store
+
+        store = load_store(
+            path, page_size=self.page_size, buffer_capacity=self.buffer_capacity
+        )
+        # Re-home the store's counters onto this engine's stats block.
+        store.stats = self.stats
+        store.page_manager.stats = self.stats
+        store.type_index.stats = self.stats
+        store.value_index.stats = self.stats
+        store.value_index._tree.stats = self.stats
+        key = uri if uri is not None else store.document.uri
+        store.document.uri = key
+        self._stores[key] = store
+        self._store_by_document[id(store.document)] = store
+        for cached in [k for k in self._virtuals if k[0] == key]:
+            del self._virtuals[cached]
+        return store
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    def cold_caches(self) -> None:
+        """Clear every buffer pool (simulate a cold start for I/O runs)."""
+        for store in self._stores.values():
+            store.buffer_pool.clear()
+
+    def uris(self) -> list[str]:
+        return list(self._stores)

@@ -1,0 +1,652 @@
+"""The expression evaluator.
+
+One evaluator serves all three navigation strategies: axis steps dispatch on
+the *item* — virtual nodes navigate through the vPBN machinery, stored tree
+nodes through the PBN indexes (or tree pointers in ``tree`` mode), and
+constructed nodes always through tree pointers.  Everything above the axis
+level (FLWR, predicates, functions, constructors, operators) is shared, so
+benchmark comparisons between strategies measure exactly the navigation
+difference.
+"""
+
+from __future__ import annotations
+
+from functools import cmp_to_key
+from typing import Any
+
+from repro.core import vpbn
+from repro.core.virtual_document import VNode
+from repro.errors import QueryEvaluationError
+from repro.query import ast
+from repro.query.context import Context
+from repro.query.eval_tree import TreeNavigator
+from repro.query.eval_virtual import VirtualNavigator
+from repro.query.functions import REGISTRY, format_atomic
+from repro.query.items import (
+    VirtualDocItem,
+    atomize,
+    effective_boolean,
+    is_node,
+    string_value,
+    to_number,
+)
+from repro.xmlmodel.builder import clone_subtree
+from repro.xmlmodel.nodes import Document, Element, Node, NodeKind, Text
+
+
+class Evaluator:
+    """Evaluates parsed expressions against an engine.
+
+    :param engine: document registry, stores, stats.
+    :param mode: ``"indexed"`` (PBN indexes for stored documents) or
+        ``"tree"`` (pointer navigation everywhere).  Virtual navigation is
+        selected by the item kind, not the mode.
+    """
+
+    def __init__(self, engine, mode: str = "indexed") -> None:
+        if mode not in ("indexed", "tree"):
+            raise QueryEvaluationError(f"unknown evaluation mode {mode!r}")
+        self.engine = engine
+        self.mode = mode
+        self._tree_nav = TreeNavigator()
+        self._virtual_nav = VirtualNavigator(engine.stats)
+
+    # ------------------------------------------------------------------ dispatch
+
+    def evaluate(self, expr: ast.Expr, context: Context) -> list:
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            raise QueryEvaluationError(f"cannot evaluate {type(expr).__name__}")
+        return method(self, expr, context)
+
+    # ------------------------------------------------------------------ primaries
+
+    def _eval_literal(self, expr: ast.Literal, context: Context) -> list:
+        return [expr.value]
+
+    def _eval_var(self, expr: ast.VarRef, context: Context) -> list:
+        return list(context.lookup(expr.name))
+
+    def _eval_context_item(self, expr: ast.ContextItem, context: Context) -> list:
+        return [context.require_item()]
+
+    def _eval_sequence(self, expr: ast.SequenceExpr, context: Context) -> list:
+        out: list = []
+        for sub in expr.exprs:
+            out.extend(self.evaluate(sub, context))
+        return out
+
+    def _eval_func(self, expr: ast.FuncCall, context: Context) -> list:
+        entry = REGISTRY.get(expr.name)
+        if entry is None:
+            raise QueryEvaluationError(f"unknown function {expr.name}()")
+        min_args, max_args, impl = entry
+        if not min_args <= len(expr.args) <= max_args:
+            raise QueryEvaluationError(
+                f"{expr.name}() takes {min_args}..{max_args} arguments, "
+                f"got {len(expr.args)}"
+            )
+        evaluated = [self.evaluate(arg, context) for arg in expr.args]
+        return impl(context, *evaluated)
+
+    # ------------------------------------------------------------------ paths
+
+    def _eval_root(self, expr: ast.RootExpr, context: Context) -> list:
+        return [self._root_of(context.require_item())]
+
+    def _root_of(self, item: Any):
+        if isinstance(item, VirtualDocItem):
+            return item
+        if isinstance(item, VNode):
+            vdoc = item._vdoc
+            if vdoc is None:
+                raise QueryEvaluationError("virtual node without a document")
+            return VirtualDocItem(vdoc)
+        if isinstance(item, Node):
+            node = item
+            while node.parent is not None:
+                node = node.parent
+            return node
+        raise QueryEvaluationError("'/' requires a node context item")
+
+    def _eval_path(self, expr: ast.PathExpr, context: Context) -> list:
+        if expr.start is None:
+            items: list = [context.require_item()]
+        else:
+            items = self.evaluate(expr.start, context)
+        steps = _fuse_descendant_steps(expr.steps)
+        for step in steps:
+            items = self._apply_step(items, step, context)
+        return items
+
+    #: Axes whose navigator output runs from the context node *outward*
+    #: (reverse document order), per XPath.
+    _REVERSE_AXES = frozenset(
+        ["parent", "ancestor", "ancestor-or-self", "preceding", "preceding-sibling"]
+    )
+
+    def _apply_step(self, items: list, step: ast.Step, context: Context) -> list:
+        out: list = []
+        for item in items:
+            if not is_node(item):
+                raise QueryEvaluationError(
+                    f"cannot apply a path step to the atomic value {item!r}"
+                )
+            # Predicates see candidates in *axis* order (reverse axes count
+            # positions from the context node outward)...
+            candidates = self._step(item, step.axis, step.test)
+            for predicate in step.predicates:
+                candidates = self._filter(candidates, predicate, context)
+            out.extend(candidates)
+        # ... but the step's result is always document order, deduplicated.
+        if len(items) == 1:
+            # Navigators return axis-ordered, duplicate-free results for a
+            # single context node; document order is a reversal at most.
+            if step.axis in self._REVERSE_AXES:
+                out.reverse()
+            return out
+        return self.document_order(out)
+
+    def _step(self, item: Any, axis: str, test: ast.NodeTest) -> list:
+        if isinstance(item, (VNode, VirtualDocItem)):
+            return self._virtual_nav.step(item, axis, test)
+        if self.mode == "indexed" and isinstance(item, Node):
+            store = self.engine.store_of(item)
+            if store is not None:
+                return self.engine.indexed_navigator(store).step(item, axis, test)
+        return self._tree_nav.step(item, axis, test)
+
+    def _filter(self, items: list, predicate: ast.Expr, context: Context) -> list:
+        size = len(items)
+        kept: list = []
+        for position, item in enumerate(items, start=1):
+            focused = context.with_focus(item, position, size)
+            value = self.evaluate(predicate, focused)
+            if (
+                len(value) == 1
+                and isinstance(value[0], (int, float))
+                and not isinstance(value[0], bool)
+            ):
+                if value[0] == position:
+                    kept.append(item)
+            elif effective_boolean(value):
+                kept.append(item)
+        return kept
+
+    def _eval_filter_expr(self, expr: ast.FilterExpr, context: Context) -> list:
+        items = self.evaluate(expr.base, context)
+        for predicate in expr.predicates:
+            items = self._filter(items, predicate, context)
+        return items
+
+    # ------------------------------------------------------------------ operators
+
+    def _eval_unary(self, expr: ast.UnaryOp, context: Context) -> list:
+        values = atomize(self.evaluate(expr.operand, context))
+        if not values:
+            return []
+        if len(values) > 1:
+            raise QueryEvaluationError("unary arithmetic on a multi-item sequence")
+        number = to_number(values[0])
+        return [-number if expr.op == "-" else number]
+
+    def _eval_binary(self, expr: ast.BinaryOp, context: Context) -> list:
+        op = expr.op
+        if op == "or":
+            return [
+                effective_boolean(self.evaluate(expr.left, context))
+                or effective_boolean(self.evaluate(expr.right, context))
+            ]
+        if op == "and":
+            return [
+                effective_boolean(self.evaluate(expr.left, context))
+                and effective_boolean(self.evaluate(expr.right, context))
+            ]
+        left = self.evaluate(expr.left, context)
+        right = self.evaluate(expr.right, context)
+        if op in ("=", "!=", "<", "<=", ">", ">="):
+            return [_general_compare(op, left, right)]
+        if op in ("+", "-", "*", "div", "mod"):
+            return _arithmetic(op, left, right)
+        if op == "to":
+            return _range_sequence(left, right)
+        if op in ("|", "except", "intersect"):
+            return self._node_set_op(op, left, right)
+        raise QueryEvaluationError(f"unknown operator {op!r}")
+
+    def _node_set_op(self, op: str, left: list, right: list) -> list:
+        for item in [*left, *right]:
+            if not is_node(item):
+                raise QueryEvaluationError(
+                    f"operator {op!r} requires node sequences"
+                )
+        right_keys = {_identity(item) for item in right}
+        if op == "|":
+            return self.document_order([*left, *right])
+        if op == "except":
+            return self.document_order(
+                [item for item in left if _identity(item) not in right_keys]
+            )
+        return self.document_order(
+            [item for item in left if _identity(item) in right_keys]
+        )
+
+    # ------------------------------------------------------------------ FLWR & friends
+
+    def _eval_flwr(self, expr: ast.FLWRExpr, context: Context) -> list:
+        bindings = [context]
+        for clause in expr.clauses:
+            if isinstance(clause, ast.ForClause):
+                expanded: list[Context] = []
+                for current in bindings:
+                    for position, item in enumerate(
+                        self.evaluate(clause.expr, current), start=1
+                    ):
+                        bound = current.bind(clause.var, [item])
+                        if clause.position_var is not None:
+                            bound = bound.bind(clause.position_var, [position])
+                        expanded.append(bound)
+                bindings = expanded
+            else:
+                bindings = [
+                    current.bind(clause.var, self.evaluate(clause.expr, current))
+                    for current in bindings
+                ]
+        if expr.where is not None:
+            bindings = [
+                current
+                for current in bindings
+                if effective_boolean(self.evaluate(expr.where, current))
+            ]
+        if expr.order_by:
+            bindings = self._order_bindings(bindings, expr.order_by)
+        out: list = []
+        for current in bindings:
+            out.extend(self.evaluate(expr.return_expr, current))
+        return out
+
+    def _order_bindings(
+        self, bindings: list[Context], specs: tuple[ast.OrderSpec, ...]
+    ) -> list[Context]:
+        """Stable multi-key sort: one stable pass per key, last key first.
+
+        Keys sort numerically when the value looks numeric, as strings
+        otherwise (numbers before strings, like typed comparison would).
+        """
+
+        def key_for(spec: ast.OrderSpec):
+            def key(binding: Context):
+                values = atomize(self.evaluate(spec.expr, binding))
+                if len(values) > 1:
+                    raise QueryEvaluationError("order by key must be a singleton")
+                value = values[0] if values else ""
+                number = to_number(value)
+                if number == number:  # not NaN: numeric key
+                    return (0, number, "")
+                return (1, 0.0, string_value(value))
+
+            return key
+
+        ordered = list(bindings)
+        for spec in reversed(specs):
+            ordered.sort(key=key_for(spec), reverse=spec.descending)
+        return ordered
+
+    def _eval_if(self, expr: ast.IfExpr, context: Context) -> list:
+        if effective_boolean(self.evaluate(expr.condition, context)):
+            return self.evaluate(expr.then_expr, context)
+        return self.evaluate(expr.else_expr, context)
+
+    def _eval_quantified(self, expr: ast.QuantifiedExpr, context: Context) -> list:
+        items = self.evaluate(expr.expr, context)
+        results = (
+            effective_boolean(
+                self.evaluate(expr.condition, context.bind(expr.var, [item]))
+            )
+            for item in items
+        )
+        if expr.quantifier == "some":
+            return [any(results)]
+        return [all(results)]
+
+    # ------------------------------------------------------------------ constructors
+
+    def _eval_constructor(self, expr: ast.ElementConstructor, context: Context) -> list:
+        element = self._build_element(expr, context)
+        self.engine.register_constructed(element)
+        return [element]
+
+    def _build_element(self, expr: ast.ElementConstructor, context: Context) -> Element:
+        element = Element(expr.tag)
+        for template in expr.attributes:
+            parts = []
+            for part in template.parts:
+                if isinstance(part, str):
+                    parts.append(part)
+                else:
+                    values = self.evaluate(part, context)
+                    parts.append(" ".join(string_value(v) for v in values))
+            from repro.xmlmodel.nodes import Attribute
+
+            element.append(Attribute(template.name, "".join(parts)))
+        for part in expr.content:
+            if isinstance(part, str):
+                _append_text(element, part)
+            elif isinstance(part, ast.ElementConstructor):
+                element.append(self._build_element(part, context))
+            else:
+                self._append_items(element, self.evaluate(part, context))
+        return element
+
+    def _append_items(self, element: Element, items: list) -> None:
+        previous_atomic = False
+        for item in items:
+            if is_node(item):
+                element.append(self._copy_item(item))
+                previous_atomic = False
+            else:
+                text = format_atomic(item)
+                if previous_atomic:
+                    text = " " + text
+                _append_text(element, text)
+                previous_atomic = True
+
+    def _copy_item(self, item: Any) -> Node:
+        if isinstance(item, VNode):
+            vdoc = item._vdoc
+            if vdoc is None:
+                raise QueryEvaluationError("virtual node without a document")
+            return vdoc.copy_subtree(item)
+        if isinstance(item, VirtualDocItem):
+            wrapper = Element("#virtual-roots")
+            for root in item.vdoc.roots():
+                wrapper.append(item.vdoc.copy_subtree(root))
+            return wrapper
+        if isinstance(item, Document):
+            root = item.root
+            if root is None:
+                raise QueryEvaluationError("cannot embed an empty document")
+            return clone_subtree(root)
+        return clone_subtree(item)
+
+    # ------------------------------------------------------------------ ordering
+
+    def document_order(self, items: list) -> list:
+        """Distinct items sorted into (virtual) document order.
+
+        Items from different containers (documents, virtual documents,
+        constructed trees) sort by the engine's stable container index.
+        """
+        unique: dict[Any, Any] = {}
+        for item in items:
+            unique.setdefault(_identity(item), item)
+        return sorted(unique.values(), key=cmp_to_key(self._order_cmp))
+
+    def _order_cmp(self, a: Any, b: Any) -> int:
+        ka = self._container_key(a)
+        kb = self._container_key(b)
+        if ka != kb:
+            return -1 if ka < kb else 1
+        if isinstance(a, VirtualDocItem) or isinstance(b, VirtualDocItem):
+            if isinstance(a, VirtualDocItem) and isinstance(b, VirtualDocItem):
+                return 0
+            return -1 if isinstance(a, VirtualDocItem) else 1
+        if isinstance(a, VNode):
+            return vpbn.compare_virtual_order(a.vpbn, b.vpbn)
+        pa = self._order_path(a)
+        pb = self._order_path(b)
+        if pa == pb:
+            return 0
+        return -1 if pa < pb else 1
+
+    def _container_key(self, item: Any) -> int:
+        if isinstance(item, VirtualDocItem):
+            return self.engine.container_index(item.vdoc)
+        if isinstance(item, VNode):
+            vdoc = item._vdoc
+            return self.engine.container_index(vdoc if vdoc is not None else item)
+        node = item
+        while node.parent is not None:
+            node = node.parent
+        return self.engine.container_index(node)
+
+    def _order_path(self, node: Node) -> tuple[int, ...]:
+        if isinstance(node, Document):
+            return ()  # the document sorts before everything it contains
+        if node.pbn is not None:
+            return node.pbn.components
+        container = node
+        while container.parent is not None:
+            container = container.parent
+        if isinstance(container, Document):
+            from repro.pbn.assign import assign_numbers
+
+            assign_numbers(container)
+        else:
+            from repro.pbn.assign import _number_subtree
+            from repro.pbn.number import Pbn
+
+            _number_subtree(container, Pbn(1))
+        assert node.pbn is not None
+        return node.pbn.components
+
+    # ------------------------------------------------------------------ dispatch table
+
+    _DISPATCH = {}
+
+
+def _append_text(element: Element, text: str) -> None:
+    """Append text, merging with an adjacent text node (XQuery content
+    merging)."""
+    if not text:
+        return
+    children = element.children
+    if children and children[-1].kind is NodeKind.TEXT:
+        children[-1].value = children[-1].value + text  # type: ignore[attr-defined]
+    else:
+        element.append(Text(text))
+
+
+def _identity(item: Any):
+    if isinstance(item, VNode):
+        return (id(item.vtype), id(item.node))
+    if isinstance(item, VirtualDocItem):
+        return id(item.vdoc)
+    if isinstance(item, Node):
+        return id(item)
+    # Atomic values are deduplicated by value+type.
+    return (type(item).__name__, item)
+
+
+def _fuse_descendant_steps(steps: tuple[ast.Step, ...]) -> list[ast.Step]:
+    """Peephole: ``descendant-or-self::node()/child::X`` (the expansion of
+    ``//X``) becomes a single ``descendant::X`` step — the standard
+    optimization both index-based navigators rely on.
+
+    Fusion is *skipped* when the child step carries a positional predicate:
+    ``//x[1]`` means "the first x under each parent", which
+    ``descendant::x[1]`` would collapse to a single global first.
+    """
+    fused: list[ast.Step] = []
+    index = 0
+    while index < len(steps):
+        step = steps[index]
+        if (
+            step.axis == "descendant-or-self"
+            and step.test.kind == "node"
+            and not step.predicates
+            and index + 1 < len(steps)
+            and steps[index + 1].axis == "child"
+            and not any(_maybe_positional(p) for p in steps[index + 1].predicates)
+        ):
+            nxt = steps[index + 1]
+            fused.append(ast.Step("descendant", nxt.test, nxt.predicates))
+            index += 2
+        else:
+            fused.append(step)
+            index += 1
+    return fused
+
+
+#: Functions whose results are never numbers (safe in a fused predicate).
+_NON_NUMERIC_FUNCS = frozenset(
+    [
+        "not", "boolean", "true", "false", "exists", "empty",
+        "contains", "starts-with", "ends-with", "contains-text", "matches",
+        "string", "concat", "string-join", "normalize-space",
+        "substring", "substring-before", "substring-after",
+        "translate", "replace", "tokenize",
+        "upper-case", "lower-case", "name", "local-name",
+        "doc", "virtualDoc", "distinct-values", "data", "text",
+    ]
+)
+
+
+def _maybe_positional(expr: ast.Expr) -> bool:
+    """Conservatively detect predicates that ``//X`` fusion would break:
+    predicates that may evaluate to a *number* (interpreted as a position
+    test) or whose value may depend on the focus ``position()``/``last()``.
+    """
+    return _maybe_numeric(expr) or _uses_focus_position(expr)
+
+
+def _maybe_numeric(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.Literal):
+        return isinstance(expr.value, (int, float)) and not isinstance(
+            expr.value, bool
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return True
+    if isinstance(expr, ast.BinaryOp):
+        # Comparisons, logic, and set operators yield booleans/nodes.
+        if expr.op in ("=", "!=", "<", "<=", ">", ">=", "or", "and",
+                       "|", "except", "intersect"):
+            return False
+        return True  # arithmetic and "to"
+    if isinstance(expr, ast.FuncCall):
+        return expr.name not in _NON_NUMERIC_FUNCS
+    if isinstance(expr, ast.VarRef):
+        return True  # unknown binding: assume the worst
+    if isinstance(expr, ast.FilterExpr):
+        return _maybe_numeric(expr.base)
+    if isinstance(expr, ast.SequenceExpr):
+        return any(_maybe_numeric(sub) for sub in expr.exprs)
+    if isinstance(expr, ast.IfExpr):
+        return _maybe_numeric(expr.then_expr) or _maybe_numeric(expr.else_expr)
+    if isinstance(expr, ast.FLWRExpr):
+        return True  # could return anything
+    # Paths, constructors, context item, quantifiers: nodes or booleans.
+    return False
+
+
+def _uses_focus_position(expr: ast.Expr) -> bool:
+    """Does the expression read position()/last() of the *enclosing*
+    focus?  Step and filter predicates establish their own focus, so the
+    walk does not descend into them."""
+    if isinstance(expr, ast.FuncCall):
+        if expr.name in ("position", "last"):
+            return True
+        return any(_uses_focus_position(arg) for arg in expr.args)
+    if isinstance(expr, ast.BinaryOp):
+        return _uses_focus_position(expr.left) or _uses_focus_position(expr.right)
+    if isinstance(expr, ast.UnaryOp):
+        return _uses_focus_position(expr.operand)
+    if isinstance(expr, ast.SequenceExpr):
+        return any(_uses_focus_position(sub) for sub in expr.exprs)
+    if isinstance(expr, ast.IfExpr):
+        return any(
+            _uses_focus_position(sub)
+            for sub in (expr.condition, expr.then_expr, expr.else_expr)
+        )
+    if isinstance(expr, ast.FilterExpr):
+        return _uses_focus_position(expr.base)
+    if isinstance(expr, ast.PathExpr):
+        return expr.start is not None and _uses_focus_position(expr.start)
+    return False
+
+
+def _general_compare(op: str, left: list, right: list) -> bool:
+    """XPath general comparison: existential over atomized pairs."""
+    left_values = atomize(left)
+    right_values = atomize(right)
+    for a in left_values:
+        for b in right_values:
+            if _compare_pair(op, a, b):
+                return True
+    return False
+
+
+def _compare_pair(op: str, a: Any, b: Any) -> bool:
+    number_a = to_number(a)
+    number_b = to_number(b)
+    if number_a == number_a and number_b == number_b:
+        x, y = number_a, number_b
+    else:
+        x, y = string_value(a), string_value(b)
+    if op == "=":
+        return x == y
+    if op == "!=":
+        return x != y
+    if op == "<":
+        return x < y
+    if op == "<=":
+        return x <= y
+    if op == ">":
+        return x > y
+    return x >= y
+
+
+def _arithmetic(op: str, left: list, right: list) -> list:
+    left_values = atomize(left)
+    right_values = atomize(right)
+    if not left_values or not right_values:
+        return []
+    if len(left_values) > 1 or len(right_values) > 1:
+        raise QueryEvaluationError("arithmetic on multi-item sequences")
+    a = to_number(left_values[0])
+    b = to_number(right_values[0])
+    if op == "+":
+        result = a + b
+    elif op == "-":
+        result = a - b
+    elif op == "*":
+        result = a * b
+    elif op == "div":
+        if b == 0:
+            raise QueryEvaluationError("division by zero")
+        result = a / b
+    else:  # mod
+        if b == 0:
+            raise QueryEvaluationError("modulo by zero")
+        result = a - b * int(a / b)
+    if result == result and abs(result) != float("inf") and result == int(result):
+        return [int(result)]
+    return [result]
+
+
+def _range_sequence(left: list, right: list) -> list:
+    left_values = atomize(left)
+    right_values = atomize(right)
+    if not left_values or not right_values:
+        return []
+    start = int(to_number(left_values[0]))
+    end = int(to_number(right_values[0]))
+    return list(range(start, end + 1))
+
+
+Evaluator._DISPATCH = {
+    ast.Literal: Evaluator._eval_literal,
+    ast.VarRef: Evaluator._eval_var,
+    ast.ContextItem: Evaluator._eval_context_item,
+    ast.SequenceExpr: Evaluator._eval_sequence,
+    ast.FuncCall: Evaluator._eval_func,
+    ast.RootExpr: Evaluator._eval_root,
+    ast.PathExpr: Evaluator._eval_path,
+    ast.FilterExpr: Evaluator._eval_filter_expr,
+    ast.UnaryOp: Evaluator._eval_unary,
+    ast.BinaryOp: Evaluator._eval_binary,
+    ast.FLWRExpr: Evaluator._eval_flwr,
+    ast.IfExpr: Evaluator._eval_if,
+    ast.QuantifiedExpr: Evaluator._eval_quantified,
+    ast.ElementConstructor: Evaluator._eval_constructor,
+}

@@ -1,0 +1,196 @@
+"""PBN-indexed axis evaluation over stored documents.
+
+This navigator evaluates axis steps the way a PBN-based XML DBMS does
+(paper Section 4.2): the DataGuide narrows a node test to candidate types,
+the type index supplies each type's numbers in document order, and PBN
+comparisons (prefix tests, ordinal tests) decide the structural
+relationship — the tree is never walked.
+
+Every PBN axis comparison increments ``stats.comparisons`` and every
+posting-list scan increments ``stats.index_range_scans``, so experiments
+can compare this strategy against the virtual one on equal terms.
+"""
+
+from __future__ import annotations
+
+from repro.dataguide.guide import GuideType
+from repro.pbn import axes
+from repro.query.ast import NodeTest
+from repro.query.eval_tree import matches_test
+from repro.storage.store import DocumentStore
+from repro.xmlmodel.nodes import Document, Node, TEXT_NAME
+
+
+class IndexedNavigator:
+    """Axis steps over one :class:`DocumentStore`."""
+
+    def __init__(self, store: DocumentStore) -> None:
+        self.store = store
+
+    # -- candidate types ------------------------------------------------------------
+
+    def _type_matches(self, guide_type: GuideType, test: NodeTest, axis: str) -> bool:
+        name = guide_type.name
+        if axis == "attribute":
+            if not guide_type.is_attribute:
+                return False
+            return test.kind in ("node", "wildcard") or (
+                test.kind == "name" and name == "@" + test.name
+            )
+        if guide_type.is_attribute:
+            return False
+        if test.kind == "node":
+            return True
+        if test.kind == "text":
+            return name == TEXT_NAME
+        is_element = not guide_type.is_text
+        if test.kind == "wildcard":
+            return is_element
+        return is_element and name == test.name
+
+    def _matching_types(self, candidates, test: NodeTest, axis: str):
+        return [t for t in candidates if self._type_matches(t, test, axis)]
+
+    # -- step dispatch ------------------------------------------------------------
+
+    def step(self, node: Node, axis: str, test: NodeTest) -> list[Node]:
+        """Nodes on ``axis`` of ``node`` satisfying ``test``, in axis order."""
+        if isinstance(node, Document):
+            return self._document_step(axis, test)
+        handler = getattr(self, "_axis_" + axis.replace("-", "_"))
+        return handler(node, test)
+
+    def _document_step(self, axis: str, test: NodeTest) -> list[Node]:
+        guide = self.store.guide
+        if axis == "child":
+            types = self._matching_types(guide.roots, test, axis)
+            return self._collect_postings(types, prefix=())
+        if axis in ("descendant", "descendant-or-self"):
+            types = self._matching_types(guide.iter_types(), test, axis)
+            found = self._collect_postings(types, prefix=())
+            if axis == "descendant-or-self" and test.kind == "node":
+                return [self.store.document, *found]
+            return found
+        if axis == "self":
+            return [self.store.document] if test.kind == "node" else []
+        return []
+
+    def _collect_postings(
+        self, types: list[GuideType], prefix: tuple[int, ...]
+    ) -> list[Node]:
+        """Merge the prefix ranges of several types into document order."""
+        store = self.store
+        keys: list[tuple[int, ...]] = []
+        for guide_type in types:
+            keys.extend(
+                store.type_index.raw_prefix_range(store.type_id(guide_type), prefix)
+            )
+        keys.sort()
+        return [store.node_by_components(key) for key in keys]
+
+    # -- axes ------------------------------------------------------------------------
+
+    def _axis_self(self, node: Node, test: NodeTest) -> list[Node]:
+        return [node] if matches_test(node.kind, node.name, test, "self") else []
+
+    def _axis_child(self, node: Node, test: NodeTest) -> list[Node]:
+        guide_type = self.store.type_of(node)
+        types = self._matching_types(guide_type.children, test, "child")
+        return self._collect_postings(types, node.pbn.components)
+
+    def _axis_attribute(self, node: Node, test: NodeTest) -> list[Node]:
+        guide_type = self.store.type_of(node)
+        types = self._matching_types(guide_type.children, test, "attribute")
+        return self._collect_postings(types, node.pbn.components)
+
+    def _axis_descendant(self, node: Node, test: NodeTest) -> list[Node]:
+        guide_type = self.store.type_of(node)
+        descendant_types = [
+            t for t in guide_type.iter_subtree() if t is not guide_type
+        ]
+        types = self._matching_types(descendant_types, test, "descendant")
+        return self._collect_postings(types, node.pbn.components)
+
+    def _axis_descendant_or_self(self, node: Node, test: NodeTest) -> list[Node]:
+        found = self._axis_descendant(node, test)
+        if matches_test(node.kind, node.name, test, "descendant-or-self"):
+            return [node, *found]
+        return found
+
+    def _axis_parent(self, node: Node, test: NodeTest) -> list[Node]:
+        if len(node.pbn) == 1:
+            document = self.store.document
+            return [document] if test.kind == "node" else []
+        parent = self.store.node(node.pbn.parent())
+        if matches_test(parent.kind, parent.name, test, "parent"):
+            return [parent]
+        return []
+
+    def _axis_ancestor(self, node: Node, test: NodeTest) -> list[Node]:
+        # Reverse axis order: nearest ancestor first.
+        found: list[Node] = []
+        for length in range(len(node.pbn) - 1, 0, -1):
+            ancestor = self.store.node(node.pbn.prefix(length))
+            if matches_test(ancestor.kind, ancestor.name, test, "ancestor"):
+                found.append(ancestor)
+        if test.kind == "node":
+            found.append(self.store.document)
+        return found
+
+    def _axis_ancestor_or_self(self, node: Node, test: NodeTest) -> list[Node]:
+        head = [node] if matches_test(node.kind, node.name, test, "ancestor-or-self") else []
+        return head + self._axis_ancestor(node, test)
+
+    def _sibling_candidates(self, node: Node, test: NodeTest) -> list[Node]:
+        if len(node.pbn) == 1:
+            parent_types = self.store.guide.roots
+            prefix: tuple[int, ...] = ()
+        else:
+            parent_type = self.store.type_of(node).parent
+            assert parent_type is not None
+            parent_types = parent_type.children
+            prefix = node.pbn.components[:-1]
+        types = self._matching_types(parent_types, test, "sibling")
+        return self._collect_postings(types, prefix)
+
+    def _axis_following_sibling(self, node: Node, test: NodeTest) -> list[Node]:
+        stats = self.store.stats
+        found = []
+        for candidate in self._sibling_candidates(node, test):
+            stats.comparisons += 1
+            if axes.is_following_sibling(candidate.pbn, node.pbn):
+                found.append(candidate)
+        return found
+
+    def _axis_preceding_sibling(self, node: Node, test: NodeTest) -> list[Node]:
+        stats = self.store.stats
+        found = []
+        for candidate in self._sibling_candidates(node, test):
+            stats.comparisons += 1
+            if axes.is_preceding_sibling(candidate.pbn, node.pbn):
+                found.append(candidate)
+        found.reverse()  # reverse axis order
+        return found
+
+    def _all_candidates(self, test: NodeTest, axis: str) -> list[Node]:
+        types = self._matching_types(self.store.guide.iter_types(), test, axis)
+        return self._collect_postings(types, ())
+
+    def _axis_following(self, node: Node, test: NodeTest) -> list[Node]:
+        stats = self.store.stats
+        found = []
+        for candidate in self._all_candidates(test, "following"):
+            stats.comparisons += 1
+            if axes.is_following(candidate.pbn, node.pbn):
+                found.append(candidate)
+        return found
+
+    def _axis_preceding(self, node: Node, test: NodeTest) -> list[Node]:
+        stats = self.store.stats
+        found = []
+        for candidate in self._all_candidates(test, "preceding"):
+            stats.comparisons += 1
+            if axes.is_preceding(candidate.pbn, node.pbn):
+                found.append(candidate)
+        found.reverse()  # reverse axis order
+        return found

@@ -1,0 +1,147 @@
+"""Navigational (pointer-chasing) axis evaluation over tree nodes.
+
+This is the baseline strategy — and the only one available for nodes that
+are not backed by a store, such as elements built by constructors mid-query.
+It also defines :func:`matches_test`, the node-test semantics every
+navigator shares.
+
+XPath attribute-axis conventions are preserved even though the data model
+keeps attributes in the child list: attributes are reachable *only* through
+the ``attribute`` axis, never via ``child``/``descendant``/sibling axes.
+"""
+
+from __future__ import annotations
+
+from repro.query.ast import NodeTest
+from repro.xmlmodel.nodes import Node, NodeKind
+
+
+def matches_test(kind: NodeKind, name: str, test: NodeTest, axis: str) -> bool:
+    """Shared node-test semantics.
+
+    The principal node kind is ``ATTRIBUTE`` for the attribute axis and
+    ``ELEMENT`` otherwise; ``name`` is compared without the ``@`` prefix
+    attribute labels carry.
+    """
+    if axis == "attribute":
+        if kind is not NodeKind.ATTRIBUTE:
+            return False
+        if test.kind in ("node", "wildcard"):
+            return True
+        return test.kind == "name" and name == "@" + test.name
+    if kind is NodeKind.ATTRIBUTE:
+        return False
+    if test.kind == "node":
+        return True
+    if test.kind == "text":
+        return kind is NodeKind.TEXT
+    if test.kind == "wildcard":
+        return kind is NodeKind.ELEMENT
+    return kind is NodeKind.ELEMENT and name == test.name
+
+
+class TreeNavigator:
+    """Axis steps by walking parent/child pointers."""
+
+    def step(self, node: Node, axis: str, test: NodeTest) -> list[Node]:
+        """Nodes on ``axis`` of ``node`` that satisfy ``test``, in axis
+        order (document order; reversed for the reverse axes)."""
+        handler = getattr(self, "_axis_" + axis.replace("-", "_"))
+        return [
+            candidate
+            for candidate in handler(node)
+            if matches_test(candidate.kind, candidate.name, test, axis)
+        ]
+
+    # -- axis generators, in axis order ------------------------------------------
+
+    def _axis_self(self, node: Node):
+        yield node
+
+    def _axis_child(self, node: Node):
+        for child in node.children:
+            if child.kind is not NodeKind.ATTRIBUTE:
+                yield child
+
+    def _axis_attribute(self, node: Node):
+        for child in node.children:
+            if child.kind is NodeKind.ATTRIBUTE:
+                yield child
+
+    def _axis_parent(self, node: Node):
+        if node.parent is not None:
+            yield node.parent
+
+    def _axis_ancestor(self, node: Node):
+        # Reverse axis: nearest ancestor first.
+        yield from node.iter_ancestors()
+
+    def _axis_ancestor_or_self(self, node: Node):
+        yield node
+        yield from node.iter_ancestors()
+
+    def _axis_descendant(self, node: Node):
+        for candidate in self._descend(node):
+            yield candidate
+
+    def _axis_descendant_or_self(self, node: Node):
+        yield node
+        yield from self._descend(node)
+
+    def _descend(self, node: Node):
+        stack = [
+            child
+            for child in reversed(node.children)
+            if child.kind is not NodeKind.ATTRIBUTE
+        ]
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(
+                child
+                for child in reversed(current.children)
+                if child.kind is not NodeKind.ATTRIBUTE
+            )
+
+    def _siblings(self, node: Node):
+        if node.parent is None or node.kind is NodeKind.ATTRIBUTE:
+            return [], -1
+        siblings = [
+            child
+            for child in node.parent.children
+            if child.kind is not NodeKind.ATTRIBUTE
+        ]
+        return siblings, siblings.index(node)
+
+    def _axis_following_sibling(self, node: Node):
+        siblings, index = self._siblings(node)
+        yield from siblings[index + 1 :]
+
+    def _axis_preceding_sibling(self, node: Node):
+        # Reverse axis: nearest sibling first.
+        siblings, index = self._siblings(node)
+        if index > 0:
+            yield from reversed(siblings[:index])
+
+    def _axis_following(self, node: Node):
+        current = node
+        if node.kind is NodeKind.ATTRIBUTE and node.parent is not None:
+            # Document order places an attribute after its element's start
+            # but before the element's content, so the owner's subtree
+            # follows the attribute (the owner itself is an ancestor).
+            current = node.parent
+            yield from self._descend(current)
+        while current.parent is not None:
+            for sibling in self._axis_following_sibling(current):
+                yield sibling
+                yield from self._descend(sibling)
+            current = current.parent
+
+    def _axis_preceding(self, node: Node):
+        # Reverse axis: nearest preceding node first.
+        current = node
+        while current.parent is not None:
+            for sibling in self._axis_preceding_sibling(current):
+                subtree = [sibling, *self._descend(sibling)]
+                yield from reversed(subtree)
+            current = current.parent

@@ -1,0 +1,253 @@
+"""Virtual axis evaluation: the paper's contribution applied to queries.
+
+Steps over a ``virtualDoc(...)`` source navigate the *virtual* hierarchy
+using vPBN machinery over the untouched original numbering:
+
+* ``child``/``attribute`` steps are prefix-range scans on the per-type
+  posting lists — the prefix is the ``lcaLength`` components shared with
+  the virtual parent (Section 5.2's instance relation);
+* ``descendant`` steps expand child ranges level by level through the
+  vDataGuide (each hop one range scan), touching only data below the
+  context node;
+* ``parent``/``ancestor`` steps run the inverse range scans;
+* sibling and ordering axes filter candidate instances with the Section 5
+  predicates (``vPreceding``, ``vFollowing-sibling``, ...), each test one
+  vPBN comparison, counted in ``stats.comparisons``.
+
+Results come back in *virtual* document order.
+"""
+
+from __future__ import annotations
+
+from functools import cmp_to_key
+from typing import Optional
+
+from repro.core.virtual_document import VirtualDocument, VNode
+from repro.core import vpbn
+from repro.query.ast import NodeTest
+from repro.query.items import VirtualDocItem, attach_vdoc
+from repro.storage.stats import StorageStats
+from repro.vdataguide.ast import VType
+from repro.xmlmodel.nodes import TEXT_NAME
+
+
+class VirtualNavigator:
+    """Axis steps over virtual nodes and virtual document handles."""
+
+    def __init__(self, stats: Optional[StorageStats] = None) -> None:
+        self.stats = stats if stats is not None else StorageStats()
+
+    # -- type filtering -----------------------------------------------------------
+
+    def _vtype_matches(self, vtype: VType, test: NodeTest, axis: str) -> bool:
+        name = vtype.name
+        if axis == "attribute":
+            if not vtype.is_attribute:
+                return False
+            return test.kind in ("node", "wildcard") or (
+                test.kind == "name" and name == "@" + test.name
+            )
+        if vtype.is_attribute:
+            return False
+        if test.kind == "node":
+            return True
+        if test.kind == "text":
+            return name == TEXT_NAME
+        is_element = not vtype.is_text
+        if test.kind == "wildcard":
+            return is_element
+        return is_element and name == test.name
+
+    # -- step dispatch -----------------------------------------------------------
+
+    def step(self, item, axis: str, test: NodeTest) -> list:
+        """Items on ``axis`` of ``item`` satisfying ``test``, in axis order
+        (virtual document order; reversed for reverse axes)."""
+        if isinstance(item, VirtualDocItem):
+            return self._document_step(item.vdoc, axis, test)
+        assert isinstance(item, VNode)
+        vdoc: VirtualDocument = item._vdoc  # attached by the evaluator
+        if axis == "parent" and item.vtype.parent is None:
+            # The parent of a virtual root is the virtual document node,
+            # mirroring the document node a materialized tree would have.
+            return [VirtualDocItem(vdoc)] if test.kind == "node" else []
+        handler = getattr(self, "_axis_" + axis.replace("-", "_"))
+        return [attach_vdoc(found, vdoc) for found in handler(vdoc, item, test)]
+
+    def _document_step(self, vdoc: VirtualDocument, axis: str, test: NodeTest) -> list:
+        if axis == "child":
+            found = [
+                vnode
+                for vtype in vdoc.vguide.roots
+                if self._vtype_matches(vtype, test, axis)
+                for vnode in vdoc.instances(vtype)
+            ]
+        elif axis in ("descendant", "descendant-or-self"):
+            found = [
+                vnode
+                for vtype in vdoc.vguide.iter_vtypes()
+                if self._vtype_matches(vtype, test, axis)
+                for vnode in vdoc.reachable_instances(vtype)
+            ]
+            found = self._sort(found)
+            if axis == "descendant-or-self" and test.kind == "node":
+                return [
+                    VirtualDocItem(vdoc),
+                    *(attach_vdoc(vnode, vdoc) for vnode in found),
+                ]
+        elif axis == "self" and test.kind == "node":
+            return [VirtualDocItem(vdoc)]
+        else:
+            return []
+        return [attach_vdoc(vnode, vdoc) for vnode in found]
+
+    def _sort(self, vnodes: list[VNode]) -> list[VNode]:
+        """Virtual document order with duplicate elimination."""
+        unique = {(id(v.vtype), id(v.node)): v for v in vnodes}
+        return sorted(
+            unique.values(),
+            key=cmp_to_key(lambda a, b: vpbn.compare_virtual_order(a.vpbn, b.vpbn)),
+        )
+
+    # -- axes ------------------------------------------------------------------------
+
+    def _axis_self(self, vdoc: VirtualDocument, vnode: VNode, test: NodeTest):
+        if self._vtype_matches(vnode.vtype, test, "self"):
+            return [vnode]
+        return []
+
+    def _child_like(self, vdoc: VirtualDocument, vnode: VNode, test: NodeTest, axis: str):
+        # Mirrors VirtualDocument.children (attributes first, then original
+        # document order, then specification order) with the test applied;
+        # key-tuple sorting avoids per-pair vPBN comparisons.
+        found: list = []
+        for position, child_vtype in enumerate(vnode.vtype.children):
+            if not self._vtype_matches(child_vtype, test, axis):
+                continue
+            prefix = vnode.node.pbn.components[: child_vtype.lca_length]
+            group = 0 if child_vtype.is_attribute else 1
+            for node in vdoc._range(child_vtype.original, prefix):
+                found.append(
+                    (group, node.pbn.components, position, VNode(child_vtype, node, vdoc))
+                )
+        found.sort(key=lambda item: item[:3])
+        return [vnode for (_, _, _, vnode) in found]
+
+    def _axis_child(self, vdoc, vnode, test):
+        return self._child_like(vdoc, vnode, test, "child")
+
+    def _axis_attribute(self, vdoc, vnode, test):
+        return self._child_like(vdoc, vnode, test, "attribute")
+
+    def _axis_descendant(self, vdoc: VirtualDocument, vnode: VNode, test: NodeTest):
+        found: list[VNode] = []
+        frontier = [vnode]
+        while frontier:
+            next_frontier: list[VNode] = []
+            for current in frontier:
+                for child in vdoc.children(current):
+                    if child.vtype.is_attribute:
+                        continue
+                    next_frontier.append(child)
+                    if self._vtype_matches(child.vtype, test, "descendant"):
+                        found.append(child)
+            frontier = next_frontier
+        return self._sort(found)
+
+    def _axis_descendant_or_self(self, vdoc, vnode, test):
+        found = self._axis_descendant(vdoc, vnode, test)
+        if self._vtype_matches(vnode.vtype, test, "descendant-or-self"):
+            return self._sort([vnode, *found])
+        return found
+
+    def _axis_parent(self, vdoc: VirtualDocument, vnode: VNode, test: NodeTest):
+        if vnode.vtype.parent is None:
+            return []
+        if not self._vtype_matches(vnode.vtype.parent, test, "parent"):
+            return []
+        # A duplicated node has one parent per copy; like every reverse
+        # axis the navigator reports them context-node-outward (reverse
+        # document order).
+        return list(reversed(self._sort(vdoc.parents(vnode))))
+
+    def _axis_ancestor(self, vdoc: VirtualDocument, vnode: VNode, test: NodeTest):
+        found: list[VNode] = []
+        frontier = vdoc.parents(vnode)
+        while frontier:
+            found.extend(
+                v for v in frontier if self._vtype_matches(v.vtype, test, "ancestor")
+            )
+            next_frontier: list[VNode] = []
+            for current in frontier:
+                next_frontier.extend(vdoc.parents(current))
+            frontier = next_frontier
+        # Reverse axis order: nearest ancestors first.
+        return list(reversed(self._sort(found)))
+
+    def _axis_ancestor_or_self(self, vdoc, vnode, test):
+        head = (
+            [vnode]
+            if self._vtype_matches(vnode.vtype, test, "ancestor-or-self")
+            else []
+        )
+        return head + self._axis_ancestor(vdoc, vnode, test)
+
+    def _sibling_candidates(self, vdoc: VirtualDocument, vnode: VNode, test: NodeTest):
+        parent_vtype = vnode.vtype.parent
+        if parent_vtype is None:
+            vtypes = [
+                v for v in vdoc.vguide.roots if self._vtype_matches(v, test, "sibling")
+            ]
+            return [vnode for v in vtypes for vnode in vdoc.instances(v)]
+        found: list[VNode] = []
+        for parent in vdoc.parents(vnode):
+            for sibling_vtype in parent_vtype.children:
+                if not self._vtype_matches(sibling_vtype, test, "sibling"):
+                    continue
+                prefix = parent.node.pbn.components[: sibling_vtype.lca_length]
+                found.extend(
+                    VNode(sibling_vtype, node, vdoc)
+                    for node in vdoc._range(sibling_vtype.original, prefix)
+                )
+        return found
+
+    def _axis_following_sibling(self, vdoc, vnode, test):
+        reference = vnode.vpbn
+        found = []
+        for candidate in self._sibling_candidates(vdoc, vnode, test):
+            self.stats.comparisons += 1
+            if vpbn.v_following_sibling(candidate.vpbn, reference):
+                found.append(candidate)
+        return self._sort(found)
+
+    def _axis_preceding_sibling(self, vdoc, vnode, test):
+        reference = vnode.vpbn
+        found = []
+        for candidate in self._sibling_candidates(vdoc, vnode, test):
+            self.stats.comparisons += 1
+            if vpbn.v_preceding_sibling(candidate.vpbn, reference):
+                found.append(candidate)
+        return list(reversed(self._sort(found)))
+
+    def _ordering_candidates(self, vdoc: VirtualDocument, test: NodeTest, axis: str):
+        for vtype in vdoc.vguide.iter_vtypes():
+            if self._vtype_matches(vtype, test, axis):
+                yield from vdoc.reachable_instances(vtype)
+
+    def _axis_following(self, vdoc, vnode, test):
+        reference = vnode.vpbn
+        found = []
+        for candidate in self._ordering_candidates(vdoc, test, "following"):
+            self.stats.comparisons += 1
+            if vpbn.v_following(candidate.vpbn, reference):
+                found.append(candidate)
+        return self._sort(found)
+
+    def _axis_preceding(self, vdoc, vnode, test):
+        reference = vnode.vpbn
+        found = []
+        for candidate in self._ordering_candidates(vdoc, test, "preceding"):
+            self.stats.comparisons += 1
+            if vpbn.v_preceding(candidate.vpbn, reference):
+                found.append(candidate)
+        return list(reversed(self._sort(found)))

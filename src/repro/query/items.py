@@ -1,0 +1,172 @@
+"""The query data model: items, sequences, and common item operations.
+
+A query value is a Python list (*sequence*) of items.  An item is one of:
+
+* an atomic value — ``str``, ``int``, ``float``, or ``bool``;
+* a tree node — any :class:`repro.xmlmodel.nodes.Node`, including
+  :class:`Document` handles returned by ``doc()`` and elements built by
+  constructors;
+* a virtual node — :class:`repro.core.virtual_document.VNode`;
+* a virtual document handle — :class:`VirtualDocItem`, returned by
+  ``virtualDoc()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from repro.core.virtual_document import VirtualDocument, VNode
+from repro.errors import QueryEvaluationError
+from repro.xmlmodel.nodes import Node, NodeKind
+
+Atomic = Union[str, int, float, bool]
+Item = Any  # Atomic | Node | VNode | VirtualDocItem
+Sequence = list
+
+
+class VirtualDocItem:
+    """The document handle ``virtualDoc(uri, spec)`` evaluates to."""
+
+    __slots__ = ("vdoc",)
+
+    def __init__(self, vdoc: VirtualDocument) -> None:
+        self.vdoc = vdoc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualDocItem({self.vdoc.document.uri})"
+
+
+def is_node(item: Item) -> bool:
+    """True for tree nodes, virtual nodes, and document handles."""
+    return isinstance(item, (Node, VNode, VirtualDocItem))
+
+
+def kind_of(item: Item) -> NodeKind:
+    """Node kind of a node item."""
+    if isinstance(item, Node):
+        return item.kind
+    if isinstance(item, VNode):
+        return item.node.kind
+    if isinstance(item, VirtualDocItem):
+        return NodeKind.DOCUMENT
+    raise QueryEvaluationError(f"{item!r} is not a node")
+
+
+def name_of(item: Item) -> str:
+    """Node name (tag, ``@attr``, ``#text``, or document URI)."""
+    if isinstance(item, Node):
+        return item.name
+    if isinstance(item, VNode):
+        return item.node.name
+    if isinstance(item, VirtualDocItem):
+        return item.vdoc.document.uri
+    raise QueryEvaluationError(f"{item!r} is not a node")
+
+
+def string_value(item: Item) -> str:
+    """XPath string value.
+
+    For a virtual node this is the text of its *virtual* subtree — the
+    transformed value, not the original one (paper Section 6).
+    """
+    if isinstance(item, bool):
+        return "true" if item else "false"
+    if isinstance(item, (int, float)):
+        return format_number(item)
+    if isinstance(item, str):
+        return item
+    if isinstance(item, Node):
+        return item.string_value()
+    if isinstance(item, VNode):
+        return _virtual_string_value(item)
+    if isinstance(item, VirtualDocItem):
+        return "".join(
+            _virtual_string_value(root, item.vdoc) for root in item.vdoc.roots()
+        )
+    raise QueryEvaluationError(f"cannot take the string value of {item!r}")
+
+
+def _virtual_string_value(vnode: VNode, vdoc: VirtualDocument | None = None) -> str:
+    node = vnode.node
+    if node.kind in (NodeKind.TEXT, NodeKind.ATTRIBUTE):
+        return node.value  # type: ignore[attr-defined]
+    if vdoc is None:
+        vdoc = _require_vdoc(vnode)
+    return "".join(
+        _virtual_string_value(child, vdoc) for child in vdoc.children(vnode)
+    )
+
+
+def atomize(sequence: Sequence) -> list[Atomic]:
+    """Atomize a sequence: nodes become their string values."""
+    return [
+        string_value(item) if is_node(item) else item
+        for item in sequence
+    ]
+
+
+def format_number(value: Union[int, float]) -> str:
+    """XPath-style number formatting: integers print without a point."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_number(value: Atomic) -> float:
+    """Cast an atomic to a number (NaN on failure, like XPath)."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        return float(value.strip())
+    except (ValueError, AttributeError):
+        return float("nan")
+
+
+def effective_boolean(sequence: Sequence) -> bool:
+    """XPath effective boolean value.
+
+    :raises QueryEvaluationError: for sequences of several atomic values.
+    """
+    if not sequence:
+        return False
+    first = sequence[0]
+    if is_node(first):
+        return True
+    if len(sequence) > 1:
+        raise QueryEvaluationError(
+            "effective boolean value of a multi-item atomic sequence"
+        )
+    if isinstance(first, bool):
+        return first
+    if isinstance(first, (int, float)):
+        return first != 0 and first == first
+    if isinstance(first, str):
+        return bool(first)
+    raise QueryEvaluationError(f"no effective boolean value for {first!r}")
+
+
+# -- helpers shared by navigators ------------------------------------------------
+
+
+def _require_vdoc(vnode: VNode) -> VirtualDocument:
+    vdoc = getattr(vnode, "_vdoc", None)
+    if vdoc is None:
+        raise QueryEvaluationError(
+            "virtual node is not attached to a virtual document"
+        )
+    return vdoc
+
+
+def attach_vdoc(vnode: VNode, vdoc: VirtualDocument) -> VNode:
+    """Tag a VNode with its owning virtual document so later operations
+    (string value, further steps) can navigate from it."""
+    vnode._vdoc = vdoc  # type: ignore[attr-defined]
+    return vnode

@@ -1,0 +1,299 @@
+"""An in-memory B+-tree with bytes keys.
+
+The value index keys nodes by their *encoded* PBN numbers
+(:func:`repro.pbn.codec.encode_pbn` is order- and prefix-preserving), so:
+
+* a point probe finds one node's value range,
+* a range scan over ``[encode(p), successor)`` enumerates exactly the
+  subtree rooted at ``p`` in document order, and
+* keys stay compact (roughly one byte per tree level).
+
+The tree is a textbook B+-tree: sorted keys in every node, leaves linked
+left-to-right, splits on overflow.  Deletion rebalancing is implemented as
+lazy deletion (underflowed leaves are allowed; the index is rebuilt on
+re-load, which is the paper's renumbering scenario anyway).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Iterator, Optional
+
+from repro.errors import StorageError
+from repro.storage.stats import StorageStats
+
+DEFAULT_ORDER = 64
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: list[bytes] = []
+        self.values: list[Any] = []
+        self.next: Optional[_Leaf] = None
+
+
+class _Branch:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[bytes] = []  # separator keys, len == len(children) - 1
+        self.children: list[Any] = []
+
+
+class BPlusTree:
+    """B+-tree from ``bytes`` keys to arbitrary values.
+
+    :param order: maximum number of keys per node before a split.
+    :param stats: counter block charged one ``index_probes`` per point
+        operation and one ``index_range_scans`` per scan.
+    """
+
+    def __init__(self, order: int = DEFAULT_ORDER, stats: StorageStats | None = None):
+        if order < 4:
+            raise StorageError("B+-tree order must be at least 4")
+        self.order = order
+        self.stats = stats if stats is not None else StorageStats()
+        self._root: Any = _Leaf()
+        self._size = 0
+        self._height = 1
+
+    # -- lookup ----------------------------------------------------------------
+
+    def _find_leaf(self, key: bytes) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Branch):
+            node = node.children[bisect_right(node.keys, key)]
+        return node
+
+    def get(self, key: bytes, default: Any = None) -> Any:
+        """Point lookup."""
+        self.stats.index_probes += 1
+        leaf = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return default
+
+    def __contains__(self, key: bytes) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def scan(
+        self, low: Optional[bytes] = None, high: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, Any]]:
+        """Yield ``(key, value)`` pairs with ``low <= key < high`` in key
+        order.  ``None`` bounds are open."""
+        self.stats.index_range_scans += 1
+        if low is None:
+            leaf: Optional[_Leaf] = self._leftmost_leaf()
+            index = 0
+        else:
+            leaf = self._find_leaf(low)
+            index = bisect_left(leaf.keys, low)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if high is not None and key >= high:
+                    return
+                yield key, leaf.values[index]
+                index += 1
+            leaf = leaf.next
+            index = 0
+
+    def prefix_scan(self, prefix: bytes) -> Iterator[tuple[bytes, Any]]:
+        """Yield entries whose key starts with ``prefix`` — for encoded PBN
+        keys this is exactly the subtree (descendant-or-self) of the node
+        with that number, in document order."""
+        yield from self.scan(prefix, _prefix_successor(prefix))
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Branch):
+            node = node.children[0]
+        return node
+
+    # -- mutation ----------------------------------------------------------------
+
+    def insert(self, key: bytes, value: Any) -> None:
+        """Insert or replace the value for ``key``."""
+        self.stats.index_probes += 1
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            root = _Branch()
+            root.keys = [separator]
+            root.children = [self._root, right]
+            self._root = root
+            self._height += 1
+
+    def _insert(self, node: Any, key: bytes, value: Any) -> Optional[tuple[bytes, Any]]:
+        if isinstance(node, _Leaf):
+            index = bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+                return None
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            self._size += 1
+            if len(node.keys) <= self.order:
+                return None
+            return self._split_leaf(node)
+        child_index = bisect_right(node.keys, key)
+        split = self._insert(node.children[child_index], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(child_index, separator)
+        node.children.insert(child_index + 1, right)
+        if len(node.keys) <= self.order:
+            return None
+        return self._split_branch(node)
+
+    def _split_leaf(self, leaf: _Leaf) -> tuple[bytes, _Leaf]:
+        middle = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[middle:]
+        right.values = leaf.values[middle:]
+        right.next = leaf.next
+        leaf.keys = leaf.keys[:middle]
+        leaf.values = leaf.values[:middle]
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_branch(self, branch: _Branch) -> tuple[bytes, _Branch]:
+        middle = len(branch.keys) // 2
+        separator = branch.keys[middle]
+        right = _Branch()
+        right.keys = branch.keys[middle + 1 :]
+        right.children = branch.children[middle + 1 :]
+        branch.keys = branch.keys[:middle]
+        branch.children = branch.children[: middle + 1]
+        return separator, right
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key`` if present (lazy: no rebalancing).  Returns
+        whether a value was removed."""
+        self.stats.index_probes += 1
+        leaf = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            del leaf.keys[index]
+            del leaf.values[index]
+            self._size -= 1
+            return True
+        return False
+
+    # -- bulk load ----------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls,
+        items: list[tuple[bytes, Any]],
+        order: int = DEFAULT_ORDER,
+        stats: StorageStats | None = None,
+    ) -> "BPlusTree":
+        """Build a tree from *sorted, unique* key/value pairs, packing
+        leaves to ~full — how the store builds the value index at load.
+
+        :raises StorageError: if the keys are not strictly increasing.
+        """
+        tree = cls(order=order, stats=stats)
+        if not items:
+            return tree
+        capacity = max(order // 2, 2)
+        leaves: list[_Leaf] = []
+        previous_key: Optional[bytes] = None
+        for start in range(0, len(items), capacity):
+            leaf = _Leaf()
+            for key, value in items[start : start + capacity]:
+                if previous_key is not None and key <= previous_key:
+                    raise StorageError("bulk_load requires strictly increasing keys")
+                previous_key = key
+                leaf.keys.append(key)
+                leaf.values.append(value)
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+        level: list[Any] = leaves
+        height = 1
+        while len(level) > 1:
+            parents: list[_Branch] = []
+            fanout = max(order // 2, 2)
+            for start in range(0, len(level), fanout):
+                group = level[start : start + fanout]
+                branch = _Branch()
+                branch.children = group
+                branch.keys = [_smallest_key(child) for child in group[1:]]
+                parents.append(branch)
+            level = parents
+            height += 1
+        tree._root = level[0]
+        tree._size = len(items)
+        tree._height = height
+        return tree
+
+    # -- introspection ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def check_invariants(self) -> None:
+        """Verify sortedness, separator consistency, and leaf chaining
+        (used by the test suite)."""
+        collected: list[bytes] = []
+        self._check_node(self._root, None, None, collected)
+        if collected != sorted(set(collected)):
+            raise StorageError("leaf keys are not sorted and unique")
+        chained = [key for key, _ in self.scan()]
+        if chained != collected:
+            raise StorageError("leaf chain disagrees with tree structure")
+
+    def _check_node(
+        self,
+        node: Any,
+        low: Optional[bytes],
+        high: Optional[bytes],
+        collected: list[bytes],
+    ) -> None:
+        if isinstance(node, _Leaf):
+            for key in node.keys:
+                if low is not None and key < low:
+                    raise StorageError("leaf key below separator bound")
+                if high is not None and key >= high:
+                    raise StorageError("leaf key above separator bound")
+            collected.extend(node.keys)
+            return
+        if sorted(node.keys) != node.keys:
+            raise StorageError("branch separators are not sorted")
+        if len(node.children) != len(node.keys) + 1:
+            raise StorageError("branch child count mismatch")
+        bounds = [low, *node.keys, high]
+        for index, child in enumerate(node.children):
+            self._check_node(child, bounds[index], bounds[index + 1], collected)
+
+
+def _smallest_key(node: Any) -> bytes:
+    """Smallest key reachable under a node (bulk-load separator)."""
+    while isinstance(node, _Branch):
+        node = node.children[0]
+    return node.keys[0]
+
+
+def _prefix_successor(prefix: bytes) -> Optional[bytes]:
+    """Smallest byte string greater than every string starting with
+    ``prefix`` (``None`` when the prefix is all ``0xFF``)."""
+    trimmed = prefix.rstrip(b"\xff")
+    if not trimmed:
+        return None
+    return trimmed[:-1] + bytes([trimmed[-1] + 1])
+
+
+def sorted_insert(keys: list[bytes], key: bytes) -> None:
+    """Insert ``key`` into a sorted list (helper for tests)."""
+    insort(keys, key)

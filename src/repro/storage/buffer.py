@@ -1,0 +1,49 @@
+"""Buffer pool with LRU replacement.
+
+Every page request flows through :meth:`BufferPool.get` — hits are free,
+misses charge a page read to the stats block.  The pool is write-through
+(the heap is immutable after load), so eviction never writes.
+``clear()`` simulates a cold start, which the I/O experiment (E9) uses to
+compare query strategies on equal footing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.storage.pages import PageManager
+
+
+class BufferPool:
+    """An LRU cache of page images in front of a :class:`PageManager`.
+
+    :param manager: the simulated disk.
+    :param capacity: number of pages held in memory at once.
+    """
+
+    def __init__(self, manager: PageManager, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("buffer pool needs capacity >= 1")
+        self.manager = manager
+        self.capacity = capacity
+        self._frames: OrderedDict[int, str] = OrderedDict()
+
+    def get(self, page_id: int) -> str:
+        """Fetch a page, through the cache."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self._frames.move_to_end(page_id)
+            self.manager.stats.buffer_hits += 1
+            return frame
+        data = self.manager.read(page_id)
+        self._frames[page_id] = data
+        if len(self._frames) > self.capacity:
+            self._frames.popitem(last=False)
+        return data
+
+    def clear(self) -> None:
+        """Drop every cached frame (simulate a cold buffer pool)."""
+        self._frames.clear()
+
+    def __len__(self) -> int:
+        return len(self._frames)

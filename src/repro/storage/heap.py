@@ -1,0 +1,82 @@
+"""Heap file: the document text spread over pages.
+
+The store keeps each document "as a long string" (paper Section 6) split
+across fixed-size pages.  :meth:`HeapFile.read_range` is the only read path:
+it touches exactly the pages the range overlaps, through the buffer pool, so
+the stats block records the true logical I/O of value retrieval — the cost
+the value index is designed to minimize.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import PageManager
+
+
+class HeapFile:
+    """An immutable string stored across pages.
+
+    :param manager: page allocator / simulated disk.
+    :param buffer_pool: cache in front of the disk (shared across files).
+    """
+
+    def __init__(self, manager: PageManager, buffer_pool: BufferPool):
+        self.manager = manager
+        self.buffer_pool = buffer_pool
+        self._page_ids: list[int] = []
+        self._length = 0
+
+    @classmethod
+    def store(cls, text: str, manager: PageManager, buffer_pool: BufferPool) -> "HeapFile":
+        """Write ``text`` page by page and return the heap file."""
+        heap = cls(manager, buffer_pool)
+        size = manager.page_size
+        for start in range(0, len(text), size):
+            page_id = manager.allocate()
+            manager.write(page_id, text[start : start + size])
+        # An empty document still owns zero pages; record ids and length.
+        heap._page_ids = list(range(manager.page_count - _page_span(len(text), size), manager.page_count))
+        heap._length = len(text)
+        return heap
+
+    @property
+    def length(self) -> int:
+        """Total characters stored."""
+        return self._length
+
+    @property
+    def page_count(self) -> int:
+        return len(self._page_ids)
+
+    def read_range(self, start: int, end: int) -> str:
+        """Read characters ``[start, end)`` through the buffer pool.
+
+        :raises StorageError: if the range is out of bounds.
+        """
+        if start < 0 or end > self._length or start > end:
+            raise StorageError(
+                f"range [{start}, {end}) out of bounds for heap of length {self._length}"
+            )
+        if start == end:
+            return ""
+        size = self.manager.page_size
+        first = start // size
+        last = (end - 1) // size
+        parts: list[str] = []
+        for index in range(first, last + 1):
+            page = self.buffer_pool.get(self._page_ids[index])
+            page_start = index * size
+            parts.append(page[max(start - page_start, 0) : end - page_start])
+        text = "".join(parts)
+        self.manager.stats.bytes_read += len(text)
+        return text
+
+    def read_all(self) -> str:
+        """The full document text (a whole-heap scan)."""
+        return self.read_range(0, self._length)
+
+
+def _page_span(length: int, page_size: int) -> int:
+    """Number of pages a string of ``length`` occupies."""
+    return (length + page_size - 1) // page_size

@@ -1,0 +1,58 @@
+"""Page layer: a simulated disk of fixed-size pages.
+
+Pages hold slices of the stored document text (see
+:class:`~repro.storage.heap.HeapFile`).  The manager is deliberately dumb —
+allocation and raw read/write only — so all caching policy lives in the
+buffer pool and all layout policy in the heap.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.storage.stats import StorageStats
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class PageManager:
+    """A simulated disk: an append-only collection of fixed-size pages.
+
+    :param page_size: page capacity in characters (the heap stores text).
+    :param stats: counter block charged for every disk read/write.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, stats: StorageStats | None = None):
+        if page_size < 16:
+            raise StorageError(f"page size {page_size} is too small")
+        self.page_size = page_size
+        self.stats = stats if stats is not None else StorageStats()
+        self._pages: list[str] = []
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def allocate(self) -> int:
+        """Allocate an empty page and return its id."""
+        self._pages.append("")
+        return len(self._pages) - 1
+
+    def write(self, page_id: int, data: str) -> None:
+        """Write a full page image (charged as one page write)."""
+        self._check(page_id)
+        if len(data) > self.page_size:
+            raise StorageError(
+                f"data of length {len(data)} exceeds page size {self.page_size}"
+            )
+        self._pages[page_id] = data
+        self.stats.page_writes += 1
+
+    def read(self, page_id: int) -> str:
+        """Read a page image (charged as one page read)."""
+        self._check(page_id)
+        self.stats.page_reads += 1
+        return self._pages[page_id]
+
+    def _check(self, page_id: int) -> None:
+        if not 0 <= page_id < len(self._pages):
+            raise StorageError(f"page {page_id} was never allocated")

@@ -1,0 +1,182 @@
+"""Saving and loading document stores.
+
+A stored document round-trips through a compact binary image::
+
+    save_store(store, path)
+    store = load_store(path)
+
+Format (little-endian, length-prefixed sections)::
+
+    magic "VPBN" | version u16
+    uri: str
+    document text: str                       (the heap contents)
+    type table: count u32, then per type:    path as dotted str
+    node table: count u32, then per node:
+        encoded PBN (bytes), type id u32, kind u8,
+        start u64, end u64, content_start u64, content_end u64
+
+Strings are UTF-8 with u32 length prefixes.  On load the document tree is
+rebuilt by parsing the stored text (the text *is* the canonical
+serialization), then numbered and re-indexed; the node table is used to
+verify the rebuilt store matches the saved image, so a corrupted or
+tampered file fails loudly instead of answering queries wrong.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO
+
+from repro.errors import StorageError
+from repro.pbn.codec import decode_pbn, encode_pbn
+from repro.storage.store import DocumentStore
+from repro.xmlmodel.nodes import NodeKind
+from repro.xmlmodel.parser import parse_document
+
+_MAGIC = b"VPBN"
+_VERSION = 1
+_ENTRY = struct.Struct("<IBQQQQ")
+
+_KIND_CODES = {
+    NodeKind.ELEMENT: 0,
+    NodeKind.ATTRIBUTE: 1,
+    NodeKind.TEXT: 2,
+}
+_KIND_FROM_CODE = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+def _write_str(out: BinaryIO, text: str) -> None:
+    data = text.encode("utf-8")
+    out.write(struct.pack("<I", len(data)))
+    out.write(data)
+
+
+def _read_str(data: BinaryIO) -> str:
+    (length,) = struct.unpack("<I", _read_exact(data, 4))
+    return _read_exact(data, length).decode("utf-8")
+
+
+def _write_bytes(out: BinaryIO, blob: bytes) -> None:
+    out.write(struct.pack("<I", len(blob)))
+    out.write(blob)
+
+
+def _read_bytes(data: BinaryIO) -> bytes:
+    (length,) = struct.unpack("<I", _read_exact(data, 4))
+    return _read_exact(data, length)
+
+
+def _read_exact(data: BinaryIO, count: int) -> bytes:
+    blob = data.read(count)
+    if len(blob) != count:
+        raise StorageError("truncated store image")
+    return blob
+
+
+def dump_store(store: DocumentStore, out: BinaryIO) -> None:
+    """Write ``store``'s image to a binary stream."""
+    out.write(_MAGIC)
+    out.write(struct.pack("<H", _VERSION))
+    _write_str(out, store.document.uri)
+    _write_str(out, store.heap.read_all())
+    out.write(struct.pack("<I", len(store.types_by_id)))
+    for guide_type in store.types_by_id:
+        _write_str(out, guide_type.dotted())
+    entries = list(store.value_index.subtree_all())
+    out.write(struct.pack("<I", len(entries)))
+    for number, entry in entries:
+        _write_bytes(out, encode_pbn(number))
+        out.write(
+            _ENTRY.pack(
+                entry.type_id,
+                _KIND_CODES[entry.kind],
+                entry.start,
+                entry.end,
+                entry.content_start,
+                entry.content_end,
+            )
+        )
+
+
+def save_store(store: DocumentStore, path: str) -> int:
+    """Save to ``path``; returns the image size in bytes."""
+    buffer = io.BytesIO()
+    dump_store(store, buffer)
+    image = buffer.getvalue()
+    with open(path, "wb") as handle:
+        handle.write(image)
+    return len(image)
+
+
+def parse_store(data: BinaryIO, page_size: int = 4096, buffer_capacity: int = 64) -> DocumentStore:
+    """Rebuild a store from a binary stream.
+
+    :raises StorageError: on bad magic, version, or any mismatch between
+        the stored node table and the rebuilt indexes.
+    """
+    if _read_exact(data, 4) != _MAGIC:
+        raise StorageError("not a vPBN store image (bad magic)")
+    (version,) = struct.unpack("<H", _read_exact(data, 2))
+    if version != _VERSION:
+        raise StorageError(f"unsupported store image version {version}")
+    uri = _read_str(data)
+    text = _read_str(data)
+    (type_count,) = struct.unpack("<I", _read_exact(data, 4))
+    saved_types = [_read_str(data) for _ in range(type_count)]
+    (node_count,) = struct.unpack("<I", _read_exact(data, 4))
+    saved_nodes = []
+    for _ in range(node_count):
+        number = decode_pbn(_read_bytes(data))
+        type_id, kind_code, start, end, content_start, content_end = _ENTRY.unpack(
+            _read_exact(data, _ENTRY.size)
+        )
+        saved_nodes.append(
+            (number, type_id, kind_code, start, end, content_start, content_end)
+        )
+
+    document = parse_document(text, uri) if text else _empty_document(uri)
+    store = DocumentStore(
+        document, page_size=page_size, buffer_capacity=buffer_capacity
+    )
+    _verify(store, saved_types, saved_nodes)
+    return store
+
+
+def load_store(path: str, page_size: int = 4096, buffer_capacity: int = 64) -> DocumentStore:
+    """Load a store image from ``path``."""
+    with open(path, "rb") as handle:
+        return parse_store(handle, page_size=page_size, buffer_capacity=buffer_capacity)
+
+
+def _empty_document(uri: str):
+    from repro.xmlmodel.nodes import Document
+
+    return Document(uri)
+
+
+def _verify(store: DocumentStore, saved_types: list[str], saved_nodes: list) -> None:
+    rebuilt_types = [t.dotted() for t in store.types_by_id]
+    if rebuilt_types != saved_types:
+        raise StorageError(
+            "store image type table does not match the rebuilt DataGuide "
+            "(corrupted image?)"
+        )
+    rebuilt = list(store.value_index.subtree_all())
+    if len(rebuilt) != len(saved_nodes):
+        raise StorageError("store image node count mismatch (corrupted image?)")
+    for (number, entry), saved in zip(rebuilt, saved_nodes):
+        expected = (
+            number,
+            entry.type_id,
+            _KIND_CODES[entry.kind],
+            entry.start,
+            entry.end,
+            entry.content_start,
+            entry.content_end,
+        )
+        if expected != saved:
+            raise StorageError(
+                f"store image entry for {saved[0]} does not match the "
+                "rebuilt index (corrupted image?)"
+            )

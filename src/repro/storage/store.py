@@ -1,0 +1,214 @@
+"""The document store: everything a loaded document owns.
+
+Loading a document performs what a PBN-based XML DBMS does at ingest:
+
+1. assign PBN numbers (if absent),
+2. build the DataGuide and give every type a dense Type ID,
+3. serialize the document to its canonical string, tracking each node's
+   character spans,
+4. write the string to the paged heap,
+5. bulk-load the value index (PBN -> spans + header) and the type index
+   (Type ID -> posting list of numbers).
+
+All subsequent value retrieval goes ``number -> value index -> heap range``
+so the stats block sees every logical I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dataguide.build import build_dataguide
+from repro.dataguide.guide import DataGuide, GuideType
+from repro.errors import StorageError
+from repro.pbn.assign import assign_numbers
+from repro.pbn.number import Pbn
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.pages import DEFAULT_PAGE_SIZE, PageManager
+from repro.storage.stats import StorageStats
+from repro.storage.type_index import TypeIndex
+from repro.storage.value_index import ValueEntry, ValueIndex
+from repro.xmlmodel.nodes import Document, Node, NodeKind
+from repro.xmlmodel.serializer import escape_attribute, escape_text
+
+
+class DocumentStore:
+    """A stored document: heap + value index + type index + DataGuide.
+
+    :param document: the document to load (numbered in place if needed).
+    :param page_size: heap page capacity in characters.
+    :param buffer_capacity: buffer pool size in pages.
+    :param stats: counter block; a fresh one is created if not given.
+    """
+
+    def __init__(
+        self,
+        document: Document,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_capacity: int = 64,
+        stats: Optional[StorageStats] = None,
+        index_order: int = 64,
+    ) -> None:
+        self.stats = stats if stats is not None else StorageStats()
+        root = document.root
+        if root is not None and root.pbn is None:
+            assign_numbers(document)
+        self.document = document
+        self.guide = build_dataguide(document)
+
+        self.types_by_id: list[GuideType] = list(self.guide.iter_types())
+        self._id_of_type: dict[GuideType, int] = {
+            guide_type: type_id for type_id, guide_type in enumerate(self.types_by_id)
+        }
+
+        text, records = _serialize_with_spans(document)
+        self.page_manager = PageManager(page_size, self.stats)
+        self.buffer_pool = BufferPool(self.page_manager, buffer_capacity)
+        self.heap = HeapFile.store(text, self.page_manager, self.buffer_pool)
+
+        self._node_by_key: dict[tuple[int, ...], Node] = {}
+        self._type_of_node: dict[Node, GuideType] = {}
+        self.type_index = TypeIndex(self.stats)
+        entries: list[tuple[Pbn, ValueEntry]] = []
+        for node, start, end, content_start, content_end in records:
+            guide_type = self.guide.type_of(node)
+            type_id = self._id_of_type[guide_type]
+            entries.append(
+                (
+                    node.pbn,
+                    ValueEntry(start, end, type_id, node.kind, content_start, content_end),
+                )
+            )
+            self.type_index.append(type_id, node.pbn)
+            self._node_by_key[node.pbn.components] = node
+            self._type_of_node[node] = guide_type
+        self.value_index = ValueIndex.build(entries, self.stats, order=index_order)
+        self._text_index = None
+
+    # -- node and type lookup -----------------------------------------------------
+
+    def node(self, number: Pbn) -> Node:
+        """The in-memory node handle for a stored number.
+
+        :raises StorageError: for numbers not in this document.
+        """
+        node = self._node_by_key.get(number.components)
+        if node is None:
+            raise StorageError(f"no node {number} in document {self.document.uri!r}")
+        return node
+
+    def node_by_components(self, components: tuple[int, ...]) -> Node:
+        """Like :meth:`node` but from a raw component tuple (hot path)."""
+        node = self._node_by_key.get(components)
+        if node is None:
+            raise StorageError(f"no node {components} in document {self.document.uri!r}")
+        return node
+
+    def contains_node(self, node: Node) -> bool:
+        """True iff ``node`` belongs to this store's document."""
+        return node in self._type_of_node
+
+    def type_of(self, node: Node) -> GuideType:
+        """The stored node's DataGuide type (O(1))."""
+        guide_type = self._type_of_node.get(node)
+        if guide_type is None:
+            raise StorageError("node does not belong to this store")
+        return guide_type
+
+    def type_id(self, guide_type: GuideType) -> int:
+        return self._id_of_type[guide_type]
+
+    # -- values --------------------------------------------------------------------
+
+    def value_of(self, number: Pbn) -> str:
+        """The node's XML value (paper Section 6): its substring of the
+        stored document string, fetched through the buffer pool."""
+        entry = self.value_index.lookup(number)
+        return self.heap.read_range(entry.start, entry.end)
+
+    def content_of(self, number: Pbn) -> str:
+        """An element's inner content (between its tags), or the raw text
+        of a text/attribute node."""
+        entry = self.value_index.lookup(number)
+        return self.heap.read_range(entry.content_start, entry.content_end)
+
+    @property
+    def text_index(self):
+        """The keyword index (built lazily on first use — not every
+        document gets text-searched)."""
+        if self._text_index is None:
+            from repro.storage.text_index import TextIndex
+
+            self._text_index = TextIndex.build(self)
+        return self._text_index
+
+    # -- reporting -------------------------------------------------------------------
+
+    def size_summary(self) -> dict[str, int]:
+        """Sizes the space experiment (E5) reports."""
+        return {
+            "nodes": len(self._node_by_key),
+            "types": len(self.types_by_id),
+            "heap_chars": self.heap.length,
+            "heap_pages": self.heap.page_count,
+            "value_index_entries": len(self.value_index),
+            "value_index_height": self.value_index.height,
+        }
+
+
+def _serialize_with_spans(
+    document: Document,
+) -> tuple[str, list[tuple[Node, int, int, int, int]]]:
+    """Serialize ``document`` (whitespace-free canonical form) recording
+    ``(node, start, end, content_start, content_end)`` for every node, in
+    document order.  The text is identical to
+    :func:`repro.xmlmodel.serializer.serialize` output."""
+    parts: list[str] = []
+    records: list[tuple[Node, int, int, int, int]] = []
+    offset = 0
+
+    def emit(text: str) -> None:
+        nonlocal offset
+        parts.append(text)
+        offset += len(text)
+
+    def write(node: Node) -> None:
+        start = offset
+        if node.kind is NodeKind.TEXT:
+            emit(escape_text(node.value))  # type: ignore[attr-defined]
+            records.append((node, start, offset, start, offset))
+            return
+        if node.kind is NodeKind.ATTRIBUTE:
+            emit(node.attr_name + '="')  # type: ignore[attr-defined]
+            content_start = offset
+            emit(escape_attribute(node.value))  # type: ignore[attr-defined]
+            content_end = offset
+            emit('"')
+            records.append((node, start, offset, content_start, content_end))
+            return
+        # Element: record is appended first (document order), spans are
+        # patched once the subtree is written.
+        record_index = len(records)
+        records.append((node, start, -1, -1, -1))
+        emit(f"<{node.name}")
+        attributes = [c for c in node.children if c.kind is NodeKind.ATTRIBUTE]
+        content = [c for c in node.children if c.kind is not NodeKind.ATTRIBUTE]
+        for attribute in attributes:
+            emit(" ")
+            write(attribute)
+        if not content:
+            emit("/>")
+            records[record_index] = (node, start, offset, offset, offset)
+            return
+        emit(">")
+        content_start = offset
+        for child in content:
+            write(child)
+        content_end = offset
+        emit(f"</{node.name}>")
+        records[record_index] = (node, start, offset, content_start, content_end)
+
+    for root in document.children:
+        write(root)
+    return "".join(parts), records

@@ -1,0 +1,84 @@
+"""Inverted keyword index over text and attribute values.
+
+Section 4.3 observes that a PBN-based XML DBMS keeps several indexes whose
+entries reference nodes *by PBN number as a logical key* — and that this is
+exactly what renumbering invalidates and vPBN preserves.  The keyword index
+is the canonical example: it maps each term to the numbers of the text and
+attribute nodes containing it, in document order.
+
+Because entries are plain numbers:
+
+* physical containment search is a prefix test per posting
+  (``element contains term`` = some posting extends the element's number);
+* **virtual** containment search reuses the same untouched index — the
+  posting's number plus the text type's level array form a vPBN, and
+  ``vDescendant-or-self`` decides containment in the transformed space.
+  The query function ``contains-text($nodes, "term")`` works transparently
+  over ``doc()`` and ``virtualDoc()`` nodes for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+
+from repro.pbn.number import Pbn
+from repro.storage.stats import StorageStats
+
+_TOKEN = re.compile(r"[0-9A-Za-z]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercased alphanumeric tokens of ``text``."""
+    return [match.group(0).lower() for match in _TOKEN.finditer(text)]
+
+
+class TextIndex:
+    """term -> document-ordered posting list of text/attribute numbers."""
+
+    def __init__(self, stats: StorageStats | None = None) -> None:
+        self.stats = stats if stats is not None else StorageStats()
+        self._postings: dict[str, list[tuple[int, ...]]] = {}
+
+    @classmethod
+    def build(cls, store, stats: StorageStats | None = None) -> "TextIndex":
+        """Index every text and attribute node of a document store."""
+        from repro.xmlmodel.nodes import NodeKind
+
+        index = cls(stats=stats if stats is not None else store.stats)
+        for number, entry in store.value_index.subtree_all():
+            if entry.kind not in (NodeKind.TEXT, NodeKind.ATTRIBUTE):
+                continue
+            node = store.node(number)
+            for term in set(tokenize(node.value)):  # type: ignore[attr-defined]
+                index._postings.setdefault(term, []).append(number.components)
+        for postings in index._postings.values():
+            postings.sort()
+        return index
+
+    def terms(self) -> list[str]:
+        return sorted(self._postings)
+
+    def postings(self, term: str) -> list[Pbn]:
+        """Numbers of the value nodes containing ``term``."""
+        self.stats.index_range_scans += 1
+        return [Pbn(*components) for components in self._postings.get(term.lower(), ())]
+
+    def contains_under(self, prefix: Pbn, term: str) -> bool:
+        """Physical containment: does any posting for ``term`` lie in the
+        subtree rooted at ``prefix``?  One binary search."""
+        self.stats.index_probes += 1
+        postings = self._postings.get(term.lower())
+        if not postings:
+            return False
+        key = prefix.components
+        position = bisect_left(postings, key)
+        return position < len(postings) and postings[position][: len(key)] == key
+
+    def raw_postings(self, term: str) -> list[tuple[int, ...]]:
+        """Raw component tuples (no Pbn allocation)."""
+        self.stats.index_range_scans += 1
+        return self._postings.get(term.lower(), [])
+
+    def __len__(self) -> int:
+        return len(self._postings)

@@ -1,0 +1,81 @@
+"""The type index: DataGuide type -> its nodes' numbers in document order.
+
+"There will usually be an index to quickly look up nodes of a given type"
+(paper Section 4.3); PBN numbers act as the logical keys.  The index is a
+posting list per type, sorted in document order, with binary-searched
+prefix-range scans — the workhorse of both the PBN-indexed and the virtual
+query evaluators (a virtual child step is one range scan here).
+
+Crucially for the paper's argument: this index survives a *virtual*
+transformation untouched, whereas materialize-and-renumber has to rebuild
+it before an indexed query can run.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, Sequence
+
+from repro.pbn.number import Pbn
+from repro.storage.stats import StorageStats
+
+
+class TypeIndex:
+    """Posting lists of PBN numbers keyed by Type ID."""
+
+    def __init__(self, stats: StorageStats | None = None):
+        self.stats = stats if stats is not None else StorageStats()
+        self._postings: dict[int, list[tuple[int, ...]]] = {}
+
+    def append(self, type_id: int, number: Pbn) -> None:
+        """Add a number to a type's posting list.  Numbers must arrive in
+        document order (they do when loading a document front to back)."""
+        self._postings.setdefault(type_id, []).append(number.components)
+
+    def count(self, type_id: int) -> int:
+        """Number of nodes of the type."""
+        return len(self._postings.get(type_id, ()))
+
+    def numbers(self, type_id: int) -> Iterator[Pbn]:
+        """All numbers of the type, in document order."""
+        self.stats.index_range_scans += 1
+        for components in self._postings.get(type_id, ()):
+            yield Pbn(*components)
+
+    def prefix_range(
+        self, type_id: int, prefix: Sequence[int]
+    ) -> Iterator[Pbn]:
+        """Numbers of the type whose first ``len(prefix)`` components equal
+        ``prefix`` — e.g. the type's instances inside one subtree, or the
+        virtual children of a node (prefix = the shared lca components)."""
+        self.stats.index_range_scans += 1
+        postings = self._postings.get(type_id)
+        if not postings:
+            return
+        key = tuple(prefix)
+        low = bisect_left(postings, key)
+        high = bisect_left(postings, key[:-1] + (key[-1] + 1,), low) if key else len(postings)
+        for components in postings[low:high]:
+            yield Pbn(*components)
+
+    def raw_prefix_range(
+        self, type_id: int, prefix: tuple[int, ...]
+    ) -> list[tuple[int, ...]]:
+        """Like :meth:`prefix_range` but returning raw component tuples
+        (no Pbn allocation) — the hot path of the virtual evaluator."""
+        self.stats.index_range_scans += 1
+        postings = self._postings.get(type_id)
+        if not postings:
+            return []
+        low = bisect_left(postings, prefix)
+        if prefix:
+            high = bisect_left(postings, prefix[:-1] + (prefix[-1] + 1,), low)
+        else:
+            high = len(postings)
+        return postings[low:high]
+
+    def type_ids(self) -> list[int]:
+        return list(self._postings)
+
+    def __len__(self) -> int:
+        return sum(len(postings) for postings in self._postings.values())

@@ -1,0 +1,108 @@
+"""The value index: PBN number -> character range of the node's XML value.
+
+This is the structure the paper describes in Section 6: "a value index to
+quickly find the value of a node given its PBN number ... maps a node's PBN
+number to a range of characters in the source data string".  Entries also
+carry the node *header* the paper stores with each node: the Type ID and the
+node kind.
+
+Keys are order-preserving encoded PBN numbers, so the index doubles as a
+document-order directory: a prefix scan enumerates a subtree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import StorageError
+from repro.pbn.codec import encode_pbn
+from repro.pbn.number import Pbn
+from repro.storage.bptree import BPlusTree
+from repro.storage.stats import StorageStats
+from repro.xmlmodel.nodes import NodeKind
+
+
+@dataclass(frozen=True)
+class ValueEntry:
+    """One node's header and value range.
+
+    :ivar start: first character of the node's XML value (for an element,
+        its start tag's ``<``).
+    :ivar end: one past the last character (for an element, past ``>`` of
+        the end tag).
+    :ivar type_id: the node's Type ID — the position of its DataGuide type
+        in preorder (dense, stable for a loaded document).
+    :ivar kind: element / attribute / text.
+    :ivar content_start: for elements, first character *after* the start
+        tag; for text and attribute nodes, start of the raw text.  Lets the
+        virtual value builder splice children without re-reading tags.
+    :ivar content_end: for elements, first character of the end tag.
+    """
+
+    start: int
+    end: int
+    type_id: int
+    kind: NodeKind
+    content_start: int
+    content_end: int
+
+
+class ValueIndex:
+    """B+-tree from encoded PBN numbers to :class:`ValueEntry` rows."""
+
+    def __init__(self, stats: StorageStats | None = None, order: int = 64):
+        self.stats = stats if stats is not None else StorageStats()
+        self._tree = BPlusTree(order=order, stats=self.stats)
+
+    @classmethod
+    def build(
+        cls,
+        entries: list[tuple[Pbn, ValueEntry]],
+        stats: StorageStats | None = None,
+        order: int = 64,
+    ) -> "ValueIndex":
+        """Bulk-load from document-order ``(number, entry)`` pairs."""
+        index = cls(stats=stats, order=order)
+        items = [(encode_pbn(number), entry) for number, entry in entries]
+        index._tree = BPlusTree.bulk_load(items, order=order, stats=index.stats)
+        return index
+
+    def insert(self, number: Pbn, entry: ValueEntry) -> None:
+        self._tree.insert(encode_pbn(number), entry)
+
+    def lookup(self, number: Pbn) -> ValueEntry:
+        """Point lookup.
+
+        :raises StorageError: if the number was never indexed.
+        """
+        entry = self._tree.get(encode_pbn(number))
+        if entry is None:
+            raise StorageError(f"no value entry for PBN {number}")
+        return entry
+
+    def get(self, number: Pbn) -> Optional[ValueEntry]:
+        """Point lookup returning ``None`` when absent."""
+        return self._tree.get(encode_pbn(number))
+
+    def subtree(self, number: Pbn) -> Iterator[tuple[Pbn, ValueEntry]]:
+        """All indexed nodes in the subtree rooted at ``number``
+        (descendant-or-self), in document order."""
+        from repro.pbn.codec import decode_pbn
+
+        for key, entry in self._tree.prefix_scan(encode_pbn(number)):
+            yield decode_pbn(key), entry
+
+    def subtree_all(self) -> Iterator[tuple[Pbn, ValueEntry]]:
+        """Every indexed node in document order (a full index scan)."""
+        from repro.pbn.codec import decode_pbn
+
+        for key, entry in self._tree.scan():
+            yield decode_pbn(key), entry
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    @property
+    def height(self) -> int:
+        return self._tree.height

@@ -1,0 +1,26 @@
+"""Baseline transformation strategies the paper compares against.
+
+* :mod:`repro.transform.materialize` — "rewrite the data": physically build
+  the transformed document, renumber it, and rebuild its indexes before the
+  first query can run.
+* :mod:`repro.transform.twopass` — a data-transformation-language pipeline:
+  one full pass to transform and serialize, a re-parse/re-load, then the
+  query (paper Section 1, option 1 / Section 3).
+* :mod:`repro.transform.renumber` — measuring the renumbering work itself.
+"""
+
+from repro.transform.materialize import MaterializeCost, materialize_to_store
+from repro.transform.twopass import TwoPassCost, two_pass_pipeline
+from repro.transform.renumber import count_renumbered, renumber
+from repro.transform.rewrite import RewriteError, rewrite_query
+
+__all__ = [
+    "MaterializeCost",
+    "RewriteError",
+    "TwoPassCost",
+    "count_renumbered",
+    "materialize_to_store",
+    "renumber",
+    "rewrite_query",
+    "two_pass_pipeline",
+]

@@ -1,0 +1,30 @@
+"""The vDataGuide specification language (paper Section 4.1).
+
+A vDataGuide describes the *desired* (virtual) hierarchy for a document::
+
+    title { author { name } }
+
+using the grammar ``S <- label P``, ``P <- '{' L '}' | ε``,
+``L <- D L | ε``, ``D <- '*' | '**' | label P`` (a forest of such entries is
+accepted at the top level).  Labels are names or dot-qualified type paths in
+the original DataGuide; ``*`` stands for the not-otherwise-mentioned children
+of the label's original type, ``**`` for its not-otherwise-mentioned
+descendants (the original subtree shape).
+"""
+
+from repro.vdataguide.ast import SpecNode, Star, StarStar, VGuide, VType
+from repro.vdataguide.grammar import parse_spec, parse_vdataguide
+from repro.vdataguide.infer import infer_spec
+from repro.vdataguide.resolve import resolve_spec
+
+__all__ = [
+    "SpecNode",
+    "Star",
+    "StarStar",
+    "VGuide",
+    "VType",
+    "infer_spec",
+    "parse_spec",
+    "parse_vdataguide",
+    "resolve_spec",
+]

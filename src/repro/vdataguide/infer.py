@@ -1,0 +1,90 @@
+"""Inferring a vDataGuide from an example of the desired output.
+
+The paper has the user *sketch* the virtual hierarchy as a brace
+specification.  Often the most natural sketch is a small example of what
+the transformed document should look like — e.g. the paper's Figure 3.
+:func:`infer_spec` turns such an example into the specification string::
+
+    >>> infer_spec("<title>X<author><name>C</name></author></title>", guide)
+    'title { author { name } }'
+
+Element nesting in the example becomes virtual nesting; labels resolve
+against the original DataGuide with the same contextual disambiguation the
+spec language uses (qualify in the example via an ``of`` attribute,
+``<year of="article.year"/>``, when a bare tag name is ambiguous).  Text
+and attributes in the example are ignored — they are implicit in the
+language.
+"""
+
+from __future__ import annotations
+
+from repro.dataguide.guide import DataGuide, GuideType
+from repro.errors import SpecResolutionError
+from repro.vdataguide.resolve import _resolve_contextual
+from repro.xmlmodel.nodes import Element, Node, NodeKind
+from repro.xmlmodel.parser import parse_fragment
+
+#: Attribute that pins an example element to a qualified original type.
+QUALIFIER_ATTRIBUTE = "of"
+
+
+def infer_spec(example_xml: str, guide: DataGuide) -> str:
+    """Infer a specification string from an example output document.
+
+    :param example_xml: one or more sibling elements showing the desired
+        shape.  Repeated siblings with the same tag collapse to one entry.
+    :param guide: the original document's DataGuide (labels must resolve).
+    :raises SpecResolutionError: for unresolvable or ambiguous tags
+        (qualify with ``of="x.y"``), or for an example with no elements.
+    """
+    roots = [
+        node for node in parse_fragment(example_xml) if node.kind is NodeKind.ELEMENT
+    ]
+    if not roots:
+        raise SpecResolutionError("the example contains no elements")
+    entries = _merge_entries(roots)
+    return " ".join(_render(entry, guide, None) for entry in entries)
+
+
+class _Entry:
+    """One inferred spec entry: a label and merged child entries."""
+
+    __slots__ = ("element", "children_by_tag", "order")
+
+    def __init__(self, element: Element) -> None:
+        self.element = element
+        self.children_by_tag: dict[str, _Entry] = {}
+        self.order: list[str] = []
+
+    def merge_child(self, child: Element) -> "_Entry":
+        key = child.get_attribute(QUALIFIER_ATTRIBUTE) or child.tag
+        entry = self.children_by_tag.get(key)
+        if entry is None:
+            entry = _Entry(child)
+            self.children_by_tag[key] = entry
+            self.order.append(key)
+        return entry
+
+
+def _merge_entries(roots: list[Node]) -> list[_Entry]:
+    container = _Entry(Element("#container"))
+    for root in roots:
+        _merge_into(container, root)
+    return [container.children_by_tag[key] for key in container.order]
+
+
+def _merge_into(parent: _Entry, element: Node) -> None:
+    entry = parent.merge_child(element)  # type: ignore[arg-type]
+    for child in element.children:
+        if child.kind is NodeKind.ELEMENT:
+            _merge_into(entry, child)
+
+
+def _render(entry: _Entry, guide: DataGuide, parent: GuideType | None) -> str:
+    label = entry.element.get_attribute(QUALIFIER_ATTRIBUTE) or entry.element.tag
+    original = _resolve_contextual(guide, label, parent)
+    children = [entry.children_by_tag[key] for key in entry.order]
+    if not children:
+        return label
+    inner = " ".join(_render(child, guide, original) for child in children)
+    return f"{label} {{ {inner} }}"

@@ -1,0 +1,31 @@
+"""Workload generators.
+
+No network and no corpus files are available in this environment, so the
+benchmark datasets are synthesized with the structural character of the
+corpora XML papers usually evaluate on (see DESIGN.md, Substitutions):
+
+* :mod:`repro.workloads.books` — the paper's running example (Figure 2),
+  scaled to any number of books;
+* :mod:`repro.workloads.xmarklike` — an auction-site document in the shape
+  of XMark (regions/items/people/bids, moderately deep, mixed fan-out);
+* :mod:`repro.workloads.dblplike` — a bibliography in the shape of DBLP
+  (shallow, very wide, many small records);
+* :mod:`repro.workloads.treegen` — seeded random documents and random
+  vDataGuides for property-based testing;
+* :mod:`repro.workloads.queries` — the query/spec suites experiments run.
+"""
+
+from repro.workloads.books import books_document
+from repro.workloads.dblplike import dblp_document
+from repro.workloads.treebank import treebank_document
+from repro.workloads.treegen import random_document, random_spec
+from repro.workloads.xmarklike import auction_document
+
+__all__ = [
+    "auction_document",
+    "books_document",
+    "dblp_document",
+    "random_document",
+    "random_spec",
+    "treebank_document",
+]

@@ -1,0 +1,87 @@
+"""The paper's running example (Figure 2), scaled.
+
+``books_document(n)`` produces::
+
+    <data>
+      <book>
+        <title>...</title>
+        <author><name>...</name></author>  (1..max_authors)
+        <publisher><location>...</location></publisher>
+      </book>
+      ... n books ...
+    </data>
+
+Deterministic for a given seed, so experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.pbn.assign import assign_numbers
+from repro.xmlmodel.builder import elem
+from repro.xmlmodel.nodes import Document
+
+_TITLES = ["Databases", "Querying XML", "Hierarchies", "Numbering", "Views",
+           "Transforms", "Indexing", "Algorithms", "Semistructured Data", "Schemas"]
+_NAMES = ["Codd", "Curie", "Darwin", "Euler", "Franklin", "Gauss", "Hopper",
+          "Knuth", "Lovelace", "Noether", "Turing", "Wing"]
+_CITIES = ["Boston", "Delhi", "Lagos", "Lima", "Oslo", "Paris", "Seoul",
+           "Singapore", "Snowbird", "Tokyo"]
+
+
+def books_document(
+    books: int = 100,
+    max_authors: int = 3,
+    seed: int = 7,
+    uri: str = "book.xml",
+    numbered: bool = True,
+) -> Document:
+    """Generate a books document with ``books`` books.
+
+    :param max_authors: each book gets 1..max_authors authors.
+    :param numbered: assign PBN numbers before returning.
+    """
+    rng = random.Random(seed)
+    document = Document(uri)
+    data = elem("data")
+    document.append(data)
+    for index in range(books):
+        book = elem("book")
+        book.append(
+            elem("title", f"{rng.choice(_TITLES)} vol. {index + 1}")
+        )
+        for _ in range(rng.randint(1, max_authors)):
+            book.append(elem("author", elem("name", rng.choice(_NAMES))))
+        book.append(
+            elem("publisher", elem("location", rng.choice(_CITIES)))
+        )
+        data.append(book)
+    if numbered:
+        assign_numbers(document)
+    return document
+
+
+#: The exact instance of the paper's Figure 2 (two books, one author each).
+def paper_figure2(uri: str = "book.xml") -> Document:
+    """The verbatim data model instance of Figure 2."""
+    document = Document(uri)
+    document.append(
+        elem(
+            "data",
+            elem(
+                "book",
+                elem("title", "X"),
+                elem("author", elem("name", "C")),
+                elem("publisher", elem("location", "W")),
+            ),
+            elem(
+                "book",
+                elem("title", "Y"),
+                elem("author", elem("name", "D")),
+                elem("publisher", elem("location", "M")),
+            ),
+        )
+    )
+    assign_numbers(document)
+    return document

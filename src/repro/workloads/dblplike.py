@@ -1,0 +1,71 @@
+"""A bibliography document in the shape of DBLP: shallow and very wide.
+
+::
+
+    <dblp>
+      <article key="...">
+        <author>...</author>+   <title>...</title>
+        <year>...</year>        <journal>...</journal>
+      </article>*
+      <inproceedings key="...">
+        <author>...</author>+   <title>...</title>
+        <year>...</year>        <booktitle>...</booktitle>
+      </inproceedings>*
+    </dblp>
+
+This is the classic "invert the hierarchy" workload: the natural virtual
+view groups publications *under their authors* —
+``author { article inproceedings }`` is a case-3 transformation at scale.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.pbn.assign import assign_numbers
+from repro.xmlmodel.builder import elem
+from repro.xmlmodel.nodes import Document
+
+_SURNAMES = ["Abiteboul", "Bernstein", "Chen", "Dyreson", "Eswaran", "Fagin",
+             "Gray", "Halevy", "Ioannidis", "Jagadish", "Kossmann", "Ley"]
+_TOPICS = ["XML", "XQuery", "views", "numbering", "indexes", "hierarchies",
+           "query processing", "transformations", "schemas", "semistructured data"]
+_JOURNALS = ["TODS", "VLDBJ", "SIGMOD Record", "TKDE"]
+_VENUES = ["SIGMOD", "VLDB", "ICDE", "EDBT"]
+
+
+def dblp_document(
+    publications: int = 300,
+    max_authors: int = 4,
+    seed: int = 13,
+    uri: str = "dblp.xml",
+    numbered: bool = True,
+) -> Document:
+    """Generate a bibliography with ``publications`` records (alternating
+    articles and inproceedings)."""
+    rng = random.Random(seed)
+    document = Document(uri)
+    dblp = elem("dblp")
+    document.append(dblp)
+    for index in range(publications):
+        title = f"On {rng.choice(_TOPICS)} and {rng.choice(_TOPICS)} {index}"
+        year = str(rng.randint(1995, 2014))
+        authors = [
+            elem("author", rng.choice(_SURNAMES))
+            for _ in range(rng.randint(1, max_authors))
+        ]
+        if index % 2 == 0:
+            record = elem("article", key=f"journals/x/{index}")
+            extra = elem("journal", rng.choice(_JOURNALS))
+        else:
+            record = elem("inproceedings", key=f"conf/x/{index}")
+            extra = elem("booktitle", rng.choice(_VENUES))
+        for author in authors:
+            record.append(author)
+        record.append(elem("title", title))
+        record.append(elem("year", year))
+        record.append(extra)
+        dblp.append(record)
+    if numbered:
+        assign_numbers(document)
+    return document

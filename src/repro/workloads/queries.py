@@ -1,0 +1,127 @@
+"""Query and vDataGuide suites used by experiments and integration tests.
+
+Each entry couples a dataset with the virtual views and queries the
+experiments run over it.  The suites cover all three of Algorithm 1's
+transformation cases:
+
+* ``BOOKS_INVERT`` — case 3 (title/author related through their book) and
+  case 1 (name's text pulled up);
+* ``BOOKS_CASE2`` — case 2 (author inverted below its original descendant
+  name);
+* ``AUCTION_FLAT`` — case 1 at scale (items/people/auctions hoisted over
+  container levels, subtrees kept intact with ``**``);
+* ``AUCTION_PAIR`` — case 3 inside an item (name owns the item's category
+  and price);
+* ``DBLP_BY_AUTHOR`` — case 2 at scale (publications grouped under their
+  authors).
+
+Templates address the data via ``{source}``; braces that must survive into
+the query (constructors) are doubled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named (spec, queries) bundle for one dataset.
+
+    :ivar duplicating: the transformation places some original nodes at
+        several virtual positions (e.g. a multi-author publication under
+        each of its authors).  Virtual evaluation then returns each
+        original node once, while a materialized baseline returns one
+        physical copy per position — value comparisons must compare
+        distinct values (see DESIGN.md, duplication caveat).
+    """
+
+    name: str
+    spec: str
+    queries: dict[str, str]
+    duplicating: bool = False
+
+
+BOOKS_INVERT = Workload(
+    name="books-invert",
+    # The paper's Figure 6 view: titles own their authors.
+    spec="title { author { name } }",
+    queries={
+        "titles": "{source}//title",
+        "author-count": (
+            "for $t in {source}//title "
+            "return <entry>{{ $t/text() }}<n>{{ count($t/author) }}</n></entry>"
+        ),
+        "names": "{source}//title/author/name/text()",
+    },
+)
+
+BOOKS_CASE2 = Workload(
+    name="books-case2",
+    # Ancestor inversion: names own their authors (paper Section 5.2, case 2).
+    spec="title { name { author } }",
+    queries={
+        "names": "{source}//name",
+        "name-authors": "{source}//name/author",
+    },
+)
+
+AUCTION_FLAT = Workload(
+    name="auction-flat",
+    # Hoist items, people, and auctions directly under the site (case 1
+    # over skipped container levels); keep their subtrees intact.
+    spec="site { item { ** } person { ** } auction { ** } }",
+    queries={
+        "items": "{source}//item",
+        "expensive": "{source}/site/item[price > 4500]/name/text()",
+        "bid-count": (
+            "for $a in {source}/site/auction "
+            "return <a>{{ count($a/bid) }}</a>"
+        ),
+    },
+)
+
+AUCTION_PAIR = Workload(
+    name="auction-pair",
+    # Case 3 inside an item: the item's name owns its category and price.
+    spec="item.name { category price }",
+    queries={
+        "pairs": "{source}//name",
+        "priced": "{source}//name[price > 4500]/category/text()",
+    },
+)
+
+DBLP_BY_AUTHOR = Workload(
+    name="dblp-by-author",
+    # Publications grouped under their authors (case 2 at scale; the two
+    # author types are distinct roots of the virtual forest).
+    spec=(
+        "dblp.article.author { article { title year } } "
+        "dblp.inproceedings.author { inproceedings { title year } }"
+    ),
+    queries={
+        "authors": "{source}//author",
+        "article-titles": "{source}//author/article/title",
+        "recent": "{source}//author/inproceedings[year = 2013]/title/text()",
+    },
+    duplicating=True,
+)
+
+ALL_WORKLOADS = [BOOKS_INVERT, BOOKS_CASE2, AUCTION_FLAT, AUCTION_PAIR, DBLP_BY_AUTHOR]
+
+
+def virtual_source(uri: str, spec: str) -> str:
+    """The ``{source}`` replacement for the vPBN strategy."""
+    return f'virtualDoc("{uri}", "{spec}")'
+
+
+def materialized_source(uri: str) -> str:
+    """The ``{source}`` replacement for baselines querying a materialized
+    transformed document loaded under ``uri``."""
+    return f'doc("{uri}")'
+
+
+def instantiate(template: str, source: str) -> str:
+    """Fill a query template's ``{source}`` hole and unescape doubled
+    braces."""
+    return template.replace("{source}", source).replace("{{", "{").replace("}}", "}")

@@ -1,0 +1,67 @@
+"""A treebank-like workload: deep, recursive parse trees.
+
+Linguistic treebanks are the classic deep-and-recursive XML corpora:
+sentences parse into nested phrases of a few recurring syntactic
+categories.  Because DataGuide types are *paths*, recursion multiplies
+types with depth — the stress test for level arrays (length ~ depth) and
+for the O(cN) bound of Algorithm 1.
+
+Shape::
+
+    <treebank>
+      <s>                       (sentences)
+        <np> <vp> ...           (recursively nested phrases)
+          <w pos="...">token</w>
+      </s>*
+    </treebank>
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.pbn.assign import assign_numbers
+from repro.xmlmodel.builder import elem
+from repro.xmlmodel.nodes import Attribute, Document, Element, Text
+
+_PHRASES = ["np", "vp", "pp", "sbar"]
+_POS = ["nn", "vb", "jj", "dt", "in"]
+_TOKENS = ["the", "fox", "jumps", "over", "dog", "quick", "brown", "lazy",
+           "numbers", "virtual", "hierarchy", "query"]
+
+
+def treebank_document(
+    sentences: int = 50,
+    max_depth: int = 10,
+    seed: int = 23,
+    uri: str = "treebank.xml",
+    numbered: bool = True,
+) -> Document:
+    """Generate a treebank with ``sentences`` sentences nesting up to
+    ``max_depth`` phrase levels."""
+    rng = random.Random(seed)
+    document = Document(uri)
+    bank = elem("treebank")
+    document.append(bank)
+    for _ in range(sentences):
+        sentence = elem("s")
+        depth_budget = rng.randint(2, max_depth)
+        _grow_phrase(rng, sentence, depth_budget)
+        bank.append(sentence)
+    if numbered:
+        assign_numbers(document)
+    return document
+
+
+def _grow_phrase(rng: random.Random, parent: Element, depth_budget: int) -> None:
+    branches = rng.randint(1, 3)
+    for _ in range(branches):
+        if depth_budget <= 1 or rng.random() < 0.35:
+            word = Element("w")
+            word.append(Attribute("pos", rng.choice(_POS)))
+            word.append(Text(rng.choice(_TOKENS)))
+            parent.append(word)
+        else:
+            phrase = elem(rng.choice(_PHRASES))
+            parent.append(phrase)
+            _grow_phrase(rng, phrase, depth_budget - 1)

@@ -1,0 +1,126 @@
+"""Seeded random documents and random vDataGuides.
+
+The property-based test suite (Theorem 1 and friends) needs arbitrary
+document shapes and arbitrary virtual hierarchies over them.  Both
+generators are pure functions of their ``random.Random`` (or seed), so any
+failure is reproducible from the printed seed.
+
+``random_spec`` builds a random virtual forest over a document's DataGuide:
+it samples element types and nests them arbitrarily (subject only to the
+sanity rule that parent and child come from the same guide tree), producing
+case 1 (descendant as child), case 2 (ancestor as child), and case 3
+(lca-related) edges with roughly equal likelihood — exactly the space
+Algorithm 1 must cover.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+from repro.dataguide.guide import DataGuide
+from repro.pbn.assign import assign_numbers
+from repro.xmlmodel.builder import elem
+from repro.xmlmodel.nodes import Document, Element
+
+_TAGS = ["a", "b", "c", "d", "e", "f", "g", "h"]
+_WORDS = ["red", "green", "blue", "ochre", "teal", "plum"]
+
+
+def random_document(
+    rng_or_seed: Union[random.Random, int] = 0,
+    max_depth: int = 5,
+    max_children: int = 4,
+    tags: Optional[list[str]] = None,
+    text_probability: float = 0.5,
+    attribute_probability: float = 0.2,
+    uri: str = "random.xml",
+) -> Document:
+    """A random element tree with random text and attributes.
+
+    Tag names are drawn from a small pool so the DataGuide develops shared
+    and recursive types, which is where numbering schemes earn their keep.
+    """
+    rng = rng_or_seed if isinstance(rng_or_seed, random.Random) else random.Random(rng_or_seed)
+    pool = tags if tags is not None else _TAGS
+    document = Document(uri)
+    root = elem("root")
+    document.append(root)
+    _grow(rng, root, 1, max_depth, max_children, pool, text_probability, attribute_probability)
+    assign_numbers(document)
+    return document
+
+
+def _grow(
+    rng: random.Random,
+    parent: Element,
+    depth: int,
+    max_depth: int,
+    max_children: int,
+    pool: list[str],
+    text_probability: float,
+    attribute_probability: float,
+) -> None:
+    from repro.xmlmodel.nodes import Attribute, Text
+
+    if rng.random() < attribute_probability:
+        parent.append(Attribute("id", str(rng.randrange(1000))))
+    if rng.random() < text_probability:
+        parent.append(Text(rng.choice(_WORDS)))
+    if depth >= max_depth:
+        return
+    for _ in range(rng.randrange(max_children + 1)):
+        child = elem(rng.choice(pool))
+        parent.append(child)
+        _grow(
+            rng,
+            child,
+            depth + 1,
+            max_depth,
+            max_children,
+            pool,
+            text_probability,
+            attribute_probability,
+        )
+
+
+def random_spec(
+    guide: DataGuide,
+    rng_or_seed: Union[random.Random, int] = 0,
+    max_roots: int = 2,
+    max_children: int = 3,
+    max_depth: int = 3,
+    wildcard_probability: float = 0.15,
+) -> str:
+    """A random vDataGuide specification string over ``guide``.
+
+    Types are referenced by fully qualified dotted paths, so resolution is
+    never ambiguous.  Returns a spec with 1..max_roots virtual roots.
+    """
+    rng = rng_or_seed if isinstance(rng_or_seed, random.Random) else random.Random(rng_or_seed)
+    element_types = [
+        guide_type
+        for guide_type in guide.iter_types()
+        if not (guide_type.is_text or guide_type.is_attribute)
+    ]
+    if not element_types:
+        raise ValueError("guide has no element types")
+
+    def build(depth: int) -> str:
+        guide_type = rng.choice(element_types)
+        label = guide_type.dotted()
+        if depth >= max_depth or rng.random() < 0.4:
+            return label
+        parts: list[str] = []
+        for _ in range(rng.randrange(1, max_children + 1)):
+            roll = rng.random()
+            if roll < wildcard_probability:
+                parts.append("*")
+            elif roll < 2 * wildcard_probability:
+                parts.append("**")
+            else:
+                parts.append(build(depth + 1))
+        return f"{label} {{ {' '.join(parts)} }}"
+
+    roots = [build(1) for _ in range(rng.randrange(1, max_roots + 1))]
+    return " ".join(roots)

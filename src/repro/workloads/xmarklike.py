@@ -1,0 +1,106 @@
+"""An auction-site document in the shape of XMark.
+
+Structure (scaled by ``items``)::
+
+    <site>
+      <regions>
+        <region name="...">            (6 regions)
+          <item id="...">
+            <name>...</name>
+            <category>...</category>
+            <description><par>...</par>*</description>
+            <price>...</price>
+          </item>*
+        </region>
+      </regions>
+      <people>
+        <person id="..."><name>...</name><city>...</city></person>*
+      </people>
+      <auctions>
+        <auction item="...">
+          <bid person="..."><amount>...</amount></bid>*
+        </auction>*
+      </auctions>
+    </site>
+
+Deep enough (level 6) to exercise long numbers; references between
+auctions, items, and people give value joins something real to do.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.pbn.assign import assign_numbers
+from repro.xmlmodel.builder import elem
+from repro.xmlmodel.nodes import Document
+
+_REGIONS = ["africa", "asia", "australia", "europe", "namerica", "samerica"]
+_CATEGORIES = ["art", "books", "coins", "computers", "music", "stamps", "tools"]
+_WORDS = ["rare", "vintage", "pristine", "boxed", "signed", "limited",
+          "restored", "original", "classic", "annotated"]
+_NAMES = ["Ada", "Bela", "Chen", "Dana", "Emil", "Fay", "Gus", "Hana",
+          "Ines", "Jun", "Kira", "Liam"]
+_CITIES = ["Auckland", "Bergen", "Cairo", "Denver", "Essen", "Fukuoka",
+           "Galway", "Hanoi"]
+
+
+def auction_document(
+    items: int = 200,
+    people: int | None = None,
+    bids_per_auction: int = 3,
+    seed: int = 11,
+    uri: str = "auction.xml",
+    numbered: bool = True,
+) -> Document:
+    """Generate an auction document with ``items`` items (people and
+    auctions scale along: one person per two items, one auction per item)."""
+    rng = random.Random(seed)
+    people_count = people if people is not None else max(items // 2, 1)
+
+    document = Document(uri)
+    site = elem("site")
+    document.append(site)
+
+    regions = elem("regions")
+    site.append(regions)
+    region_elems = {}
+    for region_name in _REGIONS:
+        region = elem("region", name=region_name)
+        regions.append(region)
+        region_elems[region_name] = region
+    for index in range(items):
+        region = region_elems[rng.choice(_REGIONS)]
+        item = elem("item", id=f"item{index}")
+        item.append(elem("name", f"{rng.choice(_WORDS)} {rng.choice(_CATEGORIES)} #{index}"))
+        item.append(elem("category", rng.choice(_CATEGORIES)))
+        description = elem("description")
+        for _ in range(rng.randint(1, 3)):
+            description.append(
+                elem("par", " ".join(rng.choice(_WORDS) for _ in range(6)))
+            )
+        item.append(description)
+        item.append(elem("price", f"{rng.randint(5, 5000)}"))
+        region.append(item)
+
+    people_container = elem("people")
+    site.append(people_container)
+    for index in range(people_count):
+        person = elem("person", id=f"person{index}")
+        person.append(elem("name", rng.choice(_NAMES)))
+        person.append(elem("city", rng.choice(_CITIES)))
+        people_container.append(person)
+
+    auctions = elem("auctions")
+    site.append(auctions)
+    for index in range(items):
+        auction = elem("auction", item=f"item{index}")
+        for _ in range(rng.randint(1, bids_per_auction)):
+            bid = elem("bid", person=f"person{rng.randrange(people_count)}")
+            bid.append(elem("amount", f"{rng.randint(1, 9000)}"))
+            auction.append(bid)
+        auctions.append(auction)
+
+    if numbered:
+        assign_numbers(document)
+    return document

@@ -1,0 +1,23 @@
+"""XML data model substrate: node classes, a from-scratch parser for the
+XML subset the paper's examples use, a serializer, and construction helpers.
+"""
+
+from repro.xmlmodel.nodes import Attribute, Document, Element, Node, NodeKind, Text
+from repro.xmlmodel.parser import parse_document, parse_fragment
+from repro.xmlmodel.serializer import serialize
+from repro.xmlmodel.builder import attr, elem, text
+
+__all__ = [
+    "Attribute",
+    "Document",
+    "Element",
+    "Node",
+    "NodeKind",
+    "Text",
+    "attr",
+    "elem",
+    "parse_document",
+    "parse_fragment",
+    "serialize",
+    "text",
+]

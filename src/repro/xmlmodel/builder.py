@@ -1,0 +1,68 @@
+"""Concise programmatic construction of document trees.
+
+These helpers keep test fixtures and workload generators readable::
+
+    doc = Document("book.xml")
+    doc.append(
+        elem("data",
+             elem("book",
+                  elem("title", text("X")),
+                  elem("author", elem("name", text("C"))),
+                  elem("publisher", elem("location", text("W"))))))
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.xmlmodel.nodes import Attribute, Element, Node, Text
+
+Child = Union[Node, str]
+
+
+def elem(tag: str, *children: Child, **attributes: str) -> Element:
+    """Build an element.
+
+    Positional arguments become children (bare strings become text nodes);
+    keyword arguments become attributes.  Attributes given as keywords are
+    attached first, matching parser order.
+    """
+    element = Element(tag)
+    for name, value in attributes.items():
+        element.append(Attribute(name, value))
+    for child in children:
+        element.append(Text(child) if isinstance(child, str) else child)
+    return element
+
+
+def text(value: str) -> Text:
+    """Build a text node."""
+    return Text(value)
+
+
+def attr(name: str, value: str) -> Attribute:
+    """Build an attribute node."""
+    return Attribute(name, value)
+
+
+def clone_subtree(node: Node) -> Node:
+    """A deep, parentless copy of ``node`` and its subtree (numbers are
+    not copied; renumber the new location if it needs numbers)."""
+    from repro.xmlmodel.nodes import NodeKind
+
+    if node.kind is NodeKind.TEXT:
+        return Text(node.value)  # type: ignore[attr-defined]
+    if node.kind is NodeKind.ATTRIBUTE:
+        return Attribute(node.attr_name, node.value)  # type: ignore[attr-defined]
+    if node.kind is NodeKind.ELEMENT:
+        copy = Element(node.name)
+        for child in node.children:
+            copy.append(clone_subtree(child))
+        return copy
+    # Document: copy the forest into a fresh document.
+    from repro.xmlmodel.nodes import Document
+
+    copy_doc = Document(node.name)
+    for child in node.children:
+        copy_doc.append(clone_subtree(child))
+    return copy_doc

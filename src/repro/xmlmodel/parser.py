@@ -1,0 +1,248 @@
+"""A from-scratch parser for the XML subset the paper's workloads use.
+
+Supported: elements, attributes (single or double quoted), character data,
+CDATA sections, comments, processing instructions, the XML declaration, and
+the five predefined entities plus decimal/hex character references.  Not
+supported (not needed by any workload): DTDs and namespaces beyond treating
+``a:b`` as an opaque tag name.
+
+The parser is deliberately strict — mismatched or unclosed tags raise
+:class:`~repro.errors.XmlParseError` with line/column information — because
+downstream components (numbering, value indexes) rely on well-formed input.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlParseError
+from repro.xmlmodel.nodes import Attribute, Document, Element, Node, Text
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789-.")
+_WHITESPACE = set(" \t\r\n")
+
+
+class _Cursor:
+    """Tracks a position within the source string and raises rich errors."""
+
+    __slots__ = ("source", "pos")
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+
+    def error(self, message: str) -> XmlParseError:
+        line = self.source.count("\n", 0, self.pos) + 1
+        last_newline = self.source.rfind("\n", 0, self.pos)
+        column = self.pos - last_newline
+        return XmlParseError(message, self.pos, line, column)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def peek(self) -> str:
+        return self.source[self.pos] if self.pos < len(self.source) else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.source.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def skip_whitespace(self) -> None:
+        source = self.source
+        while self.pos < len(source) and source[self.pos] in _WHITESPACE:
+            self.pos += 1
+
+    def read_name(self) -> str:
+        if self.at_end() or self.peek() not in _NAME_START:
+            raise self.error("expected a name")
+        start = self.pos
+        source = self.source
+        while self.pos < len(source) and source[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return source[start : self.pos]
+
+    def read_until(self, token: str, what: str) -> str:
+        end = self.source.find(token, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {what}")
+        chunk = self.source[self.pos : end]
+        self.pos = end + len(token)
+        return chunk
+
+
+def _decode_references(raw: str, cursor: _Cursor) -> str:
+    """Replace entity and character references in ``raw`` with their text."""
+    if "&" not in raw:
+        return raw
+    parts: list[str] = []
+    index = 0
+    while True:
+        amp = raw.find("&", index)
+        if amp < 0:
+            parts.append(raw[index:])
+            return "".join(parts)
+        parts.append(raw[index:amp])
+        semi = raw.find(";", amp + 1)
+        if semi < 0:
+            raise cursor.error("unterminated entity reference")
+        entity = raw[amp + 1 : semi]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            try:
+                parts.append(chr(int(entity[2:], 16)))
+            except ValueError as exc:
+                raise cursor.error(f"bad character reference &{entity};") from exc
+        elif entity.startswith("#"):
+            try:
+                parts.append(chr(int(entity[1:])))
+            except ValueError as exc:
+                raise cursor.error(f"bad character reference &{entity};") from exc
+        elif entity in _ENTITIES:
+            parts.append(_ENTITIES[entity])
+        else:
+            raise cursor.error(f"unknown entity &{entity};")
+        index = semi + 1
+
+
+def _skip_misc(cursor: _Cursor) -> None:
+    """Skip whitespace, comments, PIs, and the XML declaration."""
+    while True:
+        cursor.skip_whitespace()
+        if cursor.startswith("<!--"):
+            cursor.pos += 4
+            cursor.read_until("-->", "comment")
+        elif cursor.startswith("<?"):
+            cursor.pos += 2
+            cursor.read_until("?>", "processing instruction")
+        elif cursor.startswith("<!DOCTYPE"):
+            # Skip a (non-subset) doctype declaration to its closing '>'.
+            cursor.read_until(">", "doctype declaration")
+        else:
+            return
+
+
+def _parse_attributes(cursor: _Cursor, element: Element) -> None:
+    """Parse ``name="value"`` pairs until ``>`` or ``/>``."""
+    seen: set[str] = set()
+    while True:
+        cursor.skip_whitespace()
+        if cursor.at_end():
+            raise cursor.error("unterminated start tag")
+        if cursor.peek() in ">/":
+            return
+        name = cursor.read_name()
+        if name in seen:
+            raise cursor.error(f"duplicate attribute {name!r}")
+        seen.add(name)
+        cursor.skip_whitespace()
+        cursor.expect("=")
+        cursor.skip_whitespace()
+        quote = cursor.peek()
+        if quote not in ("'", '"'):
+            raise cursor.error("attribute value must be quoted")
+        cursor.pos += 1
+        raw = cursor.read_until(quote, "attribute value")
+        element.append(Attribute(name, _decode_references(raw, cursor)))
+
+
+def _parse_element(cursor: _Cursor, keep_whitespace: bool) -> Element:
+    """Parse one element starting at ``<`` and return it."""
+    cursor.expect("<")
+    tag = cursor.read_name()
+    element = Element(tag)
+    _parse_attributes(cursor, element)
+    if cursor.startswith("/>"):
+        cursor.pos += 2
+        return element
+    cursor.expect(">")
+    _parse_content(cursor, element, keep_whitespace)
+    cursor.expect("</")
+    closing = cursor.read_name()
+    if closing != tag:
+        raise cursor.error(f"mismatched end tag </{closing}> for <{tag}>")
+    cursor.skip_whitespace()
+    cursor.expect(">")
+    return element
+
+
+def _parse_content(cursor: _Cursor, element: Element, keep_whitespace: bool) -> None:
+    """Parse child content of ``element`` up to (excluding) its end tag."""
+    text_parts: list[str] = []
+
+    def flush_text() -> None:
+        if not text_parts:
+            return
+        value = "".join(text_parts)
+        text_parts.clear()
+        if keep_whitespace or value.strip():
+            element.append(Text(value))
+
+    while True:
+        if cursor.at_end():
+            raise cursor.error(f"unclosed element <{element.tag}>")
+        if cursor.startswith("</"):
+            flush_text()
+            return
+        if cursor.startswith("<!--"):
+            cursor.pos += 4
+            cursor.read_until("-->", "comment")
+        elif cursor.startswith("<![CDATA["):
+            cursor.pos += 9
+            text_parts.append(cursor.read_until("]]>", "CDATA section"))
+        elif cursor.startswith("<?"):
+            cursor.pos += 2
+            cursor.read_until("?>", "processing instruction")
+        elif cursor.peek() == "<":
+            flush_text()
+            element.append(_parse_element(cursor, keep_whitespace))
+        else:
+            start = cursor.pos
+            next_tag = cursor.source.find("<", start)
+            if next_tag < 0:
+                next_tag = len(cursor.source)
+            raw = cursor.source[start:next_tag]
+            cursor.pos = next_tag
+            text_parts.append(_decode_references(raw, cursor))
+
+
+def parse_document(source: str, uri: str = "", keep_whitespace: bool = False) -> Document:
+    """Parse a complete XML document into a :class:`Document` tree.
+
+    :param source: the XML text.
+    :param uri: identifier stored on the document (used by ``doc(uri)``).
+    :param keep_whitespace: keep whitespace-only text nodes.  The default
+        (``False``) strips them, matching the data-centric storage model the
+        paper assumes ("with whitespace stripped", Section 6).
+    :raises XmlParseError: if the input is not well formed.
+    """
+    cursor = _Cursor(source)
+    document = Document(uri)
+    _skip_misc(cursor)
+    if cursor.at_end():
+        raise cursor.error("document has no root element")
+    document.append(_parse_element(cursor, keep_whitespace))
+    _skip_misc(cursor)
+    if not cursor.at_end():
+        raise cursor.error("content after the root element")
+    return document
+
+
+def parse_fragment(source: str, keep_whitespace: bool = False) -> list[Node]:
+    """Parse a forest of sibling elements (no single-root requirement).
+
+    Useful for building test fixtures and for the element constructors the
+    query engine evaluates.  Returns the parsed root nodes with no parent.
+    """
+    cursor = _Cursor(source)
+    roots: list[Node] = []
+    while True:
+        _skip_misc(cursor)
+        if cursor.at_end():
+            return roots
+        if cursor.peek() != "<":
+            raise cursor.error("expected an element")
+        roots.append(_parse_element(cursor, keep_whitespace))

@@ -1,0 +1,81 @@
+"""Serialization of document trees back to XML text.
+
+The serializer is the inverse of the parser for stripped-whitespace
+documents: ``parse_document(serialize(doc))`` reproduces ``doc``.  It is also
+the reference implementation of a node's *value* in the paper's sense — "the
+substring beginning with the starting tag ... continuing to the ending tag"
+(Section 6) — which the storage engine's value index reproduces by range
+lookup instead of re-serialization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xmlmodel.nodes import Node, NodeKind
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for inclusion between tags."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value for inclusion in double quotes."""
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def serialize(node: Node, indent: Optional[str] = None) -> str:
+    """Serialize ``node`` (and its subtree) to XML text.
+
+    :param node: a document, element, text, or attribute node.
+    :param indent: if given (e.g. ``"  "``), pretty-print with one level of
+        ``indent`` per tree level; text nodes suppress indentation of their
+        element so mixed content stays byte-faithful.
+    """
+    parts: list[str] = []
+    _write(node, parts, indent, 0)
+    return "".join(parts)
+
+
+def _write(node: Node, parts: list[str], indent: Optional[str], level: int) -> None:
+    if node.kind is NodeKind.DOCUMENT:
+        for index, child in enumerate(node.children):
+            if indent is not None and index:
+                parts.append("\n")
+            _write(child, parts, indent, level)
+        return
+    if node.kind is NodeKind.TEXT:
+        parts.append(escape_text(node.value))  # type: ignore[attr-defined]
+        return
+    if node.kind is NodeKind.ATTRIBUTE:
+        parts.append(
+            f'{node.attr_name}="{escape_attribute(node.value)}"'  # type: ignore[attr-defined]
+        )
+        return
+
+    # Element.
+    tag = node.name
+    attributes = [c for c in node.children if c.kind is NodeKind.ATTRIBUTE]
+    content = [c for c in node.children if c.kind is not NodeKind.ATTRIBUTE]
+    parts.append(f"<{tag}")
+    for attribute in attributes:
+        parts.append(" ")
+        _write(attribute, parts, None, level)
+    if not content:
+        parts.append("/>")
+        return
+    parts.append(">")
+    pretty = indent is not None and all(c.kind is NodeKind.ELEMENT for c in content)
+    for child in content:
+        if pretty:
+            parts.append("\n" + indent * (level + 1))  # type: ignore[operator]
+        _write(child, parts, indent, level + 1)
+    if pretty:
+        parts.append("\n" + indent * level)  # type: ignore[operator]
+    parts.append(f"</{tag}>")

@@ -1,0 +1,47 @@
+"""Unit tests for the bench report/table rendering."""
+
+from repro.bench.report import Table, _format, seconds
+
+
+def test_format_numbers():
+    assert _format(1234) == "1,234"
+    assert _format(0) == "0"
+    assert _format(0.0) == "0"
+    assert _format(123.456) == "123"
+    assert _format(12.345) == "12.35"
+    assert _format(0.1234) == "0.1234"
+    assert _format(0.0001234) == "1.23e-04"
+    assert _format(-5.5) == "-5.50"
+    assert _format(True) == "yes"
+    assert _format(False) == "no"
+    assert _format("text") == "text"
+
+
+def test_seconds_rounds():
+    assert seconds(0.123456789) == 0.123457
+
+
+def test_empty_table_renders():
+    table = Table("t", "nothing", ["a", "b"])
+    text = table.render()
+    assert "== T: nothing ==" in text
+    assert "a" in text and "b" in text
+
+
+def test_rows_right_aligned():
+    table = Table("t", "x", ["col"], [[1], [12345]])
+    lines = table.render().splitlines()
+    assert lines[-1].strip() == "12,345"
+    assert lines[-2].endswith("1")
+
+
+def test_markdown_has_separator_row():
+    table = Table("t", "x", ["a", "b"], [[1, 2]])
+    markdown = table.to_markdown()
+    assert "|---|---|" in markdown
+
+
+def test_notes_render_in_both_formats():
+    table = Table("t", "x", ["a"], [[1]], notes=["watch out"])
+    assert "note: watch out" in table.render()
+    assert "*watch out*" in table.to_markdown()

@@ -1,0 +1,46 @@
+"""Shared fixtures: the paper's running example and small engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataguide.build import build_dataguide
+from repro.query.engine import Engine
+from repro.workloads.books import books_document, paper_figure2
+
+#: Figure 2's XML, used verbatim by many tests.
+FIGURE2_XML = (
+    "<data>"
+    "<book><title>X</title><author><name>C</name></author>"
+    "<publisher><location>W</location></publisher></book>"
+    "<book><title>Y</title><author><name>D</name></author>"
+    "<publisher><location>M</location></publisher></book>"
+    "</data>"
+)
+
+
+@pytest.fixture
+def figure2():
+    """The paper's Figure 2 instance, numbered."""
+    return paper_figure2()
+
+
+@pytest.fixture
+def figure2_guide(figure2):
+    return build_dataguide(figure2)
+
+
+@pytest.fixture
+def books_engine():
+    """An engine with a 20-book document loaded as ``book.xml``."""
+    engine = Engine()
+    engine.load("book.xml", books_document(20, seed=42))
+    return engine
+
+
+@pytest.fixture
+def figure2_engine():
+    """An engine with exactly the Figure 2 instance loaded."""
+    engine = Engine()
+    engine.load("book.xml", FIGURE2_XML)
+    return engine

@@ -1,0 +1,128 @@
+"""Unit tests for Algorithm 1, pinned to the paper's worked examples."""
+
+import pytest
+
+from repro.dataguide.build import build_dataguide
+from repro.errors import SpecResolutionError
+from repro.vdataguide.grammar import parse_vdataguide
+from repro.core.level_arrays import build_level_arrays
+from repro.vdataguide.grammar import parse_spec
+from repro.vdataguide.resolve import resolve_spec
+from repro.workloads.books import paper_figure2
+from repro.xmlmodel.parser import parse_document
+
+
+@pytest.fixture
+def guide():
+    return build_dataguide(paper_figure2())
+
+
+def _arrays(guide, spec: str) -> dict[str, tuple[int, ...]]:
+    vguide = parse_vdataguide(spec, guide)
+    return {v.dotted(): v.level_array for v in vguide.iter_vtypes()}
+
+
+def test_figure10_arrays(guide):
+    """The exact level arrays of the paper's Figure 10."""
+    arrays = _arrays(guide, "title { author { name } }")
+    assert arrays["title"] == (1, 1, 1)
+    assert arrays["title.#text"] == (1, 1, 1, 2)
+    assert arrays["title.author"] == (1, 1, 2)
+    assert arrays["title.author.name"] == (1, 1, 2, 3)
+    assert arrays["title.author.name.#text"] == (1, 1, 2, 3, 4)
+
+
+def test_case2_inversion_arrays(guide):
+    """Section 5.2's case 2 example: inverting name and author gives name
+    the array [1,1]*[2,2] and author [1,1]*[2,3]."""
+    arrays = _arrays(guide, "title { name { author } }")
+    assert arrays["title.name"] == (1, 1, 2, 2)
+    assert arrays["title.name.author"] == (1, 1, 2, 3)
+
+
+def test_case3_arrays(guide):
+    """Section 5.2's case 3 example: title gets [1,1]*[1], author the new
+    child gets [1,1]*[2]."""
+    arrays = _arrays(guide, "title { author }")
+    assert arrays["title"] == (1, 1, 1)
+    assert arrays["title.author"] == (1, 1, 2)
+
+
+def test_case1_descendant_to_child(guide):
+    """Case 1: name (a grandchild of book) becomes book's direct child —
+    its below-lca components collapse onto level 2."""
+    arrays = _arrays(guide, "book { name }")
+    assert arrays["book"] == (1, 1)
+    assert arrays["book.name"] == (1, 1, 2, 2)
+
+
+def test_root_arrays_are_all_ones(guide):
+    arrays = _arrays(guide, "name")
+    assert arrays["name"] == (1, 1, 1, 1)
+
+
+def test_case2_array_is_one_longer_than_number(guide):
+    vguide = parse_vdataguide("name { author }", guide)
+    vtypes = {v.dotted(): v for v in vguide.iter_vtypes()}
+    author = vtypes["name.author"]
+    # PBN length 3 (data.book.author) but array length 4 — the paper's
+    # "X's level array is one larger than its PBN number".
+    assert author.original.length == 3
+    assert len(author.level_array) == 4
+
+
+def test_arrays_are_non_decreasing(guide):
+    for spec in (
+        "title { author { name } }",
+        "title { name { author } }",
+        "book { name }",
+        "data { ** }",
+    ):
+        vguide = parse_vdataguide(spec, guide)
+        for vtype in vguide.iter_vtypes():
+            array = vtype.level_array
+            assert all(array[i] <= array[i + 1] for i in range(len(array) - 1))
+
+
+def test_max_of_array_is_virtual_level(guide):
+    vguide = parse_vdataguide("title { name { author } }", guide)
+    for vtype in vguide.iter_vtypes():
+        assert max(vtype.level_array) == vtype.level
+
+
+def test_lca_lengths(guide):
+    vguide = parse_vdataguide("title { author { name } }", guide)
+    vtypes = {v.dotted(): v for v in vguide.iter_vtypes()}
+    assert vtypes["title.author"].lca_length == 2  # lca(title, author) = book
+    assert vtypes["title.author.name"].lca_length == 3  # lca = author
+
+
+def test_identity_arrays_match_levels(guide):
+    vguide = parse_vdataguide("data { ** }", guide)
+    for vtype in vguide.iter_vtypes():
+        # In the identity transformation every component sits at its own
+        # original level.
+        assert vtype.level_array == tuple(range(1, vtype.original.length + 1))
+
+
+def test_cross_forest_edge_rejected():
+    document = parse_document("<r><a/></r>")
+    guide = build_dataguide(document)
+    # Manufacture a second guide tree, then relate across trees.
+    guide.ensure_type(("zzz",))
+    vguide = resolve_spec(parse_spec("zzz { a }"), guide)
+    with pytest.raises(SpecResolutionError):
+        build_level_arrays(vguide)
+
+
+def test_cuts(guide):
+    vguide = parse_vdataguide("title { author { name } }", guide)
+    vtypes = {v.dotted(): v for v in vguide.iter_vtypes()}
+    # name: array (1,1,2,3); cut at level 1 -> 2 components, level 2 -> 3,
+    # level 3 -> 4.
+    assert vtypes["title.author.name"].cuts() == (2, 3, 4)
+    # case-2 author in the inversion: array (1,1,2,3) on a 3-component
+    # number: the dangling entry caps at the number length.
+    vguide2 = parse_vdataguide("title { name { author } }", guide)
+    vtypes2 = {v.dotted(): v for v in vguide2.iter_vtypes()}
+    assert vtypes2["title.name.author"].cuts() == (2, 3, 3)

@@ -1,0 +1,129 @@
+"""Unit tests for virtual value construction (Section 6)."""
+
+import pytest
+
+from repro.core.values import VirtualValueBuilder
+from repro.core.virtual_document import VirtualDocument
+from repro.query.engine import Engine
+from repro.storage.store import DocumentStore
+from repro.workloads.books import books_document, paper_figure2
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import serialize
+
+
+def _setup(document, spec):
+    store = DocumentStore(document)
+    vdoc = VirtualDocument.from_spec(document, spec, store.guide)
+    return store, vdoc
+
+
+def test_value_matches_materialized_serialization():
+    document = paper_figure2()
+    store, vdoc = _setup(document, "title { author { name } }")
+    builder = VirtualValueBuilder(vdoc, store)
+    title1 = vdoc.roots()[0]
+    assert builder.value(title1) == serialize(vdoc.copy_subtree(title1))
+
+
+def test_intact_subtree_is_spliced():
+    document = books_document(10, seed=1)
+    store, vdoc = _setup(document, "book { ** }")
+    builder = VirtualValueBuilder(vdoc, store)
+    book = vdoc.roots()[0]
+    assert builder.is_intact(book.vtype)
+    value = builder.value(book)
+    assert builder.stats.spliced_ranges == 1
+    assert builder.stats.constructed_elements == 0
+    assert value == serialize(vdoc.copy_subtree(book))
+
+
+def test_reordered_subtree_is_constructed():
+    document = paper_figure2()
+    store, vdoc = _setup(document, "title { author }")
+    builder = VirtualValueBuilder(vdoc, store)
+    title = vdoc.roots()[0]
+    assert not builder.is_intact(title.vtype)
+    value = builder.value(title)
+    assert builder.stats.constructed_elements >= 1
+    assert value == serialize(vdoc.copy_subtree(title))
+
+
+def test_mixed_intact_below_constructed():
+    document = books_document(5, seed=2)
+    store, vdoc = _setup(document, "data { book { author { ** } title } }")
+    builder = VirtualValueBuilder(vdoc, store)
+    root = vdoc.roots()[0]
+    value = builder.value(root)
+    assert value == serialize(vdoc.copy_subtree(root))
+    # Authors are intact (their subtree shape survived), so they splice.
+    assert builder.stats.spliced_ranges > 0
+    assert builder.stats.constructed_elements > 0
+
+
+def test_splicing_can_be_disabled():
+    document = books_document(5, seed=3)
+    store, vdoc = _setup(document, "book { ** }")
+    builder = VirtualValueBuilder(vdoc, store, use_splicing=False)
+    book = vdoc.roots()[0]
+    value = builder.value(book)
+    assert value == serialize(vdoc.copy_subtree(book))
+    assert builder.stats.constructed_elements > 0
+
+
+def test_attributes_in_constructed_values():
+    document = parse_document(
+        '<data><book id="b1"><title lang="en">T</title>'
+        "<author>A</author></book></data>"
+    )
+    store, vdoc = _setup(document, "title { author }")
+    builder = VirtualValueBuilder(vdoc, store)
+    title = vdoc.roots()[0]
+    assert builder.value(title) == '<title lang="en">T<author>A</author></title>'
+
+
+def test_escaped_text_survives_stitching():
+    document = parse_document("<data><book><title>a &lt; b</title><author>x&amp;y</author></book></data>")
+    store, vdoc = _setup(document, "title { author }")
+    builder = VirtualValueBuilder(vdoc, store)
+    title = vdoc.roots()[0]
+    value = builder.value(title)
+    assert value == "<title>a &lt; b<author>x&amp;y</author></title>"
+    assert value == serialize(vdoc.copy_subtree(title))
+
+
+def test_empty_element_value():
+    document = parse_document("<data><book><title/><author>A</author></book></data>")
+    store, vdoc = _setup(document, "title { author }")
+    builder = VirtualValueBuilder(vdoc, store)
+    title = vdoc.roots()[0]
+    assert builder.value(title) == "<title><author>A</author></title>"
+
+
+def test_builder_rejects_mismatched_store():
+    document_a = books_document(2, seed=4)
+    document_b = books_document(2, seed=5)
+    store = DocumentStore(document_a)
+    vdoc = VirtualDocument.from_spec(document_b, "title")
+    with pytest.raises(ValueError):
+        VirtualValueBuilder(vdoc, store)
+
+
+def test_values_for_every_root_match_engine_copy():
+    engine = Engine()
+    document = books_document(8, seed=6)
+    store = engine.load("book.xml", document)
+    vdoc = engine.virtual("book.xml", "title { author { name } }")
+    builder = VirtualValueBuilder(vdoc, store)
+    for vnode in vdoc.roots():
+        assert builder.value(vnode) == serialize(vdoc.copy_subtree(vnode))
+
+
+def test_stats_reset():
+    document = books_document(3, seed=7)
+    store, vdoc = _setup(document, "book { ** }")
+    builder = VirtualValueBuilder(vdoc, store)
+    builder.value(vdoc.roots()[0])
+    assert builder.stats.bytes_copied > 0
+    builder.stats.reset()
+    assert builder.stats.bytes_copied == 0
+    assert builder.stats.spliced_ranges == 0

@@ -1,0 +1,172 @@
+"""Unit tests for vPBN numbers and the Section 5 predicates, pinned to the
+paper's worked examples around Figure 10."""
+
+import pytest
+
+from repro.core import vpbn as V
+from repro.core.vpbn import VPbn
+from repro.dataguide.build import build_dataguide
+from repro.errors import NumberingError
+from repro.pbn.number import Pbn
+from repro.vdataguide.grammar import parse_vdataguide
+from repro.workloads.books import paper_figure2
+
+
+@pytest.fixture
+def fig10():
+    """Virtual types of the Figure 6 transformation over Figure 2."""
+    guide = build_dataguide(paper_figure2())
+    vguide = parse_vdataguide("title { author { name } }", guide)
+    return {v.dotted(): v for v in vguide.iter_vtypes()}
+
+
+@pytest.fixture
+def nodes(fig10):
+    """The vPBN numbers shown in Figure 10."""
+    return {
+        "title1": VPbn(Pbn(1, 1, 1), fig10["title"]),
+        "title2": VPbn(Pbn(1, 2, 1), fig10["title"]),
+        "X": VPbn(Pbn(1, 1, 1, 1), fig10["title.#text"]),
+        "Y": VPbn(Pbn(1, 2, 1, 1), fig10["title.#text"]),
+        "author1": VPbn(Pbn(1, 1, 2), fig10["title.author"]),
+        "author2": VPbn(Pbn(1, 2, 2), fig10["title.author"]),
+        "name1": VPbn(Pbn(1, 1, 2, 1), fig10["title.author.name"]),
+        "name2": VPbn(Pbn(1, 2, 2, 1), fig10["title.author.name"]),
+        "C": VPbn(Pbn(1, 1, 2, 1, 1), fig10["title.author.name.#text"]),
+        "D": VPbn(Pbn(1, 2, 2, 1, 1), fig10["title.author.name.#text"]),
+    }
+
+
+def test_vpbn_validates_number_length(fig10):
+    with pytest.raises(NumberingError):
+        VPbn(Pbn(1, 1), fig10["title"])  # title is at original depth 3
+
+
+def test_vpbn_requires_level_array(fig10):
+    from repro.vdataguide.ast import VType
+
+    bare = VType(fig10["title"].original, None)
+    with pytest.raises(NumberingError):
+        VPbn(Pbn(1, 1, 1), bare)
+
+
+def test_levels_and_level(nodes):
+    assert nodes["title1"].levels == (1, 1, 1)
+    assert nodes["title1"].level == 1
+    assert nodes["C"].levels == (1, 1, 2, 3, 4)
+    assert nodes["C"].level == 4
+
+
+def test_paper_example_name_descendant_of_title(nodes):
+    """'The leftmost <name> is a virtual descendant of the leftmost
+    <title> ... but not of the rightmost <title>.'"""
+    assert V.v_descendant(nodes["name1"], nodes["title1"])
+    assert not V.v_descendant(nodes["name1"], nodes["title2"])
+
+
+def test_paper_example_c_precedes_author2(nodes):
+    """'C 1.1.2.1.1 virtually precedes <author> 1.2.2.'"""
+    assert V.v_preceding(nodes["C"], nodes["author2"])
+    assert V.v_following(nodes["author2"], nodes["C"])
+
+
+def test_paper_example_c_not_following_sibling_of_d(nodes):
+    """'C is not a virtual following-sibling of D since ... they do not
+    have the same virtual parent.'"""
+    assert not V.v_following_sibling(nodes["C"], nodes["D"])
+    assert not V.v_preceding_sibling(nodes["C"], nodes["D"])
+
+
+def test_self(nodes):
+    assert V.v_self(nodes["C"], nodes["C"])
+    assert not V.v_self(nodes["C"], nodes["D"])
+    assert V.v_descendant_or_self(nodes["C"], nodes["C"])
+    assert V.v_ancestor_or_self(nodes["C"], nodes["C"])
+
+
+def test_parent_child(nodes):
+    assert V.v_parent(nodes["title1"], nodes["author1"])
+    assert V.v_child(nodes["author1"], nodes["title1"])
+    assert not V.v_parent(nodes["title1"], nodes["author2"])
+    assert not V.v_parent(nodes["title1"], nodes["name1"])  # grandchild
+    assert V.v_parent(nodes["author1"], nodes["name1"])
+
+
+def test_ancestor_chains(nodes):
+    assert V.v_ancestor(nodes["title1"], nodes["C"])
+    assert V.v_ancestor(nodes["author1"], nodes["C"])
+    assert V.v_ancestor(nodes["name1"], nodes["C"])
+    assert not V.v_ancestor(nodes["title2"], nodes["C"])
+    assert not V.v_ancestor(nodes["C"], nodes["title1"])
+
+
+def test_title_text_is_child(nodes):
+    assert V.v_child(nodes["X"], nodes["title1"])
+    assert not V.v_child(nodes["X"], nodes["title2"])
+
+
+def test_siblings_same_parent(nodes):
+    # X (text) and author1 share title1 as virtual parent.
+    assert V.v_preceding_sibling(nodes["X"], nodes["author1"])
+    assert V.v_following_sibling(nodes["author1"], nodes["X"])
+
+
+def test_preceding_excludes_ancestors(nodes):
+    # title1 diverges from author1 at position 3 (1 < 2) but is its
+    # virtual ancestor, so it must not be 'preceding'.
+    assert not V.v_preceding(nodes["title1"], nodes["author1"])
+    assert not V.v_following(nodes["author1"], nodes["title1"])
+
+
+def test_virtual_order(nodes):
+    order = [
+        "title1",
+        "X",
+        "author1",
+        "name1",
+        "C",
+        "title2",
+        "Y",
+        "author2",
+        "name2",
+        "D",
+    ]
+    for earlier, later in zip(order, order[1:]):
+        assert V.compare_virtual_order(nodes[earlier], nodes[later]) == -1
+        assert V.compare_virtual_order(nodes[later], nodes[earlier]) == 1
+    assert V.compare_virtual_order(nodes["C"], nodes["C"]) == 0
+
+
+def test_case2_inversion_predicates():
+    """In title { name { author } }, the author (an original ancestor of
+    name) is name's virtual child."""
+    guide = build_dataguide(paper_figure2())
+    vguide = parse_vdataguide("title { name { author } }", guide)
+    vtypes = {v.dotted(): v for v in vguide.iter_vtypes()}
+    name1 = VPbn(Pbn(1, 1, 2, 1), vtypes["title.name"])
+    author1 = VPbn(Pbn(1, 1, 2), vtypes["title.name.author"])
+    author2 = VPbn(Pbn(1, 2, 2), vtypes["title.name.author"])
+    assert V.v_child(author1, name1)
+    assert V.v_parent(name1, author1)
+    assert not V.v_child(author2, name1)
+    # The inverted author sorts after its new parent in virtual order.
+    assert V.compare_virtual_order(name1, author1) == -1
+
+
+def test_key_at(nodes):
+    assert nodes["C"].key_at(1) == (1, 1)
+    assert nodes["C"].key_at(2) == (1, 1, 2)
+    assert nodes["C"].key_at(4) == (1, 1, 2, 1, 1)
+
+
+def test_hash_and_eq(nodes, fig10):
+    again = VPbn(Pbn(1, 1, 1), fig10["title"])
+    assert again == nodes["title1"]
+    assert hash(again) == hash(nodes["title1"])
+    assert nodes["title1"] != nodes["title2"]
+
+
+def test_dispatch_table_matches_pbn_axes():
+    from repro.pbn.axes import AXIS_PREDICATES
+
+    assert set(V.VIRTUAL_AXIS_PREDICATES) == set(AXIS_PREDICATES)

@@ -1,0 +1,148 @@
+"""Unit tests for DataGuide construction and helper functions."""
+
+import pytest
+
+from repro.dataguide.build import build_dataguide
+from repro.dataguide.guide import DataGuide
+from repro.dataguide.spec import guide_to_spec
+from repro.errors import SpecResolutionError
+from repro.pbn.number import Pbn
+from repro.workloads.books import paper_figure2
+from repro.xmlmodel.parser import parse_document
+
+
+@pytest.fixture
+def guide():
+    return build_dataguide(paper_figure2())
+
+
+def test_guide_matches_paper_figure7(guide):
+    paths = {t.dotted() for t in guide.iter_types()}
+    assert paths == {
+        "data",
+        "data.book",
+        "data.book.title",
+        "data.book.title.#text",
+        "data.book.author",
+        "data.book.author.name",
+        "data.book.author.name.#text",
+        "data.book.publisher",
+        "data.book.publisher.location",
+        "data.book.publisher.location.#text",
+    }
+
+
+def test_counts(guide):
+    assert guide.lookup_path(("data",)).count == 1
+    assert guide.lookup_path(("data", "book")).count == 2
+    assert guide.lookup_path(("data", "book", "author", "name")).count == 2
+
+
+def test_type_of(guide):
+    document = paper_figure2()
+    name = document.root.children[0].children[1].children[0]
+    assert name.name == "name"
+    assert guide.type_of(name).dotted() == "data.book.author.name"
+
+
+def test_type_of_foreign_node_rejected(guide):
+    other = parse_document("<zzz/>")
+    with pytest.raises(SpecResolutionError):
+        guide.type_of(other.root)
+
+
+def test_guide_types_are_pbn_numbered(guide):
+    data = guide.lookup_path(("data",))
+    book = guide.lookup_path(("data", "book"))
+    assert data.pbn == Pbn(1)
+    assert book.pbn == Pbn(1, 1)
+
+
+def test_length(guide):
+    assert guide.lookup_path(("data", "book", "author")).length == 3
+
+
+def test_lca_type_of(guide):
+    title = guide.lookup_path(("data", "book", "title"))
+    author = guide.lookup_path(("data", "book", "author"))
+    name = guide.lookup_path(("data", "book", "author", "name"))
+    lca = guide.lca_type_of(title, author)
+    assert lca.dotted() == "data.book"
+    # lca of a type and its descendant is the type itself.
+    assert guide.lca_type_of(author, name) is author
+    assert guide.lca_type_of(name, name) is name
+
+
+def test_lca_across_forest_is_none():
+    guide = DataGuide()
+    a = guide.ensure_type(("a",))
+    b = guide.ensure_type(("b",))
+    assert guide.lca_type_of(a, b) is None
+
+
+def test_is_ancestor_of(guide):
+    book = guide.lookup_path(("data", "book"))
+    name = guide.lookup_path(("data", "book", "author", "name"))
+    assert book.is_ancestor_of(name)
+    assert not name.is_ancestor_of(book)
+    assert not book.is_ancestor_of(book)
+
+
+def test_resolve_label_unqualified(guide):
+    assert guide.resolve_label("author").dotted() == "data.book.author"
+
+
+def test_resolve_label_qualified(guide):
+    assert guide.resolve_label("book.title").dotted() == "data.book.title"
+    assert guide.resolve_label("data.book").dotted() == "data.book"
+
+
+def test_resolve_label_unknown(guide):
+    with pytest.raises(SpecResolutionError):
+        guide.resolve_label("nothing")
+
+
+def test_resolve_label_ambiguous():
+    document = parse_document("<r><a><x/></a><b><x/></b></r>")
+    guide = build_dataguide(document)
+    with pytest.raises(SpecResolutionError):
+        guide.resolve_label("x")
+    assert guide.resolve_label("a.x").dotted() == "r.a.x"
+
+
+def test_types_named(guide):
+    assert [t.dotted() for t in guide.types_named("book")] == ["data.book"]
+    assert guide.types_named("zzz") == []
+
+
+def test_recursive_schema_gets_type_per_level():
+    document = parse_document("<a><a><a/></a></a>")
+    guide = build_dataguide(document)
+    assert len(guide) == 3
+    assert ("a", "a", "a") in guide
+
+
+def test_is_text_and_attribute_flags():
+    document = parse_document('<a id="1">t</a>')
+    guide = build_dataguide(document)
+    labels = {t.dotted(): (t.is_text, t.is_attribute) for t in guide.iter_types()}
+    assert labels["a.#text"] == (True, False)
+    assert labels["a.@id"] == (False, True)
+    assert labels["a"] == (False, False)
+
+
+def test_guide_to_spec_roundtrips_identity(guide):
+    spec = guide_to_spec(guide)
+    assert spec == (
+        "data { book { title author { name } publisher { location } } }"
+    )
+
+
+def test_guide_to_spec_with_leaves(guide):
+    spec = guide_to_spec(guide, include_leaves=True)
+    assert "#text" in spec
+
+
+def test_contains_and_len(guide):
+    assert ("data", "book") in guide
+    assert len(guide) == 10

@@ -1,0 +1,151 @@
+"""Unit tests for number assignment, document order, and the codec."""
+
+import pytest
+
+from repro.errors import NumberingError
+from repro.pbn.assign import assign_numbers, iter_numbered
+from repro.pbn.codec import decode_pbn, encode_pbn, encoded_size
+from repro.pbn.number import Pbn
+from repro.pbn.order import compare_document_order, is_sorted, sort_document_order
+from repro.xmlmodel.builder import elem, text
+from repro.xmlmodel.nodes import Document
+from repro.xmlmodel.parser import parse_document
+
+
+def _figure8_document():
+    return parse_document(
+        "<data>"
+        "<book><title>X</title><author><name>C</name></author>"
+        "<publisher><location>W</location></publisher></book>"
+        "<book><title>Y</title><author><name>D</name></author>"
+        "<publisher><location>M</location></publisher></book>"
+        "</data>"
+    )
+
+
+def test_assign_matches_paper_figure8():
+    document = assign_numbers(_figure8_document())
+    by_number = {str(node.pbn): node.name for node in iter_numbered(document)}
+    assert by_number["1"] == "data"
+    assert by_number["1.1"] == "book"
+    assert by_number["1.2"] == "book"
+    assert by_number["1.2.2"] == "author"
+    assert by_number["1.1.2.1"] == "name"
+    assert by_number["1.1.2.1.1"] == "#text"  # C
+    assert by_number["1.2.3.1.1"] == "#text"  # M
+
+
+def test_assign_numbers_forest():
+    document = Document("u")
+    document.append(elem("a"))
+    document.append(elem("b"))
+    assign_numbers(document)
+    assert document.children[0].pbn == Pbn(1)
+    assert document.children[1].pbn == Pbn(2)
+
+
+def test_attributes_numbered_first():
+    document = Document("u")
+    document.append(elem("a", text("t"), id="1"))
+    assign_numbers(document)
+    root = document.root
+    assert root.children[0].name == "@id"
+    assert root.children[0].pbn == Pbn(1, 1)
+    assert root.children[1].pbn == Pbn(1, 2)
+
+
+def test_iter_numbered_requires_numbers():
+    document = Document("u")
+    document.append(elem("a"))
+    with pytest.raises(ValueError):
+        list(iter_numbered(document))
+
+
+def test_reassign_overwrites():
+    document = assign_numbers(_figure8_document())
+    first = document.root.children[0]
+    document.root.children.reverse()
+    assign_numbers(document)
+    assert first.pbn == Pbn(1, 2)
+
+
+# -- order ------------------------------------------------------------------
+
+
+def test_compare_document_order():
+    assert compare_document_order(Pbn(1, 1), Pbn(1, 2)) < 0
+    assert compare_document_order(Pbn(1, 2), Pbn(1, 1)) > 0
+    assert compare_document_order(Pbn(1), Pbn(1)) == 0
+    assert compare_document_order(Pbn(1), Pbn(1, 1)) < 0  # ancestor first
+
+
+def test_sort_document_order():
+    numbers = [Pbn(2), Pbn(1, 2), Pbn(1), Pbn(1, 10), Pbn(1, 2, 1)]
+    assert sort_document_order(numbers) == [
+        Pbn(1),
+        Pbn(1, 2),
+        Pbn(1, 2, 1),
+        Pbn(1, 10),
+        Pbn(2),
+    ]
+
+
+def test_is_sorted():
+    assert is_sorted([Pbn(1), Pbn(1, 1), Pbn(2)])
+    assert is_sorted([Pbn(1), Pbn(1)])
+    assert not is_sorted([Pbn(2), Pbn(1)])
+    assert is_sorted([])
+
+
+# -- codec ------------------------------------------------------------------
+
+
+def test_roundtrip_simple():
+    for number in (Pbn(1), Pbn(1, 2, 3), Pbn(128), Pbn(129), Pbn(40_000, 1)):
+        assert decode_pbn(encode_pbn(number)) == number
+
+
+def test_single_byte_for_small_components():
+    assert len(encode_pbn(Pbn(1, 2, 3))) == 3
+    assert len(encode_pbn(Pbn(128))) == 1
+    assert len(encode_pbn(Pbn(129))) == 2
+
+
+def test_encoding_preserves_document_order():
+    numbers = [Pbn(1), Pbn(1, 1), Pbn(1, 2), Pbn(1, 10), Pbn(1, 200), Pbn(2), Pbn(127), Pbn(129, 5)]
+    encoded = [encode_pbn(n) for n in numbers]
+    assert sorted(encoded) == [
+        encode_pbn(n) for n in sort_document_order(numbers)
+    ]
+
+
+def test_encoding_preserves_prefix_property():
+    parent = encode_pbn(Pbn(1, 2))
+    child = encode_pbn(Pbn(1, 2, 7))
+    other = encode_pbn(Pbn(1, 3))
+    assert child.startswith(parent)
+    assert not other.startswith(parent)
+
+
+def test_prefix_property_with_multibyte_components():
+    parent = encode_pbn(Pbn(1, 500))
+    child = encode_pbn(Pbn(1, 500, 2))
+    sibling = encode_pbn(Pbn(1, 501))
+    assert child.startswith(parent)
+    assert not sibling.startswith(parent)
+
+
+def test_encoded_size_matches():
+    for number in (Pbn(1), Pbn(129, 2), Pbn(70_000)):
+        assert encoded_size(number) == len(encode_pbn(number))
+
+
+def test_decode_rejects_truncated():
+    data = encode_pbn(Pbn(500))
+    with pytest.raises(NumberingError):
+        decode_pbn(data[:-1])
+
+
+def test_decode_rejects_empty():
+    with pytest.raises(NumberingError):
+        decode_pbn(b"")

@@ -1,0 +1,78 @@
+"""Unit tests for PBN axis predicates, including the paper's Section 4.2
+worked example (1.1.2 vs 1.2)."""
+
+from repro.pbn import axes
+from repro.pbn.number import Pbn
+
+
+def test_paper_example_1_1_2_vs_1_2():
+    x = Pbn(1, 1, 2)
+    y = Pbn(1, 2)
+    assert not axes.is_child(x, y)
+    assert not axes.is_parent(x, y)
+    assert not axes.is_ancestor(x, y)
+    assert not axes.is_descendant(x, y)
+    assert axes.is_preceding(x, y)
+    assert not axes.is_preceding_sibling(x, y)  # parents differ (1.1 vs 1)
+
+
+def test_self():
+    assert axes.is_self(Pbn(1, 2), Pbn(1, 2))
+    assert not axes.is_self(Pbn(1, 2), Pbn(1, 3))
+
+
+def test_ancestor_descendant():
+    assert axes.is_ancestor(Pbn(1), Pbn(1, 4, 2))
+    assert axes.is_descendant(Pbn(1, 4, 2), Pbn(1))
+    assert not axes.is_ancestor(Pbn(1, 4, 2), Pbn(1))
+    assert not axes.is_ancestor(Pbn(1), Pbn(1))  # proper
+
+
+def test_ancestor_or_self():
+    assert axes.is_ancestor_or_self(Pbn(1), Pbn(1))
+    assert axes.is_descendant_or_self(Pbn(1, 2), Pbn(1))
+
+
+def test_parent_child():
+    assert axes.is_parent(Pbn(1, 2), Pbn(1, 2, 9))
+    assert axes.is_child(Pbn(1, 2, 9), Pbn(1, 2))
+    assert not axes.is_parent(Pbn(1), Pbn(1, 2, 9))  # grandparent
+
+
+def test_siblings():
+    assert axes.is_sibling(Pbn(1, 2), Pbn(1, 5))
+    assert not axes.is_sibling(Pbn(1, 2), Pbn(1, 2))
+    assert not axes.is_sibling(Pbn(1, 2), Pbn(2, 2))
+    assert axes.is_sibling(Pbn(1), Pbn(2))  # roots of the forest
+
+
+def test_sibling_order():
+    assert axes.is_preceding_sibling(Pbn(1, 2), Pbn(1, 5))
+    assert axes.is_following_sibling(Pbn(1, 5), Pbn(1, 2))
+    assert not axes.is_preceding_sibling(Pbn(1, 5), Pbn(1, 2))
+
+
+def test_preceding_excludes_ancestors():
+    assert not axes.is_preceding(Pbn(1), Pbn(1, 2))
+    assert not axes.is_following(Pbn(1, 2), Pbn(1))
+
+
+def test_following():
+    assert axes.is_following(Pbn(1, 3), Pbn(1, 2, 9))
+    assert axes.is_preceding(Pbn(1, 2, 9), Pbn(1, 3))
+
+
+def test_axis_dispatch_table_complete():
+    assert set(axes.AXIS_PREDICATES) == {
+        "self",
+        "parent",
+        "child",
+        "ancestor",
+        "ancestor-or-self",
+        "descendant",
+        "descendant-or-self",
+        "preceding",
+        "following",
+        "preceding-sibling",
+        "following-sibling",
+    }

@@ -1,0 +1,109 @@
+"""Unit tests for the Pbn number type."""
+
+import pytest
+
+from repro.errors import NumberingError
+from repro.pbn.number import Pbn
+
+
+def test_construction_and_str():
+    assert str(Pbn(1, 2, 2)) == "1.2.2"
+
+
+def test_requires_components():
+    with pytest.raises(NumberingError):
+        Pbn()
+
+
+def test_rejects_nonpositive():
+    with pytest.raises(NumberingError):
+        Pbn(1, 0)
+    with pytest.raises(NumberingError):
+        Pbn(-3)
+
+
+def test_rejects_non_int():
+    with pytest.raises(NumberingError):
+        Pbn(1, "2")  # type: ignore[arg-type]
+
+
+def test_parse():
+    assert Pbn.parse("1.2.2") == Pbn(1, 2, 2)
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(NumberingError):
+        Pbn.parse("1.x.2")
+
+
+def test_of():
+    assert Pbn.of([3, 1]) == Pbn(3, 1)
+
+
+def test_level_and_ordinal():
+    number = Pbn(1, 2, 5)
+    assert number.level == 3
+    assert number.ordinal == 5
+
+
+def test_parent():
+    assert Pbn(1, 2, 2).parent() == Pbn(1, 2)
+
+
+def test_parent_of_root_rejected():
+    with pytest.raises(NumberingError):
+        Pbn(1).parent()
+
+
+def test_child():
+    assert Pbn(1, 2).child(3) == Pbn(1, 2, 3)
+
+
+def test_prefix():
+    assert Pbn(1, 2, 3).prefix(2) == Pbn(1, 2)
+    with pytest.raises(NumberingError):
+        Pbn(1, 2).prefix(3)
+    with pytest.raises(NumberingError):
+        Pbn(1, 2).prefix(0)
+
+
+def test_is_prefix_of():
+    assert Pbn(1, 2).is_prefix_of(Pbn(1, 2, 9))
+    assert Pbn(1, 2).is_prefix_of(Pbn(1, 2))
+    assert not Pbn(1, 2).is_prefix_of(Pbn(1, 3, 2))
+    assert not Pbn(1, 2, 1).is_prefix_of(Pbn(1, 2))
+
+
+def test_shared_prefix_length():
+    assert Pbn(1, 2, 3).shared_prefix_length(Pbn(1, 2, 4)) == 2
+    assert Pbn(1).shared_prefix_length(Pbn(2)) == 0
+    assert Pbn(1, 2).shared_prefix_length(Pbn(1, 2, 5)) == 2
+
+
+def test_document_order_ancestor_first():
+    assert Pbn(1, 2) < Pbn(1, 2, 1)
+    assert Pbn(1, 1, 9) < Pbn(1, 2)
+    assert Pbn(1, 10) > Pbn(1, 9)  # numeric, not lexicographic strings
+
+
+def test_total_order_operators():
+    a, b = Pbn(1, 1), Pbn(1, 2)
+    assert a <= b and a < b and b > a and b >= a and a != b
+    assert a <= Pbn(1, 1) and a >= Pbn(1, 1)
+
+
+def test_hashable():
+    assert len({Pbn(1, 2), Pbn(1, 2), Pbn(1, 3)}) == 2
+
+
+def test_immutable():
+    number = Pbn(1)
+    with pytest.raises(AttributeError):
+        number.components = (2,)  # type: ignore[misc]
+
+
+def test_sequence_protocol():
+    number = Pbn(4, 5, 6)
+    assert len(number) == 3
+    assert number[1] == 5
+    assert list(number) == [4, 5, 6]

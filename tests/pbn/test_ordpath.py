@@ -1,0 +1,154 @@
+"""Unit tests for ORDPATH-style insertion."""
+
+import pytest
+
+from repro.errors import NumberingError
+from repro.pbn.ordpath import OrdPbn, after, before, between, initial_numbering
+
+
+def test_construction():
+    number = OrdPbn(1, 3, 5)
+    assert str(number) == "1.3.5"
+    assert number.level == 3
+
+
+def test_rejects_trailing_caret():
+    with pytest.raises(NumberingError):
+        OrdPbn(1, 2)
+
+
+def test_rejects_empty():
+    with pytest.raises(NumberingError):
+        OrdPbn()
+
+
+def test_carets_do_not_add_levels():
+    assert OrdPbn(5).level == 1
+    assert OrdPbn(4, 9).level == 1
+    assert OrdPbn(4, -2, 7).level == 1
+    assert OrdPbn(1, 4, 9).level == 2
+
+
+def test_document_order_with_carets():
+    ordered = [OrdPbn(4, -2, 7), OrdPbn(4, 9), OrdPbn(5)]
+    assert sorted([ordered[2], ordered[0], ordered[1]]) == ordered
+
+
+def test_logical_split():
+    assert OrdPbn(4, 9, 1).logical() == ((4, 9), (1,))
+
+
+def test_parent():
+    assert OrdPbn(1, 4, 9).parent() == OrdPbn(1)
+    assert OrdPbn(2, 1, 3).parent() == OrdPbn(2, 1)
+    with pytest.raises(NumberingError):
+        OrdPbn(2, 1).parent()
+
+
+def test_prefix_respects_logical_boundaries():
+    parent = OrdPbn(1)
+    child = OrdPbn(1, 4, 9)
+    assert parent.is_prefix_of(child)
+    assert parent.is_ancestor_of(child)
+    assert parent.is_parent_of(child)
+    assert not OrdPbn(3).is_prefix_of(child)
+    # (1, 3) ends at a logical boundary of (1, 3, 2, 1), so it is the
+    # parent of that careted child.
+    assert OrdPbn(1, 3).is_parent_of(OrdPbn(1, 3, 2, 1))
+
+
+def test_caret_prefix_is_not_ancestor():
+    # 4.9 is a level-1 number; 5 is too; neither is an ancestor of 4.9.1?
+    deep = OrdPbn(4, 9, 1)
+    assert OrdPbn(4, 9).is_parent_of(deep)
+    assert not OrdPbn(5).is_prefix_of(deep)
+
+
+def test_siblings():
+    a, b = OrdPbn(1, 1), OrdPbn(1, 3)
+    assert a.is_sibling_of(b)
+    assert not a.is_sibling_of(OrdPbn(2, 1))
+    assert not a.is_sibling_of(a)
+    assert OrdPbn(1).is_sibling_of(OrdPbn(3))
+    # A caret sibling: 1.2.1 is a sibling of 1.1 (both level 2 under 1).
+    assert OrdPbn(1, 2, 1).is_sibling_of(OrdPbn(1, 1))
+
+
+def test_initial_numbering():
+    roots = initial_numbering(3)
+    assert [str(n) for n in roots] == ["1", "3", "5"]
+    children = initial_numbering(2, roots[0])
+    assert [str(n) for n in children] == ["1.1", "1.3"]
+
+
+def test_between_gap():
+    new = between(OrdPbn(1, 1), OrdPbn(1, 5))
+    assert OrdPbn(1, 1) < new < OrdPbn(1, 5)
+    assert new.level == 2
+
+
+def test_between_adjacent_odds():
+    new = between(OrdPbn(1), OrdPbn(3))
+    assert OrdPbn(1) < new < OrdPbn(3)
+    assert new.level == 1
+
+
+def test_before_and_after():
+    first = OrdPbn(5, 1)
+    newer = before(first)
+    assert newer < first and newer.is_sibling_of(first)
+    later = after(first)
+    assert later > first and later.is_sibling_of(first)
+    # Repeated 'before' keeps working (negative components).
+    front = first
+    for _ in range(5):
+        front = before(front)
+    assert front < first
+
+
+def test_between_rejects_non_siblings():
+    with pytest.raises(NumberingError):
+        between(OrdPbn(1, 1), OrdPbn(2, 1))
+    with pytest.raises(NumberingError):
+        between(OrdPbn(3), OrdPbn(1))
+
+
+def test_repeated_splitting_stays_ordered():
+    """Insert 200 times into the narrowest gap; order always holds and no
+    existing number changes (the whole point of the scheme)."""
+    numbers = [OrdPbn(1), OrdPbn(3)]
+    for _ in range(200):
+        new = between(numbers[0], numbers[1])
+        assert numbers[0] < new < numbers[1]
+        assert new.is_sibling_of(numbers[0])
+        numbers.insert(1, new)
+    assert numbers == sorted(numbers)
+    assert numbers[0] == OrdPbn(1) and numbers[-1] == OrdPbn(3)
+
+
+def test_random_insert_positions_stay_sorted():
+    import random
+
+    rng = random.Random(9)
+    numbers = initial_numbering(4)
+    for _ in range(300):
+        index = rng.randrange(len(numbers) + 1)
+        if index == 0:
+            new = before(numbers[0])
+        elif index == len(numbers):
+            new = after(numbers[-1])
+        else:
+            new = between(numbers[index - 1], numbers[index])
+        numbers.insert(index, new)
+    assert numbers == sorted(numbers)
+    assert len(set(numbers)) == len(numbers)
+
+
+def test_hash_and_identity():
+    assert len({OrdPbn(1, 3), OrdPbn(1, 3), OrdPbn(1, 5)}) == 2
+
+
+def test_immutable():
+    number = OrdPbn(1)
+    with pytest.raises(AttributeError):
+        number.raw = (2,)  # type: ignore[misc]

@@ -1,0 +1,66 @@
+"""Property tests for the B+-tree against a dict + sorted-list model."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.bptree import BPlusTree
+
+keys = st.binary(min_size=1, max_size=6)
+operations = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]), keys, st.integers()),
+    max_size=200,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(operations)
+def test_bptree_matches_dict_model(ops):
+    tree = BPlusTree(order=4)
+    model: dict[bytes, int] = {}
+    for op, key, value in ops:
+        if op == "insert":
+            tree.insert(key, value)
+            model[key] = value
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    assert len(tree) == len(model)
+    assert [(k, v) for k, v in tree.scan()] == sorted(model.items())
+    for key, value in model.items():
+        assert tree.get(key) == value
+    tree.check_invariants()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(keys, min_size=1, max_size=100), keys, keys)
+def test_bptree_range_scan_matches_model(all_keys, low, high):
+    if low > high:
+        low, high = high, low
+    tree = BPlusTree(order=4)
+    for key in all_keys:
+        tree.insert(key, key)
+    expected = sorted(k for k in set(all_keys) if low <= k < high)
+    assert [k for k, _ in tree.scan(low, high)] == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(keys, min_size=1, max_size=100), keys)
+def test_bptree_prefix_scan_matches_model(all_keys, prefix):
+    tree = BPlusTree(order=4)
+    for key in all_keys:
+        tree.insert(key, key)
+    expected = sorted(k for k in set(all_keys) if k.startswith(prefix))
+    assert [k for k, _ in tree.prefix_scan(prefix)] == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sets(keys, min_size=1, max_size=200))
+def test_bulk_load_equivalent_to_inserts(unique_keys):
+    items = sorted((k, k) for k in unique_keys)
+    bulk = BPlusTree.bulk_load(items, order=6)
+    incremental = BPlusTree(order=6)
+    for key, value in items:
+        incremental.insert(key, value)
+    assert list(bulk.scan()) == list(incremental.scan())
+    bulk.check_invariants()

@@ -1,0 +1,95 @@
+"""Fuzzing: parsers must either succeed or fail with *their* error type.
+
+A production parser's contract is that hostile input produces a diagnostic,
+never an unrelated crash (IndexError, RecursionError on short input, ...).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    NumberingError,
+    QueryEvaluationError,
+    QueryParseError,
+    SpecParseError,
+    SpecResolutionError,
+    XmlParseError,
+)
+from repro.query.engine import Engine
+from repro.query.parser import parse_query
+from repro.vdataguide.grammar import parse_spec
+from repro.xmlmodel.parser import parse_document
+
+_xml_ish = st.text(
+    alphabet=st.sampled_from(list("<>/=\"'ab& ;!-[]#?x1\n\t")), max_size=120
+)
+_query_ish = st.text(
+    alphabet=st.sampled_from(list("abc$/[]()@*{}=<>!'\",.:1 +-|")), max_size=120
+)
+_spec_ish = st.text(
+    alphabet=st.sampled_from(list("ab{}*. #@_-")), max_size=80
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_xml_ish)
+def test_xml_parser_total(text):
+    try:
+        parse_document(text)
+    except XmlParseError:
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@given(_query_ish)
+def test_query_parser_total(text):
+    try:
+        parse_query(text)
+    except QueryParseError:
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@given(_spec_ish)
+def test_spec_parser_total(text):
+    try:
+        parse_spec(text)
+    except SpecParseError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(_query_ish)
+def test_engine_execute_total(text):
+    """Even evaluation of random (parseable) queries fails only with the
+    library's error types."""
+    engine = Engine()
+    engine.load("a.xml", "<a><b>x</b></a>")
+    try:
+        engine.execute(text)
+    except (
+        QueryParseError,
+        QueryEvaluationError,
+        SpecParseError,
+        SpecResolutionError,
+        NumberingError,
+    ):
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(_spec_ish)
+def test_virtual_doc_total(spec_text):
+    """virtualDoc with arbitrary spec strings: resolve or diagnose."""
+    engine = Engine()
+    engine.load("a.xml", "<a><b><c>x</c></b><b><c>y</c></b></a>")
+    try:
+        engine.execute(f'virtualDoc("a.xml", "{spec_text}")//c')
+    except (
+        QueryParseError,
+        QueryEvaluationError,
+        SpecParseError,
+        SpecResolutionError,
+    ):
+        pass

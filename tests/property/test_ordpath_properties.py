@@ -1,0 +1,71 @@
+"""Property tests for ORDPATH careting: order, stability, and structure."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pbn.ordpath import OrdPbn, after, before, between, initial_numbering
+
+# An insert script: positions as fractions of the current list length.
+scripts = st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=150)
+
+
+def _apply(script, start=3):
+    numbers = initial_numbering(start)
+    snapshots = []
+    for fraction in script:
+        index = min(int(fraction * (len(numbers) + 1)), len(numbers))
+        if index == 0:
+            new = before(numbers[0])
+        elif index == len(numbers):
+            new = after(numbers[-1])
+        else:
+            new = between(numbers[index - 1], numbers[index])
+        snapshots.append(list(numbers))
+        numbers.insert(index, new)
+    return numbers, snapshots
+
+
+@settings(max_examples=100, deadline=None)
+@given(scripts)
+def test_inserts_keep_order_and_uniqueness(script):
+    numbers, _ = _apply(script)
+    assert numbers == sorted(numbers)
+    assert len(set(numbers)) == len(numbers)
+
+
+@settings(max_examples=100, deadline=None)
+@given(scripts)
+def test_inserts_never_touch_existing_numbers(script):
+    """The whole point: every pre-existing number survives every insert."""
+    numbers, snapshots = _apply(script)
+    final = set(numbers)
+    for snapshot in snapshots:
+        for number in snapshot:
+            assert number in final
+
+
+@settings(max_examples=100, deadline=None)
+@given(scripts)
+def test_inserted_numbers_are_siblings(script):
+    numbers, _ = _apply(script)
+    first = numbers[0]
+    for number in numbers[1:]:
+        assert first.is_sibling_of(number)
+        assert number.level == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(scripts, st.integers(min_value=1, max_value=5))
+def test_children_stay_below_their_parent(script, child_count):
+    numbers, _ = _apply(script, start=2)
+    parent = numbers[len(numbers) // 2]
+    children = initial_numbering(child_count, parent)
+    for child in children:
+        assert parent.is_parent_of(child)
+        assert parent.is_ancestor_of(child)
+        assert parent < child  # preorder: parent first
+    # Children order between parent and parent's following sibling.
+    following = [n for n in numbers if n > parent]
+    if following:
+        assert all(child < following[0] for child in children)

@@ -1,0 +1,127 @@
+"""Property tests: PBN axis predicates against ground truth, and the codec.
+
+Ground truth for the axis predicates is the actual tree: for random
+documents and random node pairs, each predicate computed from numbers alone
+must agree with the relationship read off parent pointers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pbn import axes
+from repro.pbn.assign import iter_numbered
+from repro.pbn.codec import decode_pbn, encode_pbn
+from repro.pbn.number import Pbn
+from repro.pbn.order import sort_document_order
+from repro.workloads.treegen import random_document
+
+components = st.lists(st.integers(min_value=1, max_value=100_000), min_size=1, max_size=8)
+
+
+def _tree_relations(x, y):
+    """Relationships of node x relative to node y, from pointers."""
+    x_ancestors = list(x.iter_ancestors())
+    y_ancestors = list(y.iter_ancestors())
+    relations = set()
+    if x is y:
+        relations.add("self")
+    if x in y_ancestors:
+        relations.add("ancestor")
+        if y.parent is x:
+            relations.add("parent")
+    if y in x_ancestors:
+        relations.add("descendant")
+        if x.parent is y:
+            relations.add("child")
+    if (
+        x is not y
+        and x.parent is y.parent
+        and x.parent is not None
+    ):
+        siblings = x.parent.children
+        if siblings.index(x) < siblings.index(y):
+            relations.add("preceding-sibling")
+        else:
+            relations.add("following-sibling")
+    return relations
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_axes_agree_with_tree(seed):
+    document = random_document(seed, max_depth=5, max_children=3)
+    nodes = list(iter_numbered(document))
+    rng = random.Random(seed)
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(60)]
+    for x, y in pairs:
+        truth = _tree_relations(x, y)
+        for axis in (
+            "self",
+            "parent",
+            "child",
+            "ancestor",
+            "descendant",
+            "preceding-sibling",
+            "following-sibling",
+        ):
+            assert axes.AXIS_PREDICATES[axis](x.pbn, y.pbn) == (axis in truth), (
+                f"axis {axis}: {x.pbn} vs {y.pbn}"
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_document_order_matches_preorder(seed):
+    document = random_document(seed, max_depth=5, max_children=3)
+    preorder = [node.pbn for node in iter_numbered(document)]
+    shuffled = preorder[:]
+    random.Random(seed).shuffle(shuffled)
+    assert sort_document_order(shuffled) == preorder
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_preceding_following_partition(seed):
+    """For any two distinct nodes, exactly one of preceding / following /
+    ancestor / descendant holds."""
+    document = random_document(seed, max_depth=4, max_children=3)
+    nodes = [node.pbn for node in iter_numbered(document)]
+    rng = random.Random(seed)
+    for _ in range(50):
+        x, y = rng.choice(nodes), rng.choice(nodes)
+        if x == y:
+            continue
+        flags = [
+            axes.is_preceding(x, y),
+            axes.is_following(x, y),
+            axes.is_ancestor(x, y),
+            axes.is_descendant(x, y),
+        ]
+        assert sum(flags) == 1, f"{x} vs {y}: {flags}"
+
+
+@settings(max_examples=200)
+@given(components)
+def test_codec_roundtrip(parts):
+    number = Pbn(*parts)
+    assert decode_pbn(encode_pbn(number)) == number
+
+
+@settings(max_examples=100)
+@given(st.lists(components, min_size=2, max_size=10))
+def test_codec_preserves_order(part_lists):
+    numbers = [Pbn(*parts) for parts in part_lists]
+    by_number = sort_document_order(numbers)
+    by_bytes = sorted(numbers, key=encode_pbn)
+    assert [n.components for n in by_bytes] == [n.components for n in by_number]
+
+
+@settings(max_examples=100)
+@given(components, components)
+def test_codec_prefix_property(a, b):
+    x = Pbn(*a)
+    y = Pbn(*b)
+    assert encode_pbn(y).startswith(encode_pbn(x)) == x.is_prefix_of(y)

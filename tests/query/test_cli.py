@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.books import paper_figure2
+from repro.xmlmodel.serializer import serialize
+
+
+@pytest.fixture
+def book_file(tmp_path):
+    path = tmp_path / "books.xml"
+    path.write_text(serialize(paper_figure2()))
+    return str(path)
+
+
+def test_query_from_file(book_file, capsys):
+    code = main(
+        [
+            "query",
+            "-d",
+            f"book.xml={book_file}",
+            'doc("book.xml")//title/text()',
+        ]
+    )
+    assert code == 0
+    assert capsys.readouterr().out.strip() == "XY"
+
+
+def test_query_values_flag(book_file, capsys):
+    main(
+        [
+            "query",
+            "-d",
+            f"book.xml={book_file}",
+            "--values",
+            'doc("book.xml")//name/text()',
+        ]
+    )
+    assert capsys.readouterr().out.splitlines() == ["C", "D"]
+
+
+def test_query_virtual(book_file, capsys):
+    main(
+        [
+            "query",
+            "-d",
+            f"book.xml={book_file}",
+            'for $t in virtualDoc("book.xml", "title { author }")//title '
+            "return count($t/author)",
+        ]
+    )
+    assert capsys.readouterr().out.strip() == "11"
+
+
+def test_query_synthetic_dataset(capsys):
+    code = main(["query", "--books", "3", 'count(doc("book.xml")//book)'])
+    assert code == 0
+    assert capsys.readouterr().out.strip() == "3"
+
+
+def test_query_stats(capsys):
+    main(["query", "--books", "2", "--stats", 'count(doc("book.xml")//book)'])
+    captured = capsys.readouterr()
+    assert "# index_range_scans:" in captured.err
+
+
+def test_query_tree_mode(capsys):
+    main(["query", "--books", "2", "--mode", "tree", 'count(doc("book.xml")//book)'])
+    assert capsys.readouterr().out.strip() == "2"
+
+
+def test_query_error_reported(capsys):
+    code = main(["query", "--books", "1", 'doc("missing.xml")//x'])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_explain(capsys):
+    assert main(["explain", "//a[1]"]) == 0
+    out = capsys.readouterr().out
+    assert "step descendant-or-self::node()" in out
+
+
+def test_guide(book_file, capsys):
+    main(["guide", "-d", f"book.xml={book_file}"])
+    out = capsys.readouterr().out
+    assert out.startswith("data { book {")
+    assert "data.book.author" in out
+
+
+def test_guide_requires_unambiguous_uri(book_file, capsys):
+    with pytest.raises(SystemExit):
+        main(["guide", "-d", f"a={book_file}", "-d", f"b={book_file}"])
+    main(["guide", "-d", f"a={book_file}", "-d", f"b={book_file}", "a"])
+    assert "data.book" in capsys.readouterr().out
+
+
+def test_arrays(book_file, capsys):
+    main(["arrays", "-d", f"book.xml={book_file}", "title { author { name } }"])
+    out = capsys.readouterr().out
+    assert "[1, 1, 2, 3]" in out
+
+
+def test_bad_document_argument():
+    with pytest.raises(SystemExit):
+        main(["query", "-d", "not-a-pair", "1"])
+
+
+def test_arrays_warns_about_dropped_types(book_file, capsys):
+    main(["arrays", "-d", f"book.xml={book_file}", "title { author }"])
+    captured = capsys.readouterr()
+    assert "data invisible through this view" in captured.err
+    assert "publisher" in captured.err
+
+
+def test_arrays_warns_about_non_chain_exact(book_file, capsys):
+    main(["arrays", "-d", f"book.xml={book_file}", "title { author { publisher } }"])
+    assert "not chain-exact" in capsys.readouterr().err
+
+
+def test_save_and_reopen_image(book_file, tmp_path, capsys):
+    image = str(tmp_path / "books.vpbn")
+    code = main(["save", "-d", f"book.xml={book_file}", image])
+    assert code == 0
+    assert "saved book.xml" in capsys.readouterr().out
+    # -d accepts store images transparently (magic-sniffed).
+    main(["query", "-d", f"book.xml={image}", 'count(doc("book.xml")//book)'])
+    assert capsys.readouterr().out.strip() == "2"

@@ -1,0 +1,79 @@
+"""Cost-shape regression tests: the counters must stay in the right
+complexity class, so an accidental O(n^2) cannot slip in unnoticed."""
+
+import pytest
+
+from repro.query.engine import Engine
+from repro.workloads.books import books_document
+from repro.workloads import queries as Q
+
+
+def _scans_for(books: int, query_template: str) -> int:
+    engine = Engine()
+    engine.load("book.xml", books_document(books, seed=61))
+    engine.virtual("book.xml", Q.BOOKS_INVERT.spec)
+    engine.reset_stats()
+    engine.execute(query_template)
+    return engine.stats.index_range_scans
+
+
+def test_virtual_child_step_scans_scale_linearly():
+    """One range scan per (context node, child type): doubling the data
+    must roughly double the scans, not quadruple them."""
+    query = (
+        f'for $t in virtualDoc("book.xml", "{Q.BOOKS_INVERT.spec}")//title '
+        "return count($t/author)"
+    )
+    small = _scans_for(50, query)
+    large = _scans_for(200, query)
+    assert small > 0
+    ratio = large / small
+    assert 3.0 < ratio < 5.0, f"expected ~4x scans, got {ratio:.2f}x"
+
+
+def test_point_query_scans_do_not_scale_with_data():
+    """A positional point query touches O(1) postings lists regardless of
+    document size."""
+    query = f'(virtualDoc("book.xml", "{Q.BOOKS_INVERT.spec}")//title)[1]/text()'
+    small = _scans_for(50, query)
+    large = _scans_for(400, query)
+    assert large <= small * 2  # descendant listing is per *type*, not per node
+
+
+def test_sibling_predicate_comparisons_bounded():
+    """Sibling filtering compares candidates under shared parents only —
+    never all pairs in the document."""
+    engine = Engine()
+    engine.load("book.xml", books_document(100, seed=62))
+    engine.virtual("book.xml", Q.BOOKS_INVERT.spec)
+    engine.reset_stats()
+    engine.execute(
+        f'virtualDoc("book.xml", "{Q.BOOKS_INVERT.spec}")'
+        "//author/preceding-sibling::text()"
+    )
+    nodes = 100 * 12  # generous upper bound on document size
+    assert engine.stats.comparisons < nodes * 6
+
+
+def test_indexed_child_steps_do_no_comparisons():
+    """Physical child steps are pure range scans — zero axis comparisons."""
+    engine = Engine()
+    engine.load("book.xml", books_document(50, seed=63))
+    engine.reset_stats()
+    engine.execute('doc("book.xml")//book/author/name')
+    assert engine.stats.comparisons == 0
+    assert engine.stats.index_range_scans > 0
+
+
+def test_buffer_pool_bounds_page_reads():
+    """Re-reading the same value hits the buffer pool, not the disk."""
+    engine = Engine(buffer_capacity=16)
+    store = engine.load("book.xml", books_document(50, seed=64))
+    number = store.document.root.children[0].pbn
+    engine.cold_caches()
+    engine.reset_stats()
+    store.value_of(number)
+    cold_reads = engine.stats.page_reads
+    store.value_of(number)
+    assert engine.stats.page_reads == cold_reads  # second read: all hits
+    assert engine.stats.buffer_hits > 0

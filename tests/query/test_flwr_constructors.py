@@ -1,0 +1,198 @@
+"""FLWR blocks, if/quantified expressions, and element constructors."""
+
+import pytest
+
+from repro.errors import QueryEvaluationError
+
+
+def v(engine, query):
+    return engine.execute(query).items
+
+
+def xml(engine, query):
+    return engine.execute(query).to_xml()
+
+
+def test_for_iterates(figure2_engine):
+    result = figure2_engine.execute(
+        'for $t in doc("book.xml")//title return $t/text()'
+    )
+    assert result.values() == ["X", "Y"]
+
+
+def test_let_binds_sequence(figure2_engine):
+    assert v(
+        figure2_engine,
+        'let $ts := doc("book.xml")//title return count($ts)',
+    ) == [2]
+
+
+def test_where_filters(figure2_engine):
+    assert v(
+        figure2_engine,
+        'for $b in doc("book.xml")//book where $b/title = "Y" '
+        "return string($b/publisher/location)",
+    ) == ["M"]
+
+
+def test_nested_for_cross_product(figure2_engine):
+    assert v(figure2_engine, "for $x in (1, 2), $y in (10, 20) return $x + $y") == [
+        11,
+        21,
+        12,
+        22,
+    ]
+
+
+def test_order_by(figure2_engine):
+    assert v(
+        figure2_engine,
+        "for $x in (3, 1, 2) order by $x return $x",
+    ) == [1, 2, 3]
+    assert v(
+        figure2_engine,
+        "for $x in (3, 1, 2) order by $x descending return $x",
+    ) == [3, 2, 1]
+
+
+def test_order_by_string_key(figure2_engine):
+    assert v(
+        figure2_engine,
+        'for $t in doc("book.xml")//title order by $t descending '
+        "return string($t)",
+    ) == ["Y", "X"]
+
+
+def test_if_else(figure2_engine):
+    assert v(figure2_engine, "if (1 = 1) then 'a' else 'b'") == ["a"]
+    assert v(figure2_engine, "if (()) then 'a' else 'b'") == ["b"]
+
+
+def test_quantified(figure2_engine):
+    assert v(figure2_engine, "some $x in (1, 2, 3) satisfies $x = 2") == [True]
+    assert v(figure2_engine, "every $x in (1, 2, 3) satisfies $x > 0") == [True]
+    assert v(figure2_engine, "every $x in (1, 2, 3) satisfies $x > 1") == [False]
+    assert v(figure2_engine, "some $x in () satisfies $x") == [False]
+
+
+def test_unbound_variable(figure2_engine):
+    with pytest.raises(QueryEvaluationError):
+        figure2_engine.execute("$nope")
+
+
+def test_external_variables(figure2_engine):
+    result = figure2_engine.execute("$n + 1", variables={"n": 41})
+    assert result.items == [42]
+
+
+def test_constructor_static(figure2_engine):
+    assert xml(figure2_engine, "<a><b>t</b></a>") == "<a><b>t</b></a>"
+
+
+def test_constructor_attribute_templates(figure2_engine):
+    assert xml(figure2_engine, "<a id=\"n{ 1 + 1 }\"/>") == '<a id="n2"/>'
+
+
+def test_constructor_embeds_copies(figure2_engine):
+    result = xml(
+        figure2_engine,
+        'for $t in (doc("book.xml")//title)[1] return <w>{ $t }</w>',
+    )
+    assert result == "<w><title>X</title></w>"
+
+
+def test_embedded_copy_is_detached(figure2_engine):
+    result = figure2_engine.execute('<w>{ (doc("book.xml")//title)[1] }</w>')
+    wrapper = result[0]
+    title_copy = wrapper.children[0]
+    original = figure2_engine.execute('(doc("book.xml")//title)[1]')[0]
+    assert title_copy is not original
+    assert title_copy.parent is wrapper
+
+
+def test_constructor_atomics_joined_with_space(figure2_engine):
+    assert xml(figure2_engine, "<a>{ (1, 2, 3) }</a>") == "<a>1 2 3</a>"
+
+
+def test_constructor_mixed_parts(figure2_engine):
+    assert xml(figure2_engine, "<a>n={ 1 }!</a>") == "<a>n=1!</a>"
+
+
+def test_constructed_nodes_are_navigable(figure2_engine):
+    assert v(
+        figure2_engine,
+        "for $x in <a><b>1</b><b>2</b></a> return count($x/b)",
+    ) == [2]
+
+
+def test_constructed_nodes_sort_in_creation_order(figure2_engine):
+    result = figure2_engine.execute("(<a/>, <b/>, <c/>)")
+    assert [i.name for i in result] == ["a", "b", "c"]
+
+
+def test_paper_sam_query(figure2_engine):
+    """Figure 1 end to end (Figure 3 output, whitespace-free)."""
+    sam = (
+        'for $t in doc("book.xml")//book/title let $a := $t/../author '
+        "return <title>{$t/text()}{$a}</title>"
+    )
+    assert xml(figure2_engine, sam) == (
+        "<title>X<author><name>C</name></author></title>"
+        "<title>Y<author><name>D</name></author></title>"
+    )
+
+
+def test_paper_rhonda_nested_query(figure2_engine):
+    """Figure 4: Rhonda's count over Sam's constructed output."""
+    sam = (
+        'for $t in doc("book.xml")//book/title let $a := $t/../author '
+        "return <title>{$t/text()}{$a}</title>"
+    )
+    rhonda = (
+        f"for $t in ({sam})//self::title "
+        "return <title>{$t/text()}<count>{count($t/author)}</count></title>"
+    )
+    assert xml(figure2_engine, rhonda) == (
+        "<title>X<count>1</count></title><title>Y<count>1</count></title>"
+    )
+
+
+def test_paper_figure6_virtual_query(figure2_engine):
+    """Figure 6: the same pipeline through virtualDoc."""
+    rhonda = (
+        'for $t in virtualDoc("book.xml", "title { author { name } }")//title '
+        "return <title>{$t/text()}<count>{count($t/author)}</count></title>"
+    )
+    assert xml(figure2_engine, rhonda) == (
+        "<title>X<count>1</count></title><title>Y<count>1</count></title>"
+    )
+
+
+def test_paper_figure5_except_query(figure2_engine):
+    """The 'other book information' transformation (Figure 5 in spirit):
+    everything in a book except title and author."""
+    query = (
+        'for $b in doc("book.xml")//book '
+        "let $v := $b/* except $b/title except $b/author "
+        "return <other>{$v}</other>"
+    )
+    assert xml(figure2_engine, query) == (
+        "<other><publisher><location>W</location></publisher></other>"
+        "<other><publisher><location>M</location></publisher></other>"
+    )
+
+
+def test_for_at_positional_variable(figure2_engine):
+    result = v(
+        figure2_engine,
+        'for $t at $i in doc("book.xml")//title return concat($i, ":", $t/text())',
+    )
+    assert result == ["1:X", "2:Y"]
+
+
+def test_for_at_resets_per_outer_binding(figure2_engine):
+    result = v(
+        figure2_engine,
+        "for $x in ('a', 'b') return for $y at $i in (10, 20) return $i",
+    )
+    assert result == [1, 2, 1, 2]

@@ -1,0 +1,163 @@
+"""Unit tests for the built-in function library."""
+
+import math
+
+import pytest
+
+from repro.errors import QueryEvaluationError
+
+
+def v(engine, query):
+    return engine.execute(query).items
+
+
+def test_count(figure2_engine):
+    assert v(figure2_engine, 'count(doc("book.xml")//book)') == [2]
+    assert v(figure2_engine, "count(())") == [0]
+
+
+def test_empty_exists(figure2_engine):
+    assert v(figure2_engine, "empty(())") == [True]
+    assert v(figure2_engine, 'empty(doc("book.xml")//book)') == [False]
+    assert v(figure2_engine, 'exists(doc("book.xml")//zzz)') == [False]
+
+
+def test_aggregates(figure2_engine):
+    assert v(figure2_engine, "sum((1, 2, 3))") == [6.0]
+    assert v(figure2_engine, "sum(())") == [0]
+    assert v(figure2_engine, "avg((2, 4))") == [3.0]
+    assert v(figure2_engine, "avg(())") == []
+    assert v(figure2_engine, "min((3, 1, 2))") == [1.0]
+    assert v(figure2_engine, "max((3, 1, 2))") == [3.0]
+
+
+def test_distinct_values(figure2_engine):
+    assert v(figure2_engine, "distinct-values((1, 2, 1, 'a', 'a'))") == [1, 2, "a"]
+
+
+def test_string_functions(figure2_engine):
+    assert v(figure2_engine, "concat('a', 'b', 'c')") == ["abc"]
+    assert v(figure2_engine, "string-join(('a', 'b'), '-')") == ["a-b"]
+    assert v(figure2_engine, "contains('hello', 'ell')") == [True]
+    assert v(figure2_engine, "starts-with('hello', 'he')") == [True]
+    assert v(figure2_engine, "ends-with('hello', 'lo')") == [True]
+    assert v(figure2_engine, "substring('hello', 2, 3)") == ["ell"]
+    assert v(figure2_engine, "substring('hello', 3)") == ["llo"]
+    assert v(figure2_engine, "string-length('abc')") == [3]
+    assert v(figure2_engine, "normalize-space('  a   b ')") == ["a b"]
+    assert v(figure2_engine, "upper-case('ab')") == ["AB"]
+    assert v(figure2_engine, "lower-case('AB')") == ["ab"]
+
+
+def test_string_of_node(figure2_engine):
+    assert v(figure2_engine, 'string((doc("book.xml")//title)[1])') == ["X"]
+    assert v(figure2_engine, "string(())") == [""]
+
+
+def test_data_atomizes(figure2_engine):
+    assert v(figure2_engine, 'data(doc("book.xml")//name)') == ["C", "D"]
+
+
+def test_number_functions(figure2_engine):
+    assert v(figure2_engine, "number('3.5')") == [3.5]
+    assert math.isnan(v(figure2_engine, "number('x')")[0])
+    assert v(figure2_engine, "floor(2.7)") == [2]
+    assert v(figure2_engine, "ceiling(2.1)") == [3]
+    assert v(figure2_engine, "round(2.5)") == [3]
+    assert v(figure2_engine, "round(-2.5)") == [-2]
+    assert v(figure2_engine, "abs(-4)") == [4.0]
+    assert v(figure2_engine, "floor(())") == []
+
+
+def test_boolean_functions(figure2_engine):
+    assert v(figure2_engine, "not(1)") == [False]
+    assert v(figure2_engine, "not(())") == [True]
+    assert v(figure2_engine, "boolean('x')") == [True]
+    assert v(figure2_engine, "true()") == [True]
+    assert v(figure2_engine, "false()") == [False]
+
+
+def test_name_functions(figure2_engine):
+    assert v(figure2_engine, 'name((doc("book.xml")//title)[1])') == ["title"]
+    assert v(figure2_engine, "name(())") == [""]
+
+
+def test_name_of_attribute():
+    from repro.query.engine import Engine
+
+    engine = Engine()
+    engine.load("a.xml", '<r id="1"/>')
+    assert v(engine, 'name(doc("a.xml")/r/@id)') == ["id"]
+
+
+def test_position_last_in_predicates(figure2_engine):
+    values = figure2_engine.execute(
+        'doc("book.xml")//book/*[position() = last()]'
+    )
+    assert [i.name for i in values] == ["publisher", "publisher"]
+
+
+def test_unknown_function(figure2_engine):
+    with pytest.raises(QueryEvaluationError):
+        figure2_engine.execute("frobnicate(1)")
+
+
+def test_arity_checked(figure2_engine):
+    with pytest.raises(QueryEvaluationError):
+        figure2_engine.execute("count(1, 2)")
+    with pytest.raises(QueryEvaluationError):
+        figure2_engine.execute("concat('only-one')")
+
+
+def test_cardinality_errors(figure2_engine):
+    with pytest.raises(QueryEvaluationError):
+        figure2_engine.execute('doc(("a", "b"))')
+
+
+def test_doc_unknown_uri(figure2_engine):
+    with pytest.raises(QueryEvaluationError):
+        figure2_engine.execute('doc("missing.xml")//x')
+
+
+def test_virtual_doc_returns_handle(figure2_engine):
+    result = figure2_engine.execute('virtualDoc("book.xml", "title")')
+    from repro.query.items import VirtualDocItem
+
+    assert isinstance(result[0], VirtualDocItem)
+
+
+def test_substring_before_after(figure2_engine):
+    assert v(figure2_engine, "substring-before('a=b', '=')") == ["a"]
+    assert v(figure2_engine, "substring-after('a=b', '=')") == ["b"]
+    assert v(figure2_engine, "substring-before('ab', 'x')") == [""]
+    assert v(figure2_engine, "substring-after('ab', 'x')") == [""]
+    assert v(figure2_engine, "substring-before('ab', '')") == [""]
+
+
+def test_translate(figure2_engine):
+    assert v(figure2_engine, "translate('bar', 'abc', 'ABC')") == ["BAr"]
+    # Missing target characters delete.
+    assert v(figure2_engine, "translate('-a-b-', '-', '')") == ["ab"]
+    # First occurrence in the map wins.
+    assert v(figure2_engine, "translate('a', 'aa', 'bc')") == ["b"]
+
+
+def test_matches_and_replace(figure2_engine):
+    assert v(figure2_engine, "matches('hello42', '[0-9]+')") == [True]
+    assert v(figure2_engine, "matches('hello', '^x')") == [False]
+    assert v(figure2_engine, "replace('a1b2', '[0-9]', '#')") == ["a#b#"]
+    with pytest.raises(QueryEvaluationError):
+        figure2_engine.execute("matches('x', '(')")
+
+
+def test_tokenize(figure2_engine):
+    assert v(figure2_engine, "tokenize('a,b,,c', ',')") == ["a", "b", "", "c"]
+    assert v(figure2_engine, "tokenize('', ',')") == []
+    assert v(figure2_engine, "count(tokenize('a b  c', '\\s+'))") == [3]
+
+
+def test_string_functions_compose_over_nodes(figure2_engine):
+    assert v(
+        figure2_engine,
+        'replace(string((doc("book.xml")//title)[1]), "X", "Z")',
+    ) == ["Z"]

@@ -1,0 +1,106 @@
+"""Unit tests for the query item model (atomization, EBV, formatting)."""
+
+import math
+
+import pytest
+
+from repro.errors import QueryEvaluationError
+from repro.query.items import (
+    VirtualDocItem,
+    atomize,
+    effective_boolean,
+    format_number,
+    is_node,
+    kind_of,
+    name_of,
+    string_value,
+    to_number,
+)
+from repro.workloads.books import paper_figure2
+from repro.core.virtual_document import VirtualDocument
+from repro.xmlmodel.nodes import NodeKind
+from repro.xmlmodel.parser import parse_document
+
+
+@pytest.fixture
+def vdoc():
+    return VirtualDocument.from_spec(paper_figure2(), "title { author { name } }")
+
+
+def test_is_node(vdoc):
+    assert is_node(paper_figure2())
+    assert is_node(vdoc.roots()[0])
+    assert is_node(VirtualDocItem(vdoc))
+    assert not is_node("x")
+    assert not is_node(3)
+
+
+def test_kind_of(vdoc):
+    document = parse_document('<a id="1">t</a>')
+    assert kind_of(document) is NodeKind.DOCUMENT
+    assert kind_of(document.root) is NodeKind.ELEMENT
+    assert kind_of(document.root.children[0]) is NodeKind.ATTRIBUTE
+    assert kind_of(vdoc.roots()[0]) is NodeKind.ELEMENT
+    assert kind_of(VirtualDocItem(vdoc)) is NodeKind.DOCUMENT
+    with pytest.raises(QueryEvaluationError):
+        kind_of(42)
+
+
+def test_name_of(vdoc):
+    document = parse_document('<a id="1"/>', "u.xml")
+    assert name_of(document) == "u.xml"
+    assert name_of(document.root) == "a"
+    assert name_of(vdoc.roots()[0]) == "title"
+    with pytest.raises(QueryEvaluationError):
+        name_of(1.5)
+
+
+def test_string_value_atomics():
+    assert string_value(True) == "true"
+    assert string_value(False) == "false"
+    assert string_value(3) == "3"
+    assert string_value(2.5) == "2.5"
+    assert string_value("x") == "x"
+
+
+def test_string_value_virtual_is_transformed(vdoc):
+    # Virtual title value concatenates its virtual (not physical) subtree.
+    title = vdoc.roots()[0]
+    assert string_value(title) == "XC"
+    assert string_value(VirtualDocItem(vdoc)) == "XCYD"
+
+
+def test_atomize(vdoc):
+    title = vdoc.roots()[0]
+    assert atomize([1, "a", title]) == [1, "a", "XC"]
+
+
+def test_format_number():
+    assert format_number(3) == "3"
+    assert format_number(3.0) == "3"
+    assert format_number(2.5) == "2.5"
+    assert format_number(float("nan")) == "NaN"
+    assert format_number(True) == "true"
+
+
+def test_to_number():
+    assert to_number("3") == 3.0
+    assert to_number(" 2.5 ") == 2.5
+    assert to_number(True) == 1.0
+    assert to_number(False) == 0.0
+    assert math.isnan(to_number("x"))
+    assert math.isnan(to_number(""))
+
+
+def test_effective_boolean(vdoc):
+    assert effective_boolean([]) is False
+    assert effective_boolean([vdoc.roots()[0]]) is True
+    assert effective_boolean([vdoc.roots()[0], vdoc.roots()[1]]) is True
+    assert effective_boolean([0]) is False
+    assert effective_boolean([1]) is True
+    assert effective_boolean([float("nan")]) is False
+    assert effective_boolean([""]) is False
+    assert effective_boolean(["x"]) is True
+    assert effective_boolean([True]) is True
+    with pytest.raises(QueryEvaluationError):
+        effective_boolean([1, 2])

@@ -1,0 +1,159 @@
+"""Path evaluation tests against the Figure 2 fixture (indexed mode by
+default; tree-mode parity is checked separately in test_modes)."""
+
+import pytest
+
+from repro.errors import QueryEvaluationError
+
+
+def q(engine, query):
+    return engine.execute(query).values()
+
+
+def test_child_steps(figure2_engine):
+    assert q(figure2_engine, 'doc("book.xml")/data/book/title/text()') == ["X", "Y"]
+
+
+def test_descendant(figure2_engine):
+    assert q(figure2_engine, 'doc("book.xml")//name/text()') == ["C", "D"]
+
+
+def test_descendant_from_element(figure2_engine):
+    assert q(figure2_engine, 'doc("book.xml")/data//location/text()') == ["W", "M"]
+
+
+def test_wildcard(figure2_engine):
+    result = figure2_engine.execute('doc("book.xml")/data/book/*')
+    names = [item.name for item in result]
+    assert names == ["title", "author", "publisher"] * 2
+
+
+def test_parent_step(figure2_engine):
+    result = figure2_engine.execute('doc("book.xml")//name/../..')
+    assert [item.name for item in result] == ["book", "book"]
+
+
+def test_parent_of_root_is_document(figure2_engine):
+    result = figure2_engine.execute('doc("book.xml")/data/..')
+    assert len(result) == 1
+    assert result[0] is figure2_engine.document("book.xml")
+
+
+def test_self_step(figure2_engine):
+    assert len(figure2_engine.execute('doc("book.xml")//book/self::book')) == 2
+    assert len(figure2_engine.execute('doc("book.xml")//book/self::title')) == 0
+
+
+def test_ancestor(figure2_engine):
+    result = figure2_engine.execute('doc("book.xml")//name/ancestor::*')
+    # per name: author, book, data (sorted doc order, deduped)
+    assert [i.name for i in result] == ["data", "book", "author", "book", "author"]
+
+
+def test_ancestor_or_self(figure2_engine):
+    result = figure2_engine.execute(
+        'doc("book.xml")//author[1]/ancestor-or-self::*'
+    )
+    assert [i.name for i in result] == ["data", "book", "author", "book", "author"]
+
+
+def test_following_sibling(figure2_engine):
+    result = figure2_engine.execute('doc("book.xml")//title/following-sibling::*')
+    assert [i.name for i in result] == ["author", "publisher"] * 2
+
+
+def test_preceding_sibling(figure2_engine):
+    result = figure2_engine.execute(
+        'doc("book.xml")//publisher/preceding-sibling::*'
+    )
+    assert [i.name for i in result] == ["title", "author"] * 2
+
+
+def test_following(figure2_engine):
+    result = figure2_engine.execute('doc("book.xml")//location[1]/following::title')
+    assert [i.string_value() for i in result] == ["Y"]
+
+
+def test_preceding(figure2_engine):
+    result = figure2_engine.execute('doc("book.xml")//title[. = "Y"]/preceding::name')
+    assert [i.string_value() for i in result] == ["C"]
+
+
+def test_attribute_axis():
+    from repro.query.engine import Engine
+
+    engine = Engine()
+    engine.load("a.xml", '<r><x id="1" lang="en"/><x id="2"/></r>')
+    assert q(engine, 'doc("a.xml")//x/@id') == ["1", "2"]
+    assert q(engine, 'doc("a.xml")//x/@*') == ["1", "en", "2"]
+    assert q(engine, 'doc("a.xml")//x[@id = "2"]/@id') == ["2"]
+
+
+def test_attributes_not_children():
+    from repro.query.engine import Engine
+
+    engine = Engine()
+    engine.load("a.xml", '<r><x id="1">t</x></r>')
+    assert q(engine, 'doc("a.xml")//x/node()') == ["t"]
+    assert q(engine, 'doc("a.xml")//x/text()') == ["t"]
+
+
+def test_positional_predicates(figure2_engine):
+    assert q(figure2_engine, 'doc("book.xml")//book[1]/title/text()') == ["X"]
+    assert q(figure2_engine, 'doc("book.xml")//book[2]/title/text()') == ["Y"]
+    assert q(figure2_engine, 'doc("book.xml")//book[position() = 2]/title/text()') == ["Y"]
+    assert q(figure2_engine, 'doc("book.xml")//book[last()]/title/text()') == ["Y"]
+
+
+def test_predicate_per_context_node(figure2_engine):
+    # [1] applies per book, not to the merged sequence.
+    assert q(figure2_engine, 'doc("book.xml")//book/*[1]/text()') == ["X", "Y"]
+
+
+def test_value_predicates(figure2_engine):
+    assert q(
+        figure2_engine, 'doc("book.xml")//book[title = "Y"]/publisher/location/text()'
+    ) == ["M"]
+    assert q(figure2_engine, 'doc("book.xml")//book[nothing]') == []
+
+
+def test_path_results_deduped_and_ordered(figure2_engine):
+    # Both names reach the same data root; it appears once.
+    result = figure2_engine.execute('doc("book.xml")//name/ancestor::data')
+    assert len(result) == 1
+
+
+def test_union_except_intersect(figure2_engine):
+    assert q(
+        figure2_engine,
+        'doc("book.xml")//title/text() | doc("book.xml")//name/text()',
+    ) == ["X", "C", "Y", "D"]
+    assert q(
+        figure2_engine,
+        '(doc("book.xml")//book/* except doc("book.xml")//publisher)[1]/text()',
+    ) == ["X"]
+    assert q(
+        figure2_engine,
+        'doc("book.xml")//book/* intersect doc("book.xml")//title',
+    ) == ["X", "Y"]
+
+
+def test_set_ops_require_nodes(figure2_engine):
+    with pytest.raises(QueryEvaluationError):
+        figure2_engine.execute("(1, 2) | (3)")
+
+
+def test_step_on_atomic_rejected(figure2_engine):
+    with pytest.raises(QueryEvaluationError):
+        figure2_engine.execute("(1, 2)/a")
+
+
+def test_root_shorthand(figure2_engine):
+    document = figure2_engine.document("book.xml")
+    result = figure2_engine.execute("/data/book", context_item=document.root)
+    assert len(result) == 2
+
+
+def test_relative_path_requires_context(figure2_engine):
+    with pytest.raises(QueryEvaluationError):
+        figure2_engine.execute("book/title")

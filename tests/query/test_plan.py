@@ -1,0 +1,84 @@
+"""Tests for explain rendering and planner annotations."""
+
+import pytest
+
+from repro.query.engine import Engine
+from repro.workloads.books import books_document
+
+
+@pytest.fixture
+def engine():
+    engine = Engine()
+    engine.load("book.xml", books_document(20, seed=1))
+    return engine
+
+
+def test_plan_physical_path(engine):
+    plan = engine.explain('doc("book.xml")//book/title')
+    assert 'plan: doc("book.xml")' in plan
+    assert "step descendant::book -> 1 type(s), <= 20 node(s)" in plan
+    assert "step child::title -> 1 type(s), <= 20 node(s)" in plan
+
+
+def test_plan_virtual_path(engine):
+    plan = engine.explain(
+        'virtualDoc("book.xml", "title { author { name } }")//title/author'
+    )
+    assert "chain-exact=True" in plan
+    assert "step descendant::title -> 1 vtype(s), <= 20 node(s)" in plan
+    assert "step child::author -> 1 vtype(s)" in plan
+
+
+def test_plan_marks_non_chain_exact(engine):
+    plan = engine.explain(
+        'virtualDoc("book.xml", "title { author { publisher } }")//title'
+    )
+    assert "chain-exact=False" in plan
+
+
+def test_plan_dead_step_estimates_zero(engine):
+    plan = engine.explain('doc("book.xml")//book/zzz')
+    assert "step child::zzz -> 0 type(s), <= 0 node(s)" in plan
+
+
+def test_plan_predicate_noted(engine):
+    plan = engine.explain('doc("book.xml")//book[title]')
+    assert "(+predicates)" in plan
+
+
+def test_plan_parent_and_ancestor(engine):
+    plan = engine.explain('doc("book.xml")//title/../..')
+    assert "step parent::node() -> 1 type(s), <= 20 node(s)" in plan
+    # second parent: data (one instance)
+    assert "<= 1 node(s)" in plan
+
+
+def test_plan_inside_flwr(engine):
+    plan = engine.explain(
+        'for $b in doc("book.xml")//book return count($b/author)'
+    )
+    assert 'plan: doc("book.xml")' in plan
+
+
+def test_plan_skipped_for_unloaded_documents(engine):
+    plan = engine.explain('doc("missing.xml")//x')
+    assert "plan:" not in plan
+
+
+def test_plan_skipped_for_dynamic_arguments(engine):
+    plan = engine.explain("doc($u)//x")
+    assert "plan:" not in plan
+
+
+def test_estimates_bound_actual_results(engine):
+    """Plan estimates are upper bounds on what evaluation returns."""
+    import re
+
+    queries = [
+        'doc("book.xml")//author',
+        'virtualDoc("book.xml", "title { author }")//title/author',
+    ]
+    for query in queries:
+        plan = engine.explain(query)
+        last_estimate = int(re.findall(r"<= ([\d,]+) node", plan)[-1].replace(",", ""))
+        assert len(engine.execute(query)) <= last_estimate

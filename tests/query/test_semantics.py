@@ -1,0 +1,148 @@
+"""Query semantics edge cases: comparisons, arithmetic, sequences."""
+
+import math
+
+import pytest
+
+from repro.errors import QueryEvaluationError
+
+
+def v(engine, query):
+    return engine.execute(query).items
+
+
+def test_general_comparison_existential(figure2_engine):
+    # Any pair matching makes '=' true — both directions.
+    assert v(figure2_engine, "(1, 2) = (2, 3)") == [True]
+    assert v(figure2_engine, "(1, 2) = (5, 6)") == [False]
+    # '!=' is also existential (famously, both can hold).
+    assert v(figure2_engine, "(1, 2) != (2, 3)") == [True]
+    assert v(figure2_engine, "(1, 2) = (2)") == [True]
+    assert v(figure2_engine, "() = (1)") == [False]
+
+
+def test_comparison_node_atomization(figure2_engine):
+    assert v(figure2_engine, 'doc("book.xml")//title = "Y"') == [True]
+    assert v(figure2_engine, 'doc("book.xml")//title = "Z"') == [False]
+
+
+def test_numeric_vs_string_comparison(figure2_engine):
+    # Numeric-able strings compare numerically (XPath 1.0 style) ...
+    assert v(figure2_engine, "'10' < '9'") == [False]
+    assert v(figure2_engine, "'9' < '10'") == [True]
+    # ... everything else compares as strings.
+    assert v(figure2_engine, "'a' < 'b'") == [True]
+    assert v(figure2_engine, "3 = '3'") == [True]
+
+
+def test_arithmetic(figure2_engine):
+    assert v(figure2_engine, "1 + 2") == [3]
+    assert v(figure2_engine, "7 div 2") == [3.5]
+    assert v(figure2_engine, "7 mod 2") == [1]
+    assert v(figure2_engine, "-7 mod 2") == [-1]  # truncating like XPath
+    assert v(figure2_engine, "2 * 3 + 1") == [7]
+    assert v(figure2_engine, "-(3) + 1") == [-2]
+    assert v(figure2_engine, "+(3)") == [3]
+
+
+def test_arithmetic_empty_propagates(figure2_engine):
+    assert v(figure2_engine, "() + 1") == []
+    assert v(figure2_engine, "1 + ()") == []
+    assert v(figure2_engine, "-()") == []
+
+
+def test_arithmetic_errors(figure2_engine):
+    with pytest.raises(QueryEvaluationError):
+        figure2_engine.execute("1 div 0")
+    with pytest.raises(QueryEvaluationError):
+        figure2_engine.execute("1 mod 0")
+    with pytest.raises(QueryEvaluationError):
+        figure2_engine.execute("(1, 2) + 1")
+
+
+def test_arithmetic_nan(figure2_engine):
+    result = v(figure2_engine, "'x' + 1")
+    assert math.isnan(result[0])
+
+
+def test_range_operator(figure2_engine):
+    assert v(figure2_engine, "1 to 4") == [1, 2, 3, 4]
+    assert v(figure2_engine, "3 to 2") == []
+    assert v(figure2_engine, "() to 3") == []
+    assert v(figure2_engine, "count(1 to 100)") == [100]
+
+
+def test_sequences_flatten(figure2_engine):
+    assert v(figure2_engine, "((1, 2), (3))") == [1, 2, 3]
+    assert v(figure2_engine, "(1, (), 2)") == [1, 2]
+
+
+def test_boolean_connectives_short_circuit(figure2_engine):
+    # 'or' must not evaluate the right side when the left is true.
+    assert v(figure2_engine, "1 = 1 or 1 div 0") == [True]
+    assert v(figure2_engine, "1 = 2 and 1 div 0") == [False]
+
+
+def test_if_branches_lazy(figure2_engine):
+    assert v(figure2_engine, "if (1) then 'ok' else 1 div 0") == ["ok"]
+
+
+def test_predicate_effective_boolean(figure2_engine):
+    assert len(figure2_engine.execute('doc("book.xml")//book[author]')) == 2
+    assert len(figure2_engine.execute('doc("book.xml")//book[zzz]')) == 0
+    assert len(figure2_engine.execute('doc("book.xml")//book[0]')) == 0
+
+
+def test_float_position_predicate(figure2_engine):
+    # A numeric predicate that equals no position selects nothing.
+    assert len(figure2_engine.execute('(doc("book.xml")//book)[1.5]')) == 0
+
+
+def test_nested_flwr_scoping(figure2_engine):
+    result = v(
+        figure2_engine,
+        "for $x in (1, 2) return (for $x in (10) return $x)",
+    )
+    assert result == [10, 10]
+
+
+def test_let_shadowing(figure2_engine):
+    result = v(
+        figure2_engine,
+        "let $x := 1 let $x := $x + 1 return $x",
+    )
+    assert result == [2]
+
+
+def test_where_sees_all_bindings(figure2_engine):
+    result = v(
+        figure2_engine,
+        "for $x in (1, 2, 3) let $y := $x * 10 where $y > 15 return $y",
+    )
+    assert result == [20, 30]
+
+
+def test_union_orders_and_dedupes(figure2_engine):
+    result = figure2_engine.execute(
+        'doc("book.xml")//author | doc("book.xml")//author | doc("book.xml")//title'
+    )
+    assert [i.name for i in result] == ["title", "author", "title", "author"]
+
+
+def test_except_empty_right(figure2_engine):
+    result = figure2_engine.execute(
+        'doc("book.xml")//title except doc("book.xml")//zzz'
+    )
+    assert len(result) == 2
+
+
+def test_quantifier_short_circuit(figure2_engine):
+    # `some` with a match early in the sequence; later errors never run
+    # because generators are lazy only per evaluation -- here all items
+    # are evaluated, so use safe conditions.
+    assert v(figure2_engine, "some $x in (1, 2) satisfies $x = 1") == [True]
+
+
+def test_deep_nesting_parse_and_eval(figure2_engine):
+    query = "((((1 + (2 * (3))))))"
+    assert v(figure2_engine, query) == [7]

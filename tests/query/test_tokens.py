@@ -1,0 +1,98 @@
+"""Unit tests for the query lexer."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.query.tokens import Lexer
+
+
+def _all_tokens(text):
+    lexer = Lexer(text)
+    out = []
+    while True:
+        token = lexer.next_token()
+        if token.kind == "EOF":
+            return out
+        out.append((token.kind, token.value))
+
+
+def test_names_and_symbols():
+    assert _all_tokens("doc()/a//b") == [
+        ("NAME", "doc"),
+        ("SYMBOL", "("),
+        ("SYMBOL", ")"),
+        ("SYMBOL", "/"),
+        ("NAME", "a"),
+        ("SYMBOL", "//"),
+        ("NAME", "b"),
+    ]
+
+
+def test_strings_both_quotes():
+    assert _all_tokens("'a' \"b\"") == [("STRING", "a"), ("STRING", "b")]
+
+
+def test_unterminated_string():
+    with pytest.raises(QueryParseError):
+        _all_tokens("'oops")
+
+
+def test_numbers():
+    assert _all_tokens("1 2.5 10") == [
+        ("NUMBER", "1"),
+        ("NUMBER", "2.5"),
+        ("NUMBER", "10"),
+    ]
+
+
+def test_variables():
+    assert _all_tokens("$t $abc-d") == [("VARIABLE", "t"), ("VARIABLE", "abc-d")]
+
+
+def test_variable_requires_name():
+    with pytest.raises(QueryParseError):
+        _all_tokens("$ 1")
+
+
+def test_axis_double_colon():
+    assert _all_tokens("child::a") == [
+        ("NAME", "child"),
+        ("SYMBOL", "::"),
+        ("NAME", "a"),
+    ]
+
+
+def test_fn_prefix_is_one_name():
+    assert _all_tokens("fn:count(") == [
+        ("NAME", "fn:count"),
+        ("SYMBOL", "("),
+    ]
+
+
+def test_comparison_operators():
+    assert [v for _, v in _all_tokens("= != < <= > >= :=")] == [
+        "=", "!=", "<", "<=", ">", ">=", ":=",
+    ]
+
+
+def test_dotdot_is_two_dots():
+    assert _all_tokens("..") == [("SYMBOL", "."), ("SYMBOL", ".")]
+
+
+def test_comments_skipped():
+    assert _all_tokens("a (: comment :) b") == [("NAME", "a"), ("NAME", "b")]
+
+
+def test_unterminated_comment():
+    with pytest.raises(QueryParseError):
+        _all_tokens("a (: oops")
+
+
+def test_unexpected_character():
+    with pytest.raises(QueryParseError):
+        _all_tokens("a ; b")
+
+
+def test_name_with_dots():
+    # XML names may contain dots (vDataGuide labels rely on this).
+    assert _all_tokens("a.b.c") == [("NAME", "a.b.c")]

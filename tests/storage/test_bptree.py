@@ -1,0 +1,136 @@
+"""Unit tests for the B+-tree."""
+
+import random
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.bptree import BPlusTree
+
+
+def _key(i: int) -> bytes:
+    return i.to_bytes(4, "big")
+
+
+def test_insert_and_get():
+    tree = BPlusTree(order=4)
+    for i in range(50):
+        tree.insert(_key(i), i * 10)
+    for i in range(50):
+        assert tree.get(_key(i)) == i * 10
+    assert tree.get(_key(99)) is None
+    assert tree.get(_key(99), "d") == "d"
+
+
+def test_insert_replaces():
+    tree = BPlusTree(order=4)
+    tree.insert(b"k", 1)
+    tree.insert(b"k", 2)
+    assert tree.get(b"k") == 2
+    assert len(tree) == 1
+
+
+def test_contains():
+    tree = BPlusTree(order=4)
+    tree.insert(b"k", None)  # None values are legal
+    assert b"k" in tree
+    assert b"z" not in tree
+
+
+def test_random_insert_order_scan_sorted():
+    tree = BPlusTree(order=4)
+    keys = [_key(i) for i in range(200)]
+    shuffled = keys[:]
+    random.Random(3).shuffle(shuffled)
+    for key in shuffled:
+        tree.insert(key, key)
+    assert [k for k, _ in tree.scan()] == keys
+    tree.check_invariants()
+
+
+def test_scan_bounds():
+    tree = BPlusTree(order=4)
+    for i in range(100):
+        tree.insert(_key(i), i)
+    values = [v for _, v in tree.scan(_key(10), _key(20))]
+    assert values == list(range(10, 20))
+    assert [v for _, v in tree.scan(None, _key(3))] == [0, 1, 2]
+    assert [v for _, v in tree.scan(_key(97), None)] == [97, 98, 99]
+
+
+def test_prefix_scan():
+    tree = BPlusTree(order=4)
+    tree.insert(b"\x01", "root")
+    tree.insert(b"\x01\x01", "child1")
+    tree.insert(b"\x01\x02", "child2")
+    tree.insert(b"\x02", "sibling")
+    values = [v for _, v in tree.prefix_scan(b"\x01")]
+    assert values == ["root", "child1", "child2"]
+
+
+def test_prefix_scan_all_ff():
+    tree = BPlusTree(order=4)
+    tree.insert(b"\xff\xff", 1)
+    tree.insert(b"\xff\xff\x01", 2)
+    assert [v for _, v in tree.prefix_scan(b"\xff\xff")] == [1, 2]
+
+
+def test_delete():
+    tree = BPlusTree(order=4)
+    for i in range(30):
+        tree.insert(_key(i), i)
+    assert tree.delete(_key(7))
+    assert not tree.delete(_key(7))
+    assert tree.get(_key(7)) is None
+    assert len(tree) == 29
+
+
+def test_bulk_load_matches_inserts():
+    items = [(_key(i), i) for i in range(500)]
+    loaded = BPlusTree.bulk_load(items, order=8)
+    assert len(loaded) == 500
+    assert [v for _, v in loaded.scan()] == list(range(500))
+    loaded.check_invariants()
+    assert loaded.get(_key(123)) == 123
+    # The bulk tree remains usable for further inserts.
+    loaded.insert(_key(1000), 1000)
+    assert loaded.get(_key(1000)) == 1000
+    loaded.check_invariants()
+
+
+def test_bulk_load_empty():
+    tree = BPlusTree.bulk_load([])
+    assert len(tree) == 0
+    assert list(tree.scan()) == []
+
+
+def test_bulk_load_rejects_unsorted():
+    with pytest.raises(StorageError):
+        BPlusTree.bulk_load([(b"b", 1), (b"a", 2)])
+    with pytest.raises(StorageError):
+        BPlusTree.bulk_load([(b"a", 1), (b"a", 2)])
+
+
+def test_height_grows():
+    tree = BPlusTree(order=4)
+    assert tree.height == 1
+    for i in range(100):
+        tree.insert(_key(i), i)
+    assert tree.height > 1
+
+
+def test_order_validation():
+    with pytest.raises(StorageError):
+        BPlusTree(order=2)
+
+
+def test_stats_counted():
+    from repro.storage.stats import StorageStats
+
+    stats = StorageStats()
+    tree = BPlusTree(order=4, stats=stats)
+    tree.insert(b"a", 1)
+    tree.get(b"a")
+    list(tree.scan())
+    assert stats.index_probes == 2  # insert + get
+    assert stats.index_range_scans == 1

@@ -1,0 +1,105 @@
+"""Tests for store persistence (save/load/verify)."""
+
+import io
+import struct
+
+import pytest
+
+from repro.errors import StorageError
+from repro.pbn.number import Pbn
+from repro.query.engine import Engine
+from repro.storage.persist import dump_store, load_store, parse_store, save_store
+from repro.storage.store import DocumentStore
+from repro.workloads.books import books_document, paper_figure2
+from repro.xmlmodel.serializer import serialize
+
+
+def _roundtrip(store: DocumentStore) -> DocumentStore:
+    buffer = io.BytesIO()
+    dump_store(store, buffer)
+    buffer.seek(0)
+    return parse_store(buffer)
+
+
+def test_roundtrip_document_identical():
+    store = DocumentStore(paper_figure2())
+    loaded = _roundtrip(store)
+    assert serialize(loaded.document) == serialize(store.document)
+    assert loaded.document.uri == store.document.uri
+
+
+def test_roundtrip_preserves_values_and_types():
+    store = DocumentStore(books_document(15, seed=3))
+    loaded = _roundtrip(store)
+    assert loaded.value_of(Pbn(1, 3)) == store.value_of(Pbn(1, 3))
+    assert [t.dotted() for t in loaded.types_by_id] == [
+        t.dotted() for t in store.types_by_id
+    ]
+    assert len(loaded.value_index) == len(store.value_index)
+
+
+def test_roundtrip_store_is_queryable():
+    store = DocumentStore(books_document(10, seed=4))
+    loaded = _roundtrip(store)
+    engine = Engine()
+    engine._stores["book.xml"] = loaded
+    engine._store_by_document[id(loaded.document)] = loaded
+    result = engine.execute('count(doc("book.xml")//book)')
+    assert result.items == [10]
+
+
+def test_save_and_load_file(tmp_path):
+    store = DocumentStore(paper_figure2())
+    path = str(tmp_path / "books.vpbn")
+    size = save_store(store, path)
+    assert size > 0
+    loaded = load_store(path)
+    assert serialize(loaded.document) == serialize(store.document)
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(StorageError):
+        parse_store(io.BytesIO(b"NOPE" + b"\x00" * 32))
+
+
+def test_bad_version_rejected():
+    with pytest.raises(StorageError):
+        parse_store(io.BytesIO(b"VPBN" + struct.pack("<H", 99)))
+
+
+def test_truncated_image_rejected():
+    store = DocumentStore(paper_figure2())
+    buffer = io.BytesIO()
+    dump_store(store, buffer)
+    truncated = buffer.getvalue()[:-10]
+    with pytest.raises(StorageError):
+        parse_store(io.BytesIO(truncated))
+
+
+def test_tampered_text_rejected():
+    """Changing the heap text without fixing the node table must fail the
+    verification pass, not silently answer from wrong offsets."""
+    store = DocumentStore(paper_figure2())
+    buffer = io.BytesIO()
+    dump_store(store, buffer)
+    image = bytearray(buffer.getvalue())
+    # Flip 'X' (a title's text) to a longer entity, shifting offsets.
+    index = image.find(b"<title>X</title>")
+    assert index > 0
+    image[index + 7 : index + 8] = b"&amp;"
+    # Patch the string length prefix accordingly.
+    uri_len = struct.unpack_from("<I", image, 6)[0]
+    text_len_offset = 6 + 4 + uri_len
+    old_len = struct.unpack_from("<I", image, text_len_offset)[0]
+    struct.pack_into("<I", image, text_len_offset, old_len + 4)
+    with pytest.raises(StorageError):
+        parse_store(io.BytesIO(bytes(image)))
+
+
+def test_unicode_text_roundtrip():
+    from repro.xmlmodel.parser import parse_document
+
+    document = parse_document("<a>héllo — ünïcode ✓</a>", "u.xml")
+    store = DocumentStore(document)
+    loaded = _roundtrip(store)
+    assert loaded.document.root.text() == "héllo — ünïcode ✓"

@@ -1,0 +1,124 @@
+"""Tests for the inverted keyword index and contains-text()."""
+
+import pytest
+
+from repro.pbn.number import Pbn
+from repro.query.engine import Engine
+from repro.storage.store import DocumentStore
+from repro.storage.text_index import TextIndex, tokenize
+from repro.workloads.books import paper_figure2
+from repro.xmlmodel.parser import parse_document
+
+
+def test_tokenize():
+    assert tokenize("The quick-brown FOX, 42!") == ["the", "quick", "brown", "fox", "42"]
+    assert tokenize("") == []
+
+
+@pytest.fixture
+def store():
+    return DocumentStore(
+        parse_document(
+            '<lib><book id="classic fable"><title>The quick fox</title>'
+            "<blurb>A fox jumps</blurb></book>"
+            "<book><title>Slow dogs</title></book></lib>"
+        )
+    )
+
+
+def test_build_and_postings(store):
+    index = TextIndex.build(store)
+    fox = index.postings("fox")
+    assert [str(n) for n in fox] == ["1.1.2.1", "1.1.3.1"]
+    assert index.postings("FOX") == fox  # case-insensitive
+    assert index.postings("missing") == []
+    assert "fable" in index.terms()  # attributes indexed too
+
+
+def test_posting_appears_once_per_node(store):
+    # "fox" occurs once per node even though tokens repeat elsewhere.
+    index = TextIndex.build(store)
+    assert len(index.postings("a")) == 1
+
+
+def test_contains_under(store):
+    index = TextIndex.build(store)
+    book1, book2 = Pbn(1, 1), Pbn(1, 2)
+    assert index.contains_under(book1, "fox")
+    assert not index.contains_under(book2, "fox")
+    assert index.contains_under(book2, "dogs")
+    assert index.contains_under(Pbn(1), "fable")  # via the attribute
+    assert not index.contains_under(book1, "nothing")
+
+
+def test_store_builds_lazily(store):
+    assert store._text_index is None
+    index = store.text_index
+    assert store._text_index is index
+    assert store.text_index is index  # cached
+
+
+def test_contains_text_physical():
+    engine = Engine()
+    engine.load(
+        "lib.xml",
+        "<lib><book><title>The quick fox</title></book>"
+        "<book><title>Slow dogs</title></book></lib>",
+    )
+    result = engine.execute(
+        'doc("lib.xml")//book[contains-text(., "fox")]/title/text()'
+    )
+    assert result.values() == ["The quick fox"]
+    nothing = engine.execute('doc("lib.xml")//book[contains-text(., "cat")]')
+    assert len(nothing) == 0
+
+
+def test_contains_text_constructed_nodes():
+    engine = Engine()
+    engine.load("lib.xml", "<lib/>")
+    result = engine.execute('contains-text(<a>Hello World</a>, "world")')
+    assert result.items == [True]
+
+
+def test_contains_text_virtual_reuses_index():
+    """Keyword search through a transformed hierarchy, answered from the
+    original index: the author's name text must be found under the virtual
+    *title* that now owns the author."""
+    engine = Engine()
+    engine.load(
+        "book.xml",
+        "<data><book><title>Alpha</title><author><name>Codd</name></author></book>"
+        "<book><title>Beta</title><author><name>Gauss</name></author></book></data>",
+    )
+    result = engine.execute(
+        'virtualDoc("book.xml", "title { author { name } }")'
+        '//title[contains-text(., "codd")]/text()'
+    )
+    assert result.values() == ["Alpha"]
+    # The physical title never contained "codd" — only the virtual one does.
+    physical = engine.execute(
+        'doc("book.xml")//title[contains-text(., "codd")]'
+    )
+    assert len(physical) == 0
+    # Index built once, on the original document; stats prove vPBN checks ran.
+    assert engine.stats.comparisons > 0
+
+
+def test_contains_text_virtual_excludes_moved_away_content():
+    """Content a transformation moves away is no longer 'contained'."""
+    engine = Engine()
+    engine.load(
+        "book.xml",
+        "<data><book><title>Alpha</title><publisher>Springer</publisher>"
+        "<author>Codd</author></book></data>",
+    )
+    # The virtual title owns the author but NOT the publisher.
+    result = engine.execute(
+        'virtualDoc("book.xml", "title { author }")'
+        '//title[contains-text(., "springer")]'
+    )
+    assert len(result) == 0
+    physical = engine.execute(
+        'doc("book.xml")//book[contains-text(., "springer")]'
+    )
+    assert len(physical) == 1

@@ -1,0 +1,26 @@
+"""Every example script must run to completion (they are documentation)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", _EXAMPLES, ids=[p.stem for p in _EXAMPLES])
+def test_example_runs(script, capsys, monkeypatch):
+    # Examples are plain scripts with a main() guard; run them as __main__.
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"
+
+
+def test_examples_exist():
+    assert len(_EXAMPLES) >= 4
+    names = {p.stem for p in _EXAMPLES}
+    assert "quickstart" in names

@@ -1,0 +1,125 @@
+"""Tests for the query-rewriting baseline (B3)."""
+
+import pytest
+
+from repro.query.engine import Engine
+from repro.transform.rewrite import RewriteError, rewrite_query
+from repro.workloads.books import books_document
+from repro.workloads.xmarklike import auction_document
+
+
+@pytest.fixture
+def engine():
+    engine = Engine()
+    engine.load("book.xml", books_document(20, seed=41))
+    engine.load("auction.xml", auction_document(items=25, seed=41))
+    return engine
+
+
+def _keys(result):
+    """Node-identity keys: a rewriter returns the same *stored nodes* as
+    virtual evaluation, but their values stay physical (the paper's point
+    about views needing materialized values), so equivalence is compared
+    on identity, not string values."""
+    from repro.core.virtual_document import VNode
+    from repro.xmlmodel.nodes import Node
+
+    keys = set()
+    for item in result:
+        if isinstance(item, VNode):
+            keys.add(item.node.pbn.components)
+        elif isinstance(item, Node) and item.pbn is not None:
+            keys.add(item.pbn.components)
+        else:
+            keys.add(("atomic", item))
+    return keys
+
+
+def _agree(engine, virtual_query):
+    rewritten = rewrite_query(virtual_query, engine)
+    assert "virtualDoc" not in rewritten
+    virtual = engine.execute(virtual_query)
+    physical = engine.execute(rewritten)
+    assert _keys(virtual) == _keys(physical), rewritten
+    return rewritten
+
+
+def test_case3_child_chain(engine):
+    _agree(
+        engine,
+        'virtualDoc("book.xml", "title { author { name } }")//title/author/name/text()',
+    )
+
+
+def test_root_step(engine):
+    rewritten = _agree(engine, 'virtualDoc("book.xml", "title { author }")/title')
+    assert "descendant::title" in rewritten
+
+
+def test_descendant_step(engine):
+    _agree(engine, 'virtualDoc("book.xml", "title { author { name } }")//name')
+
+
+def test_case1_skip_level(engine):
+    _agree(engine, 'virtualDoc("book.xml", "book { name }")//book/name/text()')
+
+
+def test_case2_inversion_goes_up(engine):
+    rewritten = _agree(
+        engine, 'virtualDoc("book.xml", "name { author }")//name/author'
+    )
+    assert "ancestor-or-self::author" in rewritten
+
+
+def test_attribute_step(engine):
+    _agree(
+        engine,
+        'virtualDoc("auction.xml", "site { item { ** } }")//item/@id',
+    )
+
+
+def test_text_step(engine):
+    _agree(engine, 'virtualDoc("book.xml", "title { author }")//title/text()')
+
+
+def test_inside_flwr(engine):
+    virtual_query = (
+        'for $n in virtualDoc("book.xml", "title { author { name } }")//name '
+        "return count($n)"
+    )
+    rewritten = rewrite_query(virtual_query, engine)
+    assert "virtualDoc" not in rewritten
+    assert engine.execute(virtual_query).values() == engine.execute(rewritten).values()
+
+
+def test_empty_match_rewrites_to_empty(engine):
+    rewritten = rewrite_query(
+        'virtualDoc("book.xml", "title { author }")//publisher', engine
+    )
+    assert engine.execute(rewritten).items == []
+
+
+def test_predicates_rejected(engine):
+    with pytest.raises(RewriteError):
+        rewrite_query(
+            'virtualDoc("book.xml", "title { author }")//title[author]', engine
+        )
+
+
+def test_reverse_axes_rejected(engine):
+    with pytest.raises(RewriteError):
+        rewrite_query(
+            'virtualDoc("book.xml", "title { author }")//author/..', engine
+        )
+
+
+def test_non_literal_arguments_rejected(engine):
+    with pytest.raises(RewriteError):
+        rewrite_query('virtualDoc($u, "title")//title', engine)
+
+
+def test_physical_queries_left_alone(engine):
+    query = 'doc("book.xml")//title/text()'
+    assert engine.execute(rewrite_query(query, engine)).values() == (
+        engine.execute(query).values()
+    )

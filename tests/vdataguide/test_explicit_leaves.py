@@ -1,0 +1,68 @@
+"""Explicit #text / @attribute labels in specifications."""
+
+import pytest
+
+from repro.dataguide.build import build_dataguide
+from repro.errors import SpecResolutionError
+from repro.query.engine import Engine
+from repro.vdataguide.grammar import parse_spec, parse_vdataguide
+from repro.vdataguide.resolve import resolve_spec
+from repro.xmlmodel.parser import parse_document
+
+
+@pytest.fixture
+def guide():
+    return build_dataguide(
+        parse_document(
+            '<lib><book id="b1"><title>T</title><year>2001</year></book></lib>'
+        )
+    )
+
+
+def test_grammar_accepts_leaf_labels():
+    (entry,) = parse_spec("title { @id #text }")
+    assert [c.label for c in entry.children] == ["@id", "#text"]
+
+
+def test_explicit_attribute_label_resolves(guide):
+    vguide = resolve_spec(parse_spec("title { book.@id }"), guide)
+    dotted = {v.dotted() for v in vguide.iter_vtypes()}
+    # The book's id attribute is hoisted under the title; the title's own
+    # implicit leaves still appear.
+    assert "title.@id" in dotted
+
+
+def test_explicit_attribute_query():
+    engine = Engine()
+    engine.load(
+        "lib.xml",
+        '<lib><book id="b1"><title>T1</title></book>'
+        '<book id="b2"><title>T2</title></book></lib>',
+    )
+    result = engine.execute(
+        'virtualDoc("lib.xml", "title { book.@id }")//title/@id'
+    )
+    assert result.values() == ["b1", "b2"]
+
+
+def test_ambiguous_text_label_needs_qualification(guide):
+    with pytest.raises(SpecResolutionError):
+        resolve_spec(parse_spec("book { #text }"), guide)
+
+
+def test_qualified_text_label(guide):
+    vguide = resolve_spec(parse_spec("book { title.#text }"), guide)
+    dotted = {v.dotted() for v in vguide.iter_vtypes()}
+    assert "book.#text" in dotted  # the title's text now under book
+
+
+def test_hoisted_text_queries_correctly():
+    engine = Engine()
+    engine.load(
+        "lib.xml",
+        "<lib><book><title>T1</title></book><book><title>T2</title></book></lib>",
+    )
+    result = engine.execute(
+        'virtualDoc("lib.xml", "book { title.#text }")//book/text()'
+    )
+    assert result.values() == ["T1", "T2"]

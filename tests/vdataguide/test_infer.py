@@ -1,0 +1,81 @@
+"""Tests for spec inference from example output documents."""
+
+import pytest
+
+from repro.dataguide.build import build_dataguide
+from repro.errors import SpecResolutionError
+from repro.query.engine import Engine
+from repro.vdataguide.infer import infer_spec
+from repro.workloads.books import paper_figure2
+from repro.xmlmodel.parser import parse_document
+
+
+@pytest.fixture
+def guide():
+    return build_dataguide(paper_figure2())
+
+
+def test_infer_from_figure3(guide):
+    """The paper's Figure 3, pasted as the sketch, yields Figure 6's spec."""
+    spec = infer_spec(
+        "<title>X<author><name>C</name></author></title>"
+        "<title>Y<author><name>D</name></author></title>",
+        guide,
+    )
+    assert spec == "title { author { name } }"
+
+
+def test_repeated_siblings_collapse(guide):
+    spec = infer_spec(
+        "<book><title>X</title><author/><author/></book>", guide
+    )
+    assert spec == "book { title author }"
+
+
+def test_text_and_attributes_ignored(guide):
+    spec = infer_spec("<title>some sample text</title>", guide)
+    assert spec == "title"
+
+
+def test_inferred_spec_actually_transforms(guide):
+    engine = Engine()
+    engine.load("book.xml", paper_figure2())
+    spec = infer_spec("<name>C<author/></name>", engine.store("book.xml").guide)
+    assert spec == "name { author }"
+    result = engine.execute(f'virtualDoc("book.xml", "{spec}")//name/author')
+    assert len(result) == 2
+
+
+def test_ambiguous_tag_needs_qualifier():
+    document = parse_document(
+        "<r><article><year>1</year></article><paper><year>2</year></paper></r>"
+    )
+    guide = build_dataguide(document)
+    with pytest.raises(SpecResolutionError):
+        infer_spec("<year/>", guide)
+    spec = infer_spec('<year of="article.year"/>', guide)
+    assert spec == "article.year"
+
+
+def test_qualifier_scopes_children():
+    document = parse_document(
+        "<r><article><year>1</year></article><paper><year>2</year></paper></r>"
+    )
+    guide = build_dataguide(document)
+    spec = infer_spec("<article><year/></article>", guide)
+    assert spec == "article { year }"  # contextual disambiguation
+
+
+def test_empty_example_rejected(guide):
+    with pytest.raises(SpecResolutionError):
+        infer_spec("   ", guide)
+
+
+def test_unknown_tag_rejected(guide):
+    with pytest.raises(SpecResolutionError):
+        infer_spec("<martian/>", guide)
+
+
+def test_forest_example(guide):
+    spec = infer_spec("<title/><location/>", guide)
+    assert spec == "title location"

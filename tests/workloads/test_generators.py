@@ -1,0 +1,96 @@
+"""Tests for the workload generators."""
+
+from repro.dataguide.build import build_dataguide
+from repro.pbn.assign import iter_numbered
+from repro.workloads.books import books_document, paper_figure2
+from repro.workloads.dblplike import dblp_document
+from repro.workloads.treegen import random_document, random_spec
+from repro.workloads.xmarklike import auction_document
+from repro.workloads import queries as Q
+from repro.xmlmodel.serializer import serialize
+
+
+def test_books_structure():
+    document = books_document(10, seed=1)
+    guide = build_dataguide(document)
+    assert ("data", "book", "title") in guide
+    assert ("data", "book", "author", "name", "#text") in guide
+    assert guide.lookup_path(("data", "book")).count == 10
+
+
+def test_books_deterministic():
+    assert serialize(books_document(5, seed=3)) == serialize(books_document(5, seed=3))
+    assert serialize(books_document(5, seed=3)) != serialize(books_document(5, seed=4))
+
+
+def test_books_numbered():
+    document = books_document(3)
+    assert all(node.pbn is not None for node in iter_numbered(document))
+
+
+def test_paper_figure2_shape():
+    assert serialize(paper_figure2()) == (
+        "<data><book><title>X</title><author><name>C</name></author>"
+        "<publisher><location>W</location></publisher></book>"
+        "<book><title>Y</title><author><name>D</name></author>"
+        "<publisher><location>M</location></publisher></book></data>"
+    )
+
+
+def test_auction_structure():
+    document = auction_document(items=20, seed=2)
+    guide = build_dataguide(document)
+    assert ("site", "regions", "region", "item", "description", "par") in guide
+    assert ("site", "auctions", "auction", "bid", "amount") in guide
+    assert guide.lookup_path(("site", "regions", "region", "item")).count == 20
+    # Attribute types exist for references.
+    assert ("site", "auctions", "auction", "@item") in guide
+
+
+def test_auction_people_scale():
+    document = auction_document(items=20, people=7, seed=2)
+    guide = build_dataguide(document)
+    assert guide.lookup_path(("site", "people", "person")).count == 7
+
+
+def test_dblp_structure():
+    document = dblp_document(30, seed=3)
+    guide = build_dataguide(document)
+    assert guide.lookup_path(("dblp", "article")).count == 15
+    assert guide.lookup_path(("dblp", "inproceedings")).count == 15
+    assert ("dblp", "article", "journal") in guide
+    assert ("dblp", "inproceedings", "booktitle") in guide
+
+
+def test_random_document_seeded():
+    assert serialize(random_document(7)) == serialize(random_document(7))
+
+
+def test_random_document_is_numbered():
+    document = random_document(1)
+    assert document.root.pbn is not None
+
+
+def test_random_spec_resolves():
+    from repro.vdataguide.grammar import parse_vdataguide
+
+    for seed in range(10):
+        document = random_document(seed, max_depth=4)
+        guide = build_dataguide(document)
+        spec = random_spec(guide, seed)
+        vguide = parse_vdataguide(spec, guide)
+        assert len(vguide) >= 1
+
+
+def test_workload_templates_instantiate():
+    source = Q.virtual_source("u.xml", "a { b }")
+    query = Q.instantiate("for $x in {source}//a return <n>{{ $x }}</n>", source)
+    assert 'virtualDoc("u.xml", "a { b }")' in query
+    assert "{ $x }" in query
+    assert "{{" not in query
+
+
+def test_all_workloads_have_queries():
+    for workload in Q.ALL_WORKLOADS:
+        assert workload.queries
+        assert workload.spec

@@ -1,0 +1,153 @@
+"""Unit tests for the XML parser."""
+
+import pytest
+
+from repro.errors import XmlParseError
+from repro.xmlmodel.nodes import NodeKind
+from repro.xmlmodel.parser import parse_document, parse_fragment
+
+
+def test_single_element():
+    document = parse_document("<a/>", "u")
+    assert document.uri == "u"
+    assert document.root.tag == "a"
+    assert document.root.children == []
+
+
+def test_nested_elements():
+    document = parse_document("<a><b><c/></b></a>")
+    root = document.root
+    assert root.tag == "a"
+    assert root.children[0].tag == "b"
+    assert root.children[0].children[0].tag == "c"
+
+
+def test_text_content():
+    document = parse_document("<a>hello</a>")
+    assert document.root.text() == "hello"
+
+
+def test_mixed_content_order():
+    document = parse_document("<a>x<b/>y</a>")
+    kinds = [c.kind for c in document.root.children]
+    assert kinds == [NodeKind.TEXT, NodeKind.ELEMENT, NodeKind.TEXT]
+
+
+def test_attributes():
+    document = parse_document('<a x="1" y=\'2\'/>')
+    assert document.root.get_attribute("x") == "1"
+    assert document.root.get_attribute("y") == "2"
+
+
+def test_duplicate_attribute_rejected():
+    with pytest.raises(XmlParseError):
+        parse_document('<a x="1" x="2"/>')
+
+
+def test_entities_decoded():
+    document = parse_document("<a>&lt;&gt;&amp;&quot;&apos;</a>")
+    assert document.root.text() == "<>&\"'"
+
+
+def test_numeric_character_references():
+    document = parse_document("<a>&#65;&#x42;</a>")
+    assert document.root.text() == "AB"
+
+
+def test_unknown_entity_rejected():
+    with pytest.raises(XmlParseError):
+        parse_document("<a>&nope;</a>")
+
+
+def test_cdata():
+    document = parse_document("<a><![CDATA[<not parsed> & fine]]></a>")
+    assert document.root.text() == "<not parsed> & fine"
+
+
+def test_comments_skipped():
+    document = parse_document("<a><!-- note --><b/><!-- tail --></a>")
+    assert [c.name for c in document.root.children] == ["b"]
+
+
+def test_processing_instruction_skipped():
+    document = parse_document("<?xml version='1.0'?><a><?pi data?></a>")
+    assert document.root.children == []
+
+
+def test_doctype_skipped():
+    document = parse_document("<!DOCTYPE a><a/>")
+    assert document.root.tag == "a"
+
+
+def test_whitespace_stripped_by_default():
+    document = parse_document("<a>\n  <b/>\n</a>")
+    assert [c.name for c in document.root.children] == ["b"]
+
+
+def test_whitespace_kept_on_request():
+    document = parse_document("<a>\n  <b/>\n</a>", keep_whitespace=True)
+    kinds = [c.kind for c in document.root.children]
+    assert kinds == [NodeKind.TEXT, NodeKind.ELEMENT, NodeKind.TEXT]
+
+
+def test_mismatched_tags_rejected():
+    with pytest.raises(XmlParseError):
+        parse_document("<a><b></a></b>")
+
+
+def test_unclosed_element_rejected():
+    with pytest.raises(XmlParseError):
+        parse_document("<a><b>")
+
+
+def test_content_after_root_rejected():
+    with pytest.raises(XmlParseError):
+        parse_document("<a/><b/>")
+
+
+def test_empty_input_rejected():
+    with pytest.raises(XmlParseError):
+        parse_document("   ")
+
+
+def test_error_carries_line_and_column():
+    try:
+        parse_document("<a>\n<b>\n</a>")
+    except XmlParseError as error:
+        assert error.line == 3
+    else:  # pragma: no cover
+        pytest.fail("expected XmlParseError")
+
+
+def test_self_closing_with_space():
+    document = parse_document("<a  />")
+    assert document.root.tag == "a"
+
+
+def test_end_tag_with_whitespace():
+    document = parse_document("<a></a >")
+    assert document.root.tag == "a"
+
+
+def test_fragment_parses_forest():
+    roots = parse_fragment("<a/><b/><c/>")
+    assert [r.name for r in roots] == ["a", "b", "c"]
+
+
+def test_fragment_empty_is_empty_list():
+    assert parse_fragment("  ") == []
+
+
+def test_attribute_entities():
+    document = parse_document('<a x="&amp;&lt;"/>')
+    assert document.root.get_attribute("x") == "&<"
+
+
+def test_unquoted_attribute_rejected():
+    with pytest.raises(XmlParseError):
+        parse_document("<a x=1/>")
+
+
+def test_names_with_punctuation():
+    document = parse_document("<ns:a-b.c_d/>")
+    assert document.root.tag == "ns:a-b.c_d"

@@ -1,0 +1,61 @@
+"""Unit tests for the serializer."""
+
+from repro.xmlmodel.builder import elem, text
+from repro.xmlmodel.nodes import Document
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import escape_attribute, escape_text, serialize
+
+
+def test_simple_element():
+    assert serialize(elem("a")) == "<a/>"
+
+
+def test_text_escaping():
+    assert serialize(elem("a", "x < y & z")) == "<a>x &lt; y &amp; z</a>"
+
+
+def test_attribute_escaping():
+    assert serialize(elem("a", v='say "hi" & <go>')) == (
+        '<a v="say &quot;hi&quot; &amp; &lt;go&gt;"/>'
+    )
+
+
+def test_escape_helpers():
+    assert escape_text("<&>") == "&lt;&amp;&gt;"
+    assert escape_attribute('"') == "&quot;"
+
+
+def test_nested():
+    tree = elem("a", elem("b", text("t")), elem("c"))
+    assert serialize(tree) == "<a><b>t</b><c/></a>"
+
+
+def test_document_serializes_forest():
+    document = Document("u")
+    document.append(elem("a"))
+    document.append(elem("b"))
+    assert serialize(document) == "<a/><b/>"
+
+
+def test_roundtrip():
+    source = '<a x="1"><b>text &amp; more</b><c/><d>t1<e/>t2</d></a>'
+    document = parse_document(source)
+    assert serialize(document) == source
+
+
+def test_roundtrip_twice_is_stable():
+    source = "<a><b>x</b></a>"
+    once = serialize(parse_document(source))
+    twice = serialize(parse_document(once))
+    assert once == twice == source
+
+
+def test_pretty_print_elements_only():
+    tree = elem("a", elem("b", elem("c")))
+    pretty = serialize(tree, indent="  ")
+    assert pretty == "<a>\n  <b>\n    <c/>\n  </b>\n</a>"
+
+
+def test_pretty_print_keeps_mixed_content_inline():
+    tree = elem("a", text("x"), elem("b"))
+    assert serialize(tree, indent="  ") == "<a>x<b/></a>"
