@@ -1,0 +1,44 @@
+"""E13 — service-level caching: cold vs warm plan/view caches."""
+
+import pytest
+
+from repro.service import QueryService
+from repro.workloads.books import books_document
+from repro.workloads import queries as Q
+
+_QUERY = Q.instantiate(
+    Q.BOOKS_INVERT.queries["names"],
+    Q.virtual_source("book.xml", Q.BOOKS_INVERT.spec),
+)
+
+
+@pytest.fixture(scope="module")
+def service_300():
+    service = QueryService(pool_size=1)
+    service.load("book.xml", books_document(300, seed=2))
+    return service
+
+
+@pytest.fixture(scope="module")
+def expected_names(service_300):
+    spec_source = Q.virtual_source("book.xml", Q.BOOKS_INVERT.spec)
+    count = service_300.execute(f"count({spec_source}//name)").values()[0]
+    service_300.plan_cache.clear()
+    service_300.view_cache.clear()
+    return int(count)
+
+
+def test_cold_cache_query(benchmark, service_300, expected_names):
+    def cold():
+        service_300.plan_cache.clear()
+        service_300.view_cache.clear()
+        return service_300.execute(_QUERY)
+
+    result = benchmark(cold)
+    assert len(result) == expected_names
+
+
+def test_warm_cache_query(benchmark, service_300, expected_names):
+    service_300.execute(_QUERY)  # prime the caches
+    result = benchmark(service_300.execute, _QUERY)
+    assert len(result) == expected_names

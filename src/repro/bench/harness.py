@@ -38,6 +38,29 @@ def per_op_ns(fn: Callable[[], object], inner_loops: int, repeat: int = 3) -> fl
     return best_of(fn, repeat) / inner_loops * 1e9
 
 
+def cache_cold_warm(
+    service, query: str, repeat: int = 3
+) -> tuple[float, float]:
+    """Best cold and warm execution times of ``query`` on a
+    :class:`~repro.service.service.QueryService`.
+
+    A *cold* run clears the shared plan and view caches first, so it pays
+    parsing and (for virtual sources) vDataGuide resolution + Algorithm 1;
+    a *warm* run repeats the query with hot caches.  The spread is the
+    preprocessing the service amortizes across a query stream.
+    """
+
+    def cold_once():
+        service.plan_cache.clear()
+        service.view_cache.clear()
+        return service.execute(query)
+
+    cold = best_of(cold_once, repeat)
+    service.execute(query)  # prime the caches
+    warm = best_of(lambda: service.execute(query), repeat)
+    return cold, warm
+
+
 def run_experiment(name: str) -> list[Table]:
     """Run one experiment and print its tables."""
     # Import for the registration side effect.
@@ -55,7 +78,7 @@ def run_experiment(name: str) -> list[Table]:
 
 
 def run_all() -> list[Table]:
-    """Run every experiment, in numeric order (e1 ... e12)."""
+    """Run every experiment, in numeric order (e1 ... e13)."""
     from repro.bench import experiments as _experiments  # noqa: F401
 
     tables: list[Table] = []

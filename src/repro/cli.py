@@ -24,6 +24,20 @@ Commands
     Resolve a vDataGuide against a document and print each virtual type's
     level array and lca length (Algorithm 1's output).
 
+``batch``
+    Evaluate many queries through the concurrent
+    :class:`~repro.service.service.QueryService` (shared plan/view caches,
+    an engine pool) and optionally print cache/latency metrics::
+
+        python -m repro batch --books 100 --queries queries.txt \\
+            --threads 4 --repeat 3 --metrics
+
+``serve``
+    Start the HTTP front end (``POST /query``, ``GET /metrics``,
+    ``GET /healthz``) over a query service::
+
+        python -m repro serve --books 100 --port 8080
+
 ``bench``
     Alias for ``python -m repro.bench`` (the experiment suite).
 """
@@ -88,11 +102,38 @@ def _build_parser() -> argparse.ArgumentParser:
     save.add_argument("path", help="output .vpbn file")
     save.add_argument("uri", nargs="?", help="which loaded document (default: only one)")
 
+    batch = sub.add_parser(
+        "batch", help="evaluate many queries through the concurrent service"
+    )
+    add_documents(batch)
+    batch.add_argument("queries", nargs="*", help="query texts (else --queries/stdin)")
+    batch.add_argument("--queries", dest="queries_file", metavar="FILE",
+                       help="file with one query per line ('-' for stdin)")
+    batch.add_argument("--mode", choices=["indexed", "tree"], default="indexed")
+    batch.add_argument("--threads", type=int, default=4,
+                       help="engine pool size / max concurrent queries")
+    batch.add_argument("--repeat", type=int, default=1, metavar="N",
+                       help="run the whole list N times (N>1 exercises warm caches)")
+    batch.add_argument("--values", action="store_true",
+                       help="print string values instead of XML")
+    batch.add_argument("--metrics", action="store_true",
+                       help="print the service metrics snapshot (JSON, stderr)")
+
+    serve = sub.add_parser("serve", help="serve queries over HTTP")
+    add_documents(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--mode", choices=["indexed", "tree"], default="indexed")
+    serve.add_argument("--threads", type=int, default=4,
+                       help="engine pool size / max concurrent queries")
+
     sub.add_parser("bench", help="run the experiment suite (see repro.bench)")
     return parser
 
 
-def _load_documents(engine: Engine, args: argparse.Namespace) -> list[str]:
+def _load_documents(engine, args: argparse.Namespace) -> list[str]:
+    """Load the requested documents into an :class:`Engine` or a
+    :class:`~repro.service.service.QueryService` (same load/open surface)."""
     uris: list[str] = []
     for spec in args.document:
         if "=" not in spec:
@@ -159,6 +200,21 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(explain_expr(parse_query(args.text)))
         return 0
 
+    if args.command == "batch":
+        return _run_batch(args)
+
+    if args.command == "serve":
+        from repro.service import QueryService
+        from repro.service.server import serve_forever
+
+        service = QueryService(pool_size=args.threads, mode=args.mode)
+        uris = _load_documents(service, args)
+        if not uris:
+            print("note: no documents loaded; doc()/virtualDoc() will fail",
+                  file=sys.stderr)
+        serve_forever(service, args.host, args.port)
+        return 0
+
     engine = Engine()
     uris = _load_documents(engine, args)
 
@@ -221,3 +277,56 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+def _read_queries(args: argparse.Namespace) -> list[str]:
+    """Positional queries, then one query per non-blank non-# line of
+    ``--queries`` (or stdin when neither source is given)."""
+    queries = list(args.queries)
+    source = args.queries_file
+    if source is None and not queries:
+        source = "-"
+    if source is not None:
+        handle = sys.stdin if source == "-" else open(source, "r", encoding="utf-8")
+        try:
+            for line in handle:
+                text = line.strip()
+                if text and not text.startswith("#"):
+                    queries.append(text)
+        finally:
+            if handle is not sys.stdin:
+                handle.close()
+    return queries
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import QueryService
+
+    service = QueryService(pool_size=args.threads, mode=args.mode)
+    uris = _load_documents(service, args)
+    if not uris:
+        print("note: no documents loaded; doc()/virtualDoc() will fail",
+              file=sys.stderr)
+    queries = _read_queries(args)
+    if not queries:
+        raise SystemExit("batch: no queries given")
+    failures = 0
+    for round_number in range(max(args.repeat, 1)):
+        outcome = service.batch(queries, workers=args.threads)
+        for text, item in zip(queries, outcome.outcomes):
+            if isinstance(item, Exception):
+                failures += 1
+                print(f"error: {text!r}: {item}", file=sys.stderr)
+            elif round_number == 0:
+                # Print each query's answer once; later rounds only warm
+                # the caches (and the metrics tell that story).
+                if args.values:
+                    for value in item.values():
+                        print(value)
+                else:
+                    print(item.to_xml())
+    if args.metrics:
+        print(json.dumps(service.snapshot(), indent=2), file=sys.stderr)
+    return 1 if failures else 0

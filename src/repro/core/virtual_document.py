@@ -21,6 +21,7 @@ property tests.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Iterator, Optional
 
@@ -96,6 +97,10 @@ class VirtualDocument:
         self._nodes_by_type: dict[GuideType, list[Node]] = {}
         self._keys_by_type: dict[GuideType, list[tuple[int, ...]]] = {}
         self._reachable: dict[VType, list[Node]] = {}
+        # Reentrant: reachability recurses parent-ward under the lock.  A
+        # view cached by the service is navigated from several engine
+        # threads at once; the lock keeps the lazy memos single-build.
+        self._memo_lock = threading.RLock()
         self._index_nodes()
 
     @classmethod
@@ -206,16 +211,17 @@ class VirtualDocument:
     def _reachable_ids(self, vtype: VType) -> frozenset:
         """Identity set of the reachable instances of ``vtype`` (memoized
         alongside :meth:`reachable_instances`)."""
-        cached = getattr(self, "_reachable_id_sets", None)
-        if cached is None:
-            cached = {}
-            self._reachable_id_sets = cached
-        ids = cached.get(vtype)
-        if ids is None:
-            self.reachable_instances(vtype)  # populate self._reachable
-            ids = frozenset(id(node) for node in self._reachable[vtype])
-            cached[vtype] = ids
-        return ids
+        with self._memo_lock:
+            cached = getattr(self, "_reachable_id_sets", None)
+            if cached is None:
+                cached = {}
+                self._reachable_id_sets = cached
+            ids = cached.get(vtype)
+            if ids is None:
+                self.reachable_instances(vtype)  # populate self._reachable
+                ids = frozenset(id(node) for node in self._reachable[vtype])
+                cached[vtype] = ids
+            return ids
 
     def reachable_instances(self, vtype: VType) -> list[VNode]:
         """Instances of ``vtype`` that actually occur in the virtual
@@ -230,21 +236,24 @@ class VirtualDocument:
         """
         cached = self._reachable.get(vtype)
         if cached is None:
-            nodes = self._nodes_by_type.get(vtype.original, [])
-            if vtype.parent is None:
-                cached = list(nodes)
-            else:
-                k = vtype.lca_length
-                parent_prefixes = {
-                    parent.node.pbn.components[:k]
-                    for parent in self.reachable_instances(vtype.parent)
-                }
-                cached = [
-                    node
-                    for node in nodes
-                    if node.pbn.components[:k] in parent_prefixes
-                ]
-            self._reachable[vtype] = cached
+            with self._memo_lock:
+                cached = self._reachable.get(vtype)
+                if cached is None:
+                    nodes = self._nodes_by_type.get(vtype.original, [])
+                    if vtype.parent is None:
+                        cached = list(nodes)
+                    else:
+                        k = vtype.lca_length
+                        parent_prefixes = {
+                            parent.node.pbn.components[:k]
+                            for parent in self.reachable_instances(vtype.parent)
+                        }
+                        cached = [
+                            node
+                            for node in nodes
+                            if node.pbn.components[:k] in parent_prefixes
+                        ]
+                    self._reachable[vtype] = cached
         return [VNode(vtype, node, self) for node in cached]
 
     def sibling_ordinal(self, vnode: VNode) -> int:

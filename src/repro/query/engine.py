@@ -24,6 +24,7 @@ from typing import Optional, Union
 from repro.core.virtual_document import VirtualDocument
 from repro.errors import QueryEvaluationError
 from repro.pbn.assign import assign_numbers
+from repro.query import ast
 from repro.query.context import Context
 from repro.query.eval import Evaluator
 from repro.query.eval_indexed import IndexedNavigator
@@ -91,6 +92,16 @@ class Engine:
         ``execute(..., mode=...)``.
     :param page_size: heap page size for loaded documents.
     :param buffer_capacity: buffer pool pages per document.
+    :param stats: a shared counter block (``QueryService`` hands every
+        pooled engine the same one); a fresh block when omitted.
+    :param metrics: optional :class:`~repro.service.metrics.ServiceMetrics`
+        receiving operational counters and latency histograms.
+    :param plan_cache: optional :class:`~repro.service.cache.PlanCache`;
+        when set, ``execute`` resolves query text through it instead of
+        re-parsing.
+    :param view_cache: optional :class:`~repro.service.cache.ViewCache`;
+        when set, ``virtual`` resolves views through it instead of the
+        engine-local memo, sharing level arrays across an engine pool.
     """
 
     def __init__(
@@ -99,12 +110,19 @@ class Engine:
         page_size: int = 4096,
         buffer_capacity: int = 256,
         index_order: int = 64,
+        stats: Optional[StorageStats] = None,
+        metrics=None,
+        plan_cache=None,
+        view_cache=None,
     ) -> None:
         self.mode = mode
         self.page_size = page_size
         self.buffer_capacity = buffer_capacity
         self.index_order = index_order
-        self.stats = StorageStats()
+        self.stats = stats if stats is not None else StorageStats()
+        self.metrics = metrics
+        self.plan_cache = plan_cache
+        self.view_cache = view_cache
         self._stores: dict[str, DocumentStore] = {}
         self._store_by_document: dict[int, DocumentStore] = {}
         self._virtuals: dict[tuple[str, str], VirtualDocument] = {}
@@ -128,6 +146,7 @@ class Engine:
             buffer_capacity=self.buffer_capacity,
             stats=self.stats,
             index_order=self.index_order,
+            metrics=self.metrics,
         )
         logger.info(
             "loaded %r: %s nodes, %s types, %s heap pages",
@@ -136,12 +155,23 @@ class Engine:
             store.size_summary()["types"],
             store.heap.page_count,
         )
+        self.attach(uri, store)
+        return store
+
+    def attach(self, uri: str, store: DocumentStore) -> None:
+        """Register a pre-built store under ``uri`` without rebuilding it.
+
+        ``QueryService`` loads each document once and attaches the same
+        immutable store to every pooled engine; reloading a uri drops any
+        cached virtual views over the old document.
+        """
         self._stores[uri] = store
-        self._store_by_document[id(document)] = store
+        self._store_by_document[id(store.document)] = store
         # Invalidate cached virtual views of a reloaded uri.
         for key in [k for k in self._virtuals if k[0] == uri]:
             del self._virtuals[key]
-        return store
+        if self.view_cache is not None:
+            self.view_cache.invalidate_uri(uri)
 
     def document(self, uri: str) -> Document:
         """The document node for ``doc(uri)``."""
@@ -158,19 +188,30 @@ class Engine:
 
         Resolved vDataGuides (with their Algorithm 1 level arrays) are
         cached per ``(uri, spec)`` — the arrays are a per-type map, built
-        once, reused by every query (paper Section 5.2).
+        once, reused by every query (paper Section 5.2).  With a shared
+        :attr:`view_cache` attached (the ``QueryService`` configuration),
+        resolution goes through it so the whole engine pool reuses one
+        build.
         """
+        if self.view_cache is not None:
+            return self.view_cache.get_or_build_view(self, uri, spec)
         key = (uri, spec)
         vdoc = self._virtuals.get(key)
         if vdoc is None:
-            store = self.store(uri)
-            vguide = parse_vdataguide(spec, store.guide)
-            vdoc = VirtualDocument(store.document, vguide, stats=self.stats)
-            logger.info(
-                "built virtual view %r over %r: %d virtual types, chain-exact=%s",
-                spec, uri, len(vguide), vguide.chain_exact(),
-            )
+            vdoc = self.build_virtual(uri, spec)
             self._virtuals[key] = vdoc
+        return vdoc
+
+    def build_virtual(self, uri: str, spec: str) -> VirtualDocument:
+        """Resolve ``spec`` against the stored document under ``uri`` and
+        run Algorithm 1 — the uncached work a view-cache hit skips."""
+        store = self.store(uri)
+        vguide = parse_vdataguide(spec, store.guide)
+        vdoc = VirtualDocument(store.document, vguide, stats=self.stats)
+        logger.info(
+            "built virtual view %r over %r: %d virtual types, chain-exact=%s",
+            spec, uri, len(vguide), vguide.chain_exact(),
+        )
         return vdoc
 
     def store_of(self, node: Node) -> Optional[DocumentStore]:
@@ -184,7 +225,7 @@ class Engine:
     def indexed_navigator(self, store: DocumentStore) -> IndexedNavigator:
         navigator = self._navigators.get(id(store))
         if navigator is None:
-            navigator = IndexedNavigator(store)
+            navigator = IndexedNavigator(store, metrics=self.metrics)
             self._navigators[id(store)] = navigator
         return navigator
 
@@ -192,13 +233,15 @@ class Engine:
 
     def execute(
         self,
-        query: str,
+        query: Union[str, ast.Expr],
         mode: Optional[str] = None,
         variables: Optional[dict[str, list]] = None,
         context_item=None,
     ) -> Result:
-        """Parse and evaluate ``query``.
+        """Parse (or accept pre-parsed) and evaluate ``query``.
 
+        :param query: query text, or an already-parsed expression tree
+            (as cached by a :class:`~repro.service.cache.PlanCache`).
         :param mode: override the engine's navigation mode for stored
             documents (``"indexed"`` or ``"tree"``).
         :param variables: external ``$var`` bindings (values are wrapped
@@ -207,7 +250,15 @@ class Engine:
             relative path.
         """
         started = time.perf_counter()
-        expr = parse_query(query)
+        if isinstance(query, str):
+            if self.plan_cache is not None:
+                expr = self.plan_cache.get_or_parse(query)
+            else:
+                if self.metrics is not None:
+                    self.metrics.incr("engine.parses")
+                expr = parse_query(query)
+        else:
+            expr = query
         evaluator = Evaluator(self, mode or self.mode)
         bindings = {
             name: value if isinstance(value, list) else [value]
@@ -216,7 +267,10 @@ class Engine:
         context = Context(self, bindings, item=context_item)
         items = evaluator.evaluate(expr, context)
         elapsed = time.perf_counter() - started
-        if logger.isEnabledFor(logging.DEBUG):
+        if self.metrics is not None:
+            self.metrics.incr("engine.queries")
+            self.metrics.observe("engine.query_seconds", elapsed)
+        if logger.isEnabledFor(logging.DEBUG) and isinstance(query, str):
             preview = query if len(query) <= 120 else query[:117] + "..."
             logger.debug(
                 "query returned %d item(s) in %.3f ms [%s]: %s",
@@ -288,12 +342,10 @@ class Engine:
         store.type_index.stats = self.stats
         store.value_index.stats = self.stats
         store.value_index._tree.stats = self.stats
+        store.buffer_pool.metrics = self.metrics
         key = uri if uri is not None else store.document.uri
         store.document.uri = key
-        self._stores[key] = store
-        self._store_by_document[id(store.document)] = store
-        for cached in [k for k in self._virtuals if k[0] == key]:
-            del self._virtuals[cached]
+        self.attach(key, store)
         return store
 
     # -- maintenance ---------------------------------------------------------------

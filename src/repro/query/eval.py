@@ -49,7 +49,7 @@ class Evaluator:
         self.engine = engine
         self.mode = mode
         self._tree_nav = TreeNavigator()
-        self._virtual_nav = VirtualNavigator(engine.stats)
+        self._virtual_nav = VirtualNavigator(engine.stats, metrics=engine.metrics)
 
     # ------------------------------------------------------------------ dispatch
 

@@ -22,10 +22,15 @@ from repro.xmlmodel.nodes import Document, Node, TEXT_NAME
 
 
 class IndexedNavigator:
-    """Axis steps over one :class:`DocumentStore`."""
+    """Axis steps over one :class:`DocumentStore`.
 
-    def __init__(self, store: DocumentStore) -> None:
+    :param metrics: optional service metrics block; every :meth:`step`
+        counts one ``navigator.indexed.steps``.
+    """
+
+    def __init__(self, store: DocumentStore, metrics=None) -> None:
         self.store = store
+        self.metrics = metrics
 
     # -- candidate types ------------------------------------------------------------
 
@@ -55,6 +60,8 @@ class IndexedNavigator:
 
     def step(self, node: Node, axis: str, test: NodeTest) -> list[Node]:
         """Nodes on ``axis`` of ``node`` satisfying ``test``, in axis order."""
+        if self.metrics is not None:
+            self.metrics.incr("navigator.indexed.steps")
         if isinstance(node, Document):
             return self._document_step(axis, test)
         handler = getattr(self, "_axis_" + axis.replace("-", "_"))

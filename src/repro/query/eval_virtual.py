@@ -32,10 +32,15 @@ from repro.xmlmodel.nodes import TEXT_NAME
 
 
 class VirtualNavigator:
-    """Axis steps over virtual nodes and virtual document handles."""
+    """Axis steps over virtual nodes and virtual document handles.
 
-    def __init__(self, stats: Optional[StorageStats] = None) -> None:
+    :param metrics: optional service metrics block; every :meth:`step`
+        counts one ``navigator.virtual.steps``.
+    """
+
+    def __init__(self, stats: Optional[StorageStats] = None, metrics=None) -> None:
         self.stats = stats if stats is not None else StorageStats()
+        self.metrics = metrics
 
     # -- type filtering -----------------------------------------------------------
 
@@ -63,6 +68,8 @@ class VirtualNavigator:
     def step(self, item, axis: str, test: NodeTest) -> list:
         """Items on ``axis`` of ``item`` satisfying ``test``, in axis order
         (virtual document order; reversed for reverse axes)."""
+        if self.metrics is not None:
+            self.metrics.incr("navigator.virtual.steps")
         if isinstance(item, VirtualDocItem):
             return self._document_step(item.vdoc, axis, test)
         assert isinstance(item, VNode)

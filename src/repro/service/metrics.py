@@ -1,0 +1,179 @@
+"""Service metrics: thread-safe counters, latency histograms, cache rates.
+
+The storage layer's :class:`~repro.storage.stats.StorageStats` counts
+*logical* costs (page reads, comparisons) and stays plain — it is on the
+hottest paths and its counters are tolerated as approximate when several
+threads share a store.  This module is the *operational* layer: request
+counts, latencies, and cache hit/miss rates, protected by a lock so
+concurrent updates are never lost (the stress tests assert exact totals).
+
+Metric names are dotted strings; the conventional namespace is:
+
+=============================  ==============================================
+``engine.queries``             queries executed (one per ``Engine.execute``)
+``engine.query_seconds``       histogram — end-to-end query latency
+``engine.parses``              query texts actually parsed (plan-cache misses
+                               plus uncached engines)
+``engine.views_built``         virtual views actually resolved (Algorithm 1
+                               runs; view-cache misses plus uncached engines)
+``service.queries``            queries admitted through a ``QueryService``
+``service.batches``            batch calls
+``service.checkout_seconds``   histogram — time waiting for a pooled engine
+``cache.plan.hits/misses``     plan-cache outcomes
+``cache.view.hits/misses``     view-cache outcomes
+``cache.plan.evictions``       entries dropped at capacity (same for view)
+``buffer.hits/misses``         buffer-pool outcomes (per page request)
+``navigator.indexed.steps``    axis steps taken by the indexed navigator
+``navigator.virtual.steps``    axis steps taken by the virtual navigator
+=============================  ==============================================
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Optional
+
+
+def _default_bounds() -> list[float]:
+    """Geometric latency buckets from 1µs to ~17s (factor 4)."""
+    bounds = []
+    edge = 1e-6
+    while edge < 20.0:
+        bounds.append(edge)
+        edge *= 4.0
+    return bounds
+
+
+class LatencyHistogram:
+    """A fixed-bucket histogram of observations in seconds.
+
+    Buckets are geometric (factor 4 from 1µs), which keeps the memory
+    footprint constant while resolving both sub-millisecond axis steps
+    and multi-second batch runs.  Quantiles are estimated by linear
+    interpolation inside the containing bucket — the standard
+    fixed-bucket estimator, good to a factor-of-4 worst case.
+
+    Not locked by itself: :class:`ServiceMetrics` serializes access.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Optional[list[float]] = None) -> None:
+        self.bounds = bounds if bounds is not None else _default_bounds()
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bisect_right(self.bounds, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 < q <= 1) in seconds."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for index, bucket_count in enumerate(self.counts):
+            if running + bucket_count >= target and bucket_count:
+                low = self.bounds[index - 1] if index > 0 else 0.0
+                high = (
+                    self.bounds[index] if index < len(self.bounds) else self.max
+                )
+                fraction = (target - running) / bucket_count
+                return low + (high - low) * fraction
+            running += bucket_count
+        return self.max
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class ServiceMetrics:
+    """Named counters and histograms behind one lock.
+
+    Every mutation takes the lock, so totals are exact under
+    concurrency; the service stress tests rely on
+    ``hits + misses == lookups`` style invariants holding to the unit.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    # -- updates ---------------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = LatencyHistogram()
+                self._histograms[name] = histogram
+            histogram.observe(seconds)
+
+    def cache_hit(self, cache: str) -> None:
+        self.incr(f"cache.{cache}.hits")
+
+    def cache_miss(self, cache: str) -> None:
+        self.incr(f"cache.{cache}.misses")
+
+    def cache_eviction(self, cache: str) -> None:
+        self.incr(f"cache.{cache}.evictions")
+
+    # -- reads -----------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def hit_rate(self, cache: str) -> float:
+        """Hits / lookups for a cache namespace, 0.0 when never used."""
+        with self._lock:
+            hits = self._counters.get(f"cache.{cache}.hits", 0)
+            misses = self._counters.get(f"cache.{cache}.misses", 0)
+        lookups = hits + misses
+        return hits / lookups if lookups else 0.0
+
+    def histogram(self, name: str) -> Optional[LatencyHistogram]:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def snapshot(self) -> dict:
+        """Counters and histogram summaries as one plain dict (for
+        reports, the ``/metrics`` endpoint, and ``--metrics`` CLI output)."""
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            histograms = {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            }
+        return {"counters": counters, "histograms": histograms}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()

@@ -1,0 +1,125 @@
+"""A minimal HTTP front end for :class:`~repro.service.service.QueryService`.
+
+Endpoints (stdlib :class:`~http.server.ThreadingHTTPServer`, one handler
+thread per connection, queries fanned across the service's engine pool):
+
+``POST /query``
+    Body is the query text.  Optional query parameters: ``mode``
+    (``indexed`` / ``tree``) and ``values=1`` to return newline-separated
+    string values instead of XML.  ``200`` with the serialized result;
+    ``400`` with the error message for parse/evaluation failures.
+
+``GET /metrics``
+    JSON: the service snapshot (counters, histograms, cache and storage
+    stats).
+
+``GET /healthz``
+    JSON: ``{"status": "ok", "documents": [...]}``.
+
+The server exists for the ``repro serve`` CLI command and the service
+tests; it is deliberately dependency-free rather than production-grade.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ReproError
+from repro.service.service import QueryService
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Dispatches HTTP requests onto the owning server's service."""
+
+    server: "ServiceServer"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _respond(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _respond_json(self, status: int, document: dict) -> None:
+        self._respond(status, json.dumps(document, indent=2), "application/json")
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlparse(self.path).path
+        if path == "/metrics":
+            self._respond_json(200, self.server.service.snapshot())
+        elif path == "/healthz":
+            self._respond_json(
+                200, {"status": "ok", "documents": self.server.service.uris()}
+            )
+        else:
+            self._respond_json(404, {"error": f"unknown path {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        if parsed.path != "/query":
+            self._respond_json(404, {"error": f"unknown path {parsed.path!r}"})
+            return
+        params = parse_qs(parsed.query)
+        mode = params.get("mode", [None])[0]
+        as_values = params.get("values", ["0"])[0] in ("1", "true", "yes")
+        length = int(self.headers.get("Content-Length", 0))
+        text = self.rfile.read(length).decode("utf-8")
+        if not text.strip():
+            self._respond_json(400, {"error": "empty query body"})
+            return
+        try:
+            result = self.server.service.execute(text, mode=mode)
+        except ReproError as error:
+            self._respond_json(400, {"error": str(error)})
+            return
+        if as_values:
+            self._respond(200, "\n".join(result.values()), "text/plain")
+        else:
+            self._respond(200, result.to_xml(), "application/xml")
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The HTTP server bound to one :class:`QueryService`.
+
+    :param service: the service to expose.
+    :param host / port: bind address; port 0 picks a free port (the bound
+        port is ``server.server_address[1]``).
+    :param verbose: log one line per request to stderr.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__((host, port), ServiceRequestHandler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def serve_forever(service: QueryService, host: str, port: int) -> None:
+    """Run a server until interrupted (the ``repro serve`` entry point)."""
+    server = ServiceServer(service, host=host, port=port, verbose=True)
+    print(f"serving on http://{host}:{server.port}  (POST /query, GET /metrics)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()

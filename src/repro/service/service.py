@@ -1,0 +1,273 @@
+"""The concurrent query service: a pool of engines over shared stores.
+
+A :class:`QueryService` owns each loaded document exactly once — one
+immutable :class:`~repro.storage.store.DocumentStore` (heap, buffer pool,
+value/type indexes, DataGuide) attached to every engine in the pool — and
+shares one :class:`~repro.service.cache.PlanCache` and one
+:class:`~repro.service.cache.ViewCache` across them.  A query therefore
+pays parsing and Algorithm 1 once per distinct (text, view) regardless of
+which engine serves it; everything per-query (evaluation context,
+constructed-node registry) stays engine-local, so engines need no locks
+of their own.
+
+Thread-safety contract:
+
+* ``execute`` / ``batch`` are safe from any number of threads; callers
+  block while all pooled engines are busy.
+* ``load`` / ``open_image`` take the topology lock and are safe to call
+  concurrently with queries, but a query racing a *reload* of the uri it
+  reads may see either document — version pinning is future work.
+* :class:`~repro.service.metrics.ServiceMetrics` totals are exact (lock
+  protected).  The shared :class:`~repro.storage.stats.StorageStats`
+  block keeps the seed's unlocked hot-path counters and is approximate
+  under concurrency; treat it as a profile, not an invariant.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Union
+
+from repro.query.engine import Engine, Result
+from repro.service.cache import PlanCache, ViewCache
+from repro.service.metrics import ServiceMetrics
+from repro.storage.stats import StorageStats
+from repro.storage.store import DocumentStore
+from repro.xmlmodel.nodes import Document
+from repro.xmlmodel.parser import parse_document
+
+
+class BatchResult:
+    """The outcome of :meth:`QueryService.batch`, in submission order.
+
+    :ivar outcomes: one entry per query — a :class:`Result` on success or
+        the raised exception on failure.
+    :ivar elapsed_seconds: wall-clock time of the whole batch.
+    """
+
+    def __init__(self, outcomes: list, elapsed_seconds: float) -> None:
+        self.outcomes = outcomes
+        self.elapsed_seconds = elapsed_seconds
+
+    @property
+    def results(self) -> list[Result]:
+        return [item for item in self.outcomes if isinstance(item, Result)]
+
+    @property
+    def errors(self) -> list[Exception]:
+        return [item for item in self.outcomes if isinstance(item, Exception)]
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+
+class QueryService:
+    """A thread-safe query facade over a pool of engines.
+
+    :param pool_size: number of engines (max queries in flight).
+    :param mode: default navigation mode, as for :class:`Engine`.
+    :param plan_cache_capacity: LRU size of the shared parsed-plan cache.
+    :param view_cache_capacity: LRU size of the shared virtual-view cache.
+    :param page_size / buffer_capacity / index_order: storage knobs
+        forwarded to document loading.
+    :param metrics: share an external metrics block; fresh when omitted.
+    """
+
+    def __init__(
+        self,
+        pool_size: int = 4,
+        mode: str = "indexed",
+        plan_cache_capacity: int = 256,
+        view_cache_capacity: int = 64,
+        page_size: int = 4096,
+        buffer_capacity: int = 256,
+        index_order: int = 64,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("service needs pool_size >= 1")
+        self.pool_size = pool_size
+        self.mode = mode
+        self.page_size = page_size
+        self.buffer_capacity = buffer_capacity
+        self.index_order = index_order
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.stats = StorageStats()
+        self.plan_cache = PlanCache(plan_cache_capacity, self.metrics)
+        self.view_cache = ViewCache(view_cache_capacity, self.metrics)
+        self._stores: dict[str, DocumentStore] = {}
+        self._topology_lock = threading.Lock()
+        self._engines: list[Engine] = [
+            self._make_engine() for _ in range(pool_size)
+        ]
+        self._idle: queue.LifoQueue = queue.LifoQueue()
+        for engine in self._engines:
+            self._idle.put(engine)
+
+    def _make_engine(self) -> Engine:
+        return Engine(
+            mode=self.mode,
+            page_size=self.page_size,
+            buffer_capacity=self.buffer_capacity,
+            index_order=self.index_order,
+            stats=self.stats,
+            metrics=self.metrics,
+            plan_cache=self.plan_cache,
+            view_cache=self.view_cache,
+        )
+
+    # -- documents ---------------------------------------------------------------
+
+    def load(self, uri: str, source: Union[str, Document]) -> DocumentStore:
+        """Parse (if text), number, and store a document once; attach the
+        store to every pooled engine under ``uri``."""
+        if isinstance(source, str):
+            document = parse_document(source, uri)
+        else:
+            document = source
+            document.uri = uri
+        store = DocumentStore(
+            document,
+            page_size=self.page_size,
+            buffer_capacity=self.buffer_capacity,
+            stats=self.stats,
+            index_order=self.index_order,
+            metrics=self.metrics,
+        )
+        self._attach(uri, store)
+        return store
+
+    def open_image(self, path: str, uri: Optional[str] = None) -> DocumentStore:
+        """Load a persisted store image and attach it pool-wide."""
+        from repro.storage.persist import load_store
+
+        store = load_store(
+            path, page_size=self.page_size, buffer_capacity=self.buffer_capacity
+        )
+        store.stats = self.stats
+        store.page_manager.stats = self.stats
+        store.type_index.stats = self.stats
+        store.value_index.stats = self.stats
+        store.value_index._tree.stats = self.stats
+        store.buffer_pool.metrics = self.metrics
+        key = uri if uri is not None else store.document.uri
+        store.document.uri = key
+        self._attach(key, store)
+        return store
+
+    #: CLI-facing alias mirroring :meth:`Engine.open`.
+    open = open_image
+
+    def _attach(self, uri: str, store: DocumentStore) -> None:
+        with self._topology_lock:
+            self._stores[uri] = store
+            for engine in self._engines:
+                engine.attach(uri, store)
+            self.view_cache.invalidate_uri(uri)
+        self.metrics.incr("service.documents_loaded")
+
+    def store(self, uri: str) -> DocumentStore:
+        with self._topology_lock:
+            store = self._stores.get(uri)
+        if store is None:
+            from repro.errors import QueryEvaluationError
+
+            raise QueryEvaluationError(f"no document loaded under {uri!r}")
+        return store
+
+    def uris(self) -> list[str]:
+        with self._topology_lock:
+            return list(self._stores)
+
+    def warm(self, uri: str, spec: str) -> None:
+        """Pre-resolve a virtual view so the first query finds it hot."""
+        engine = self._checkout()
+        try:
+            engine.virtual(uri, spec)
+        finally:
+            self._checkin(engine)
+
+    # -- execution ---------------------------------------------------------------
+
+    def _checkout(self) -> Engine:
+        started = time.perf_counter()
+        engine = self._idle.get()
+        self.metrics.observe(
+            "service.checkout_seconds", time.perf_counter() - started
+        )
+        return engine
+
+    def _checkin(self, engine: Engine) -> None:
+        self._idle.put(engine)
+
+    def execute(
+        self,
+        query: str,
+        mode: Optional[str] = None,
+        variables: Optional[dict[str, list]] = None,
+    ) -> Result:
+        """Evaluate ``query`` on the next idle engine (blocking while the
+        whole pool is busy).  Plan and view caches are consulted inside
+        the engine; see the metric names in :mod:`repro.service.metrics`."""
+        self.metrics.incr("service.queries")
+        engine = self._checkout()
+        try:
+            return engine.execute(query, mode=mode, variables=variables)
+        finally:
+            self._checkin(engine)
+
+    def batch(
+        self,
+        queries: list[str],
+        mode: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> BatchResult:
+        """Evaluate ``queries`` concurrently (at most ``workers`` at once,
+        default the pool size), returning outcomes in submission order.
+        Failures are captured per query, not raised."""
+        self.metrics.incr("service.batches")
+        started = time.perf_counter()
+        worker_count = min(workers or self.pool_size, max(len(queries), 1))
+
+        def run(text: str):
+            try:
+                return self.execute(text, mode=mode)
+            except Exception as error:  # per-query fault isolation
+                return error
+
+        if worker_count <= 1 or len(queries) <= 1:
+            outcomes = [run(text) for text in queries]
+        else:
+            with ThreadPoolExecutor(max_workers=worker_count) as executor:
+                outcomes = list(executor.map(run, queries))
+        return BatchResult(outcomes, time.perf_counter() - started)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Operational metrics plus the shared logical-cost counters."""
+        report = self.metrics.snapshot()
+        report["storage"] = self.stats.snapshot()
+        report["caches"] = {
+            "plan": {
+                "entries": len(self.plan_cache),
+                "capacity": self.plan_cache.capacity,
+                "hit_rate": self.metrics.hit_rate("plan"),
+            },
+            "view": {
+                "entries": len(self.view_cache),
+                "capacity": self.view_cache.capacity,
+                "hit_rate": self.metrics.hit_rate("view"),
+            },
+        }
+        return report
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.metrics.reset()

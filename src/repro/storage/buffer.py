@@ -5,10 +5,18 @@ misses charge a page read to the stats block.  The pool is write-through
 (the heap is immutable after load), so eviction never writes.
 ``clear()`` simulates a cold start, which the I/O experiment (E9) uses to
 compare query strategies on equal footing.
+
+The pool is the one storage structure *mutated* on the read path, so it
+carries its own lock: ``QueryService`` shares each document's store —
+buffer pool included — across a pool of engines running on separate
+threads, and an unlocked ``OrderedDict`` corrupts under concurrent
+``move_to_end`` / eviction.  The optional ``metrics`` block additionally
+feeds ``buffer.hits`` / ``buffer.misses`` to the service metrics layer.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.storage.pages import PageManager
@@ -19,31 +27,41 @@ class BufferPool:
 
     :param manager: the simulated disk.
     :param capacity: number of pages held in memory at once.
+    :param metrics: optional :class:`~repro.service.metrics.ServiceMetrics`.
     """
 
-    def __init__(self, manager: PageManager, capacity: int = 64):
+    def __init__(self, manager: PageManager, capacity: int = 64, metrics=None):
         if capacity < 1:
             raise ValueError("buffer pool needs capacity >= 1")
         self.manager = manager
         self.capacity = capacity
+        self.metrics = metrics
         self._frames: OrderedDict[int, str] = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, page_id: int) -> str:
         """Fetch a page, through the cache."""
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self._frames.move_to_end(page_id)
-            self.manager.stats.buffer_hits += 1
-            return frame
-        data = self.manager.read(page_id)
-        self._frames[page_id] = data
-        if len(self._frames) > self.capacity:
-            self._frames.popitem(last=False)
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self._frames.move_to_end(page_id)
+                self.manager.stats.buffer_hits += 1
+                if self.metrics is not None:
+                    self.metrics.incr("buffer.hits")
+                return frame
+            data = self.manager.read(page_id)
+            self._frames[page_id] = data
+            if len(self._frames) > self.capacity:
+                self._frames.popitem(last=False)
+        if self.metrics is not None:
+            self.metrics.incr("buffer.misses")
         return data
 
     def clear(self) -> None:
         """Drop every cached frame (simulate a cold buffer pool)."""
-        self._frames.clear()
+        with self._lock:
+            self._frames.clear()
 
     def __len__(self) -> int:
-        return len(self._frames)
+        with self._lock:
+            return len(self._frames)

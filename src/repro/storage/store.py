@@ -16,6 +16,7 @@ so the stats block sees every logical I/O.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from repro.dataguide.build import build_dataguide
@@ -40,6 +41,8 @@ class DocumentStore:
     :param page_size: heap page capacity in characters.
     :param buffer_capacity: buffer pool size in pages.
     :param stats: counter block; a fresh one is created if not given.
+    :param metrics: optional service metrics block threaded into the
+        buffer pool (``QueryService`` shares one store across engines).
     """
 
     def __init__(
@@ -49,6 +52,7 @@ class DocumentStore:
         buffer_capacity: int = 64,
         stats: Optional[StorageStats] = None,
         index_order: int = 64,
+        metrics=None,
     ) -> None:
         self.stats = stats if stats is not None else StorageStats()
         root = document.root
@@ -64,7 +68,7 @@ class DocumentStore:
 
         text, records = _serialize_with_spans(document)
         self.page_manager = PageManager(page_size, self.stats)
-        self.buffer_pool = BufferPool(self.page_manager, buffer_capacity)
+        self.buffer_pool = BufferPool(self.page_manager, buffer_capacity, metrics)
         self.heap = HeapFile.store(text, self.page_manager, self.buffer_pool)
 
         self._node_by_key: dict[tuple[int, ...], Node] = {}
@@ -85,6 +89,7 @@ class DocumentStore:
             self._type_of_node[node] = guide_type
         self.value_index = ValueIndex.build(entries, self.stats, order=index_order)
         self._text_index = None
+        self._text_index_lock = threading.Lock()
 
     # -- node and type lookup -----------------------------------------------------
 
@@ -136,11 +141,14 @@ class DocumentStore:
     @property
     def text_index(self):
         """The keyword index (built lazily on first use — not every
-        document gets text-searched)."""
+        document gets text-searched; the lock keeps concurrent first
+        touches from building it twice)."""
         if self._text_index is None:
             from repro.storage.text_index import TextIndex
 
-            self._text_index = TextIndex.build(self)
+            with self._text_index_lock:
+                if self._text_index is None:
+                    self._text_index = TextIndex.build(self)
         return self._text_index
 
     # -- reporting -------------------------------------------------------------------

@@ -1,0 +1,136 @@
+"""Differential safety net: on randomized documents, the three evaluation
+strategies — tree-walk, PBN-indexed, and virtual (vPBN) — must agree when
+reached *through the cached service path*.
+
+This extends ``tests/property/test_navigator_equivalence.py`` from single
+axis steps to whole queries served by :class:`QueryService`: for every
+randomized (document, vDataGuide, query) case the virtual answer over the
+original document is compared against tree and indexed evaluation of the
+*materialized* transformation, and the warm (cache-hit) virtual run must
+reproduce the cold one.
+
+Comparison discipline (the duplication caveat, see DESIGN.md): a
+transformation that places one original node at several virtual positions
+makes the materialized baseline return one *copy* per position while
+virtual evaluation returns each entity once — those cases compare value
+*sets*.  Duplication-free cases compare value multisets, and additionally
+exact order when the vguide is chain-exact (the same gate the navigator
+equivalence test uses).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.virtual_document import VirtualDocument
+from repro.dataguide.build import build_dataguide
+from repro.service import QueryService
+from repro.vdataguide.grammar import parse_vdataguide
+from repro.workloads.treegen import random_document, random_spec
+
+SEEDS = range(48)
+
+TEMPLATES = [
+    "{source}//{name}",
+    "{source}//{name}/text()",
+    "{source}//{name}/*",
+    "count({source}//{name})",
+]
+
+
+class Case:
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self.uri = f"doc{seed}.xml"
+        self.mat_uri = f"mat{seed}.xml"
+        self.document = random_document(seed, max_depth=4, max_children=3)
+        guide = build_dataguide(self.document)
+        self.spec = random_spec(
+            guide, seed, max_roots=2, max_children=2, max_depth=3
+        )
+        vguide = parse_vdataguide(self.spec, guide)
+        vdoc = VirtualDocument(self.document, vguide)
+        self.materialized, provenance = vdoc.materialize_with_provenance()
+        copies: dict[tuple[int, int], int] = {}
+        for vnode in provenance.values():
+            key = (id(vnode.vtype), id(vnode.node))
+            copies[key] = copies.get(key, 0) + 1
+        self.duplicating = any(count > 1 for count in copies.values())
+        self.order_comparable = not self.duplicating and vguide.chain_exact()
+        names = sorted(
+            {
+                vtype.name
+                for vtype in vguide.iter_vtypes()
+                if not (vtype.is_text or vtype.is_attribute)
+            }
+        )
+        self.names = names[:3]
+
+
+@pytest.fixture(scope="module")
+def harness():
+    service = QueryService(pool_size=2)
+    cases = [Case(seed) for seed in SEEDS]
+    for case in cases:
+        service.load(case.uri, case.document)
+        service.load(case.mat_uri, case.materialized)
+    return service, cases
+
+
+def _compare(case: Case, template: str, virtual, indexed, tree) -> list[str]:
+    problems = []
+    context = f"seed={case.seed} spec={case.spec!r} template={template!r}"
+    if indexed != tree:
+        problems.append(f"indexed != tree: {context}")
+    if template.startswith("count("):
+        # Counts over duplicating views legitimately differ (copies vs
+        # entities); the caller filters those out before comparing.
+        if virtual != indexed:
+            problems.append(
+                f"virtual count {virtual} != materialized {indexed}: {context}"
+            )
+    elif case.duplicating:
+        if set(virtual) != set(indexed):
+            problems.append(f"value sets differ: {context}")
+    elif case.order_comparable:
+        if virtual != indexed:
+            problems.append(f"ordered values differ: {context}")
+    else:
+        if sorted(virtual) != sorted(indexed):
+            problems.append(f"value multisets differ: {context}")
+    return problems
+
+
+def test_three_strategies_agree_on_randomized_cases(harness):
+    service, cases = harness
+    problems: list[str] = []
+    pairs = 0
+    for case in cases:
+        for name in case.names:
+            for template in TEMPLATES:
+                if template.startswith("count(") and case.duplicating:
+                    continue
+                virtual_query = template.format(
+                    source=f'virtualDoc("{case.uri}", "{case.spec}")', name=name
+                )
+                mat_query = template.format(
+                    source=f'doc("{case.mat_uri}")', name=name
+                )
+                virtual = service.execute(virtual_query).values()
+                indexed = service.execute(mat_query, mode="indexed").values()
+                tree = service.execute(mat_query, mode="tree").values()
+                problems.extend(_compare(case, template, virtual, indexed, tree))
+                # The warm (cache-hit) path reproduces the cold answer.
+                warm = service.execute(virtual_query).values()
+                if warm != virtual:
+                    problems.append(
+                        f"warm != cold: seed={case.seed} {virtual_query!r}"
+                    )
+                pairs += 1
+    assert not problems, "\n".join(problems[:20])
+    # The acceptance bar: at least 200 randomized document/query pairs
+    # went through all three strategies.
+    assert pairs >= 200, f"only {pairs} document/query pairs exercised"
+    # And they really rode the caches: every warm repeat was a plan hit.
+    assert service.metrics.counter("cache.plan.hits") >= pairs
+    assert service.metrics.hit_rate("view") > 0.5

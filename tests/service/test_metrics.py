@@ -1,0 +1,85 @@
+"""ServiceMetrics: counters, histograms, hit rates, and lock soundness."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+
+
+def test_counters_accumulate():
+    metrics = ServiceMetrics()
+    metrics.incr("a")
+    metrics.incr("a", 4)
+    metrics.incr("b")
+    assert metrics.counter("a") == 5
+    assert metrics.counter("b") == 1
+    assert metrics.counter("missing") == 0
+
+
+def test_cache_hit_rate():
+    metrics = ServiceMetrics()
+    assert metrics.hit_rate("plan") == 0.0
+    metrics.cache_hit("plan")
+    metrics.cache_hit("plan")
+    metrics.cache_miss("plan")
+    metrics.cache_eviction("plan")
+    assert metrics.hit_rate("plan") == 2 / 3
+    assert metrics.counter("cache.plan.evictions") == 1
+    # Other namespaces are independent.
+    assert metrics.hit_rate("view") == 0.0
+
+
+def test_histogram_basic_statistics():
+    histogram = LatencyHistogram()
+    for value in (0.001, 0.002, 0.003, 0.004):
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert abs(histogram.mean() - 0.0025) < 1e-12
+    assert histogram.min == 0.001
+    assert histogram.max == 0.004
+    assert histogram.quantile(1.0) <= histogram.bounds[-1]
+
+
+def test_histogram_quantiles_are_monotone():
+    histogram = LatencyHistogram()
+    for exponent in range(200):
+        histogram.observe(1e-6 * (1.07 ** exponent))
+    quantiles = [histogram.quantile(q) for q in (0.1, 0.5, 0.9, 0.95, 0.99)]
+    assert quantiles == sorted(quantiles)
+    assert quantiles[0] > 0
+
+
+def test_histogram_empty():
+    histogram = LatencyHistogram()
+    assert histogram.mean() == 0.0
+    assert histogram.quantile(0.5) == 0.0
+    assert histogram.snapshot()["count"] == 0
+
+
+def test_snapshot_shape():
+    metrics = ServiceMetrics()
+    metrics.incr("service.queries")
+    metrics.observe("engine.query_seconds", 0.25)
+    snapshot = metrics.snapshot()
+    assert snapshot["counters"] == {"service.queries": 1}
+    assert snapshot["histograms"]["engine.query_seconds"]["count"] == 1
+    metrics.reset()
+    assert metrics.snapshot() == {"counters": {}, "histograms": {}}
+
+
+def test_no_lost_updates_under_contention():
+    """16 threads x 2000 increments land exactly (the stress-test
+    invariant the locked implementation exists for)."""
+    metrics = ServiceMetrics()
+    threads = [
+        threading.Thread(
+            target=lambda: [metrics.incr("contended") for _ in range(2000)]
+        )
+        for _ in range(16)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert metrics.counter("contended") == 16 * 2000

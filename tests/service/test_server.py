@@ -1,0 +1,115 @@
+"""The HTTP front end: query, metrics, health, and error paths."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import QueryService
+from repro.service.server import ServiceServer
+from repro.workloads.books import books_document
+
+
+@pytest.fixture
+def server():
+    service = QueryService(pool_size=2)
+    service.load("book.xml", books_document(10, seed=5))
+    server = ServiceServer(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _url(server: ServiceServer, path: str) -> str:
+    return f"http://127.0.0.1:{server.port}{path}"
+
+
+def _post(server: ServiceServer, path: str, body: str):
+    request = urllib.request.Request(
+        _url(server, path), data=body.encode("utf-8"), method="POST"
+    )
+    return urllib.request.urlopen(request, timeout=10)
+
+
+def test_query_returns_xml(server):
+    with _post(server, "/query", 'doc("book.xml")//title') as response:
+        assert response.status == 200
+        assert "application/xml" in response.headers["Content-Type"]
+        body = response.read().decode("utf-8")
+    assert body.startswith("<title>")
+
+
+def test_query_values_mode(server):
+    with _post(server, "/query?values=1", 'count(doc("book.xml")//book)') as response:
+        assert response.read().decode("utf-8") == "10"
+        assert "text/plain" in response.headers["Content-Type"]
+
+
+def test_query_tree_mode(server):
+    with _post(server, "/query?mode=tree&values=1", 'count(doc("book.xml")//book)') as r:
+        assert r.read().decode("utf-8") == "10"
+
+
+def test_bad_query_is_400_with_message(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(server, "/query", "((((")
+    assert excinfo.value.code == 400
+    payload = json.loads(excinfo.value.read().decode("utf-8"))
+    assert "error" in payload
+
+
+def test_empty_body_is_400(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(server, "/query", "   ")
+    assert excinfo.value.code == 400
+
+
+def test_unknown_paths_are_404(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(_url(server, "/nope"), timeout=10)
+    assert excinfo.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(server, "/nope", "x")
+    assert excinfo.value.code == 404
+
+
+def test_metrics_endpoint_reports_service_counters(server):
+    _post(server, "/query", 'doc("book.xml")//title').read()
+    with urllib.request.urlopen(_url(server, "/metrics"), timeout=10) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    assert payload["counters"]["service.queries"] >= 1
+    assert "storage" in payload and "caches" in payload
+
+
+def test_healthz(server):
+    with urllib.request.urlopen(_url(server, "/healthz"), timeout=10) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    assert payload == {"status": "ok", "documents": ["book.xml"]}
+
+
+def test_concurrent_http_queries(server):
+    """A handful of parallel clients all get complete, correct answers."""
+    answers: list[str] = []
+    errors: list[Exception] = []
+
+    def client():
+        try:
+            with _post(server, "/query?values=1", 'count(doc("book.xml")//book)') as r:
+                answers.append(r.read().decode("utf-8"))
+        except Exception as error:  # pragma: no cover - diagnostic
+            errors.append(error)
+
+    threads = [threading.Thread(target=client) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert answers == ["10"] * 8
