@@ -1,0 +1,56 @@
+"""E14 — durable updates: copy-on-write apply, WAL append, recovery."""
+
+import pytest
+
+from repro.pbn.number import Pbn
+from repro.storage.store import DocumentStore
+from repro.updates.durable import DurableStore
+from repro.updates.mutations import apply_op
+from repro.updates.ops import InsertSubtree, ReplaceText
+from repro.workloads.books import books_document
+
+
+@pytest.fixture(scope="module")
+def base_store():
+    return DocumentStore(books_document(100, seed=14))
+
+
+def test_cow_insert_append(benchmark, base_store):
+    op = InsertSubtree(
+        parent=Pbn.parse("1"), fragment="<book><title>B</title></book>"
+    )
+    result = benchmark(apply_op, base_store, op)
+    assert result.store is not base_store
+
+
+def test_cow_replace_text(benchmark, base_store):
+    op = ReplaceText(target=Pbn.parse("1.50.1.1"), text="Retitled")
+    result = benchmark(apply_op, base_store, op)
+    assert result.store.version == base_store.version + 1
+
+
+def test_wal_append_fsync(benchmark, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("wal") / "store")
+    durable = DurableStore.create(directory, books_document(20, seed=15))
+    op = InsertSubtree(parent=Pbn.parse("1"), fragment="<memo>m</memo>")
+    benchmark(durable.apply, op)
+    assert durable.seq > 0
+    durable.close()
+
+
+def test_recovery_replays_wal(benchmark, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("recover") / "store")
+    durable = DurableStore.create(directory, books_document(20, seed=15))
+    for k in range(16):
+        durable.apply(
+            InsertSubtree(parent=Pbn.parse("1"), fragment=f"<memo>{k}</memo>")
+        )
+    durable.close()
+
+    def reopen():
+        reopened = DurableStore.open(directory)
+        replayed = reopened.recovery.replayed
+        reopened.close()
+        return replayed
+
+    assert benchmark(reopen) == 16

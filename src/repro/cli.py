@@ -32,11 +32,27 @@ Commands
         python -m repro batch --books 100 --queries queries.txt \\
             --threads 4 --repeat 3 --metrics
 
+``update``
+    Apply durable update operations to a store directory (image + WAL;
+    see :mod:`repro.updates.durable`)::
+
+        python -m repro update ./bookstore --init books.xml
+        python -m repro update ./bookstore \\
+            --insert 1 '<book><title>New</title></book>'
+        python -m repro update ./bookstore --delete 1.3 --checkpoint
+
+    Opening the directory replays any WAL tail (crash recovery); minted
+    numbers are printed after each operation.
+
 ``serve``
-    Start the HTTP front end (``POST /query``, ``GET /metrics``,
-    ``GET /healthz``) over a query service::
+    Start the HTTP front end (``POST /query``, ``POST /update``,
+    ``GET /metrics``, ``GET /healthz``) over a query service::
 
         python -m repro serve --books 100 --port 8080
+        python -m repro serve --durable book.xml=./bookstore --port 8080
+
+    ``--durable URI=DIR`` opens a durable store directory; ``POST
+    /update`` against its uri is WAL-logged and crash-safe.
 
 ``bench``
     Alias for ``python -m repro.bench`` (the experiment suite).
@@ -119,8 +135,33 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--metrics", action="store_true",
                        help="print the service metrics snapshot (JSON, stderr)")
 
+    update = sub.add_parser(
+        "update", help="apply durable updates to a store directory"
+    )
+    update.add_argument("directory", help="durable store directory (image + WAL)")
+    update.add_argument("--init", metavar="FILE",
+                        help="create the directory from an XML file first")
+    update.add_argument("--uri", help="document uri recorded at --init "
+                                      "(default: the file name)")
+    update.add_argument("--insert", nargs=2, metavar=("PARENT", "FRAGMENT"),
+                        help="insert FRAGMENT as a child of the node PARENT")
+    update.add_argument("--before", metavar="SIBLING",
+                        help="position --insert before this child")
+    update.add_argument("--after", metavar="SIBLING",
+                        help="position --insert after this child")
+    update.add_argument("--delete", metavar="TARGET",
+                        help="delete the subtree rooted at TARGET")
+    update.add_argument("--replace", nargs=2, metavar=("TARGET", "TEXT"),
+                        help="overwrite the text/attribute node TARGET")
+    update.add_argument("--checkpoint", action="store_true",
+                        help="fold the WAL into the image afterwards")
+
     serve = sub.add_parser("serve", help="serve queries over HTTP")
     add_documents(serve)
+    serve.add_argument("--durable", action="append", default=[],
+                       metavar="URI=DIR",
+                       help="open a durable store directory under URI "
+                            "(repeatable); its POST /update is WAL-logged")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--mode", choices=["indexed", "tree"], default="indexed")
@@ -203,12 +244,26 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "batch":
         return _run_batch(args)
 
+    if args.command == "update":
+        return _run_update(args)
+
     if args.command == "serve":
         from repro.service import QueryService
         from repro.service.server import serve_forever
 
         service = QueryService(pool_size=args.threads, mode=args.mode)
         uris = _load_documents(service, args)
+        for spec in args.durable:
+            if "=" in spec:
+                uri, _, directory = spec.partition("=")
+                durable = service.open_durable(directory, uri=uri)
+            else:
+                durable = service.open_durable(spec)
+            uris.append(durable.store.document.uri)
+            if durable.recovery.replayed:
+                print(f"recovered {durable.store.document.uri!r}: replayed "
+                      f"{durable.recovery.replayed} WAL record(s)",
+                      file=sys.stderr)
         if not uris:
             print("note: no documents loaded; doc()/virtualDoc() will fail",
                   file=sys.stderr)
@@ -297,6 +352,62 @@ def _read_queries(args: argparse.Namespace) -> list[str]:
             if handle is not sys.stdin:
                 handle.close()
     return queries
+
+
+def _run_update(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.pbn.number import Pbn
+    from repro.updates.durable import DurableStore
+    from repro.updates.ops import DeleteSubtree, InsertSubtree, ReplaceText
+
+    if args.init is not None:
+        from repro.xmlmodel.parser import parse_document
+
+        with open(args.init, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        uri = args.uri if args.uri is not None else os.path.basename(args.init)
+        durable = DurableStore.create(args.directory, parse_document(text, uri))
+        print(f"created durable store for {uri!r} in {args.directory}")
+    else:
+        durable = DurableStore.open(args.directory)
+        report = durable.recovery
+        if report.replayed or report.torn_tail_discarded:
+            tail = ", discarded a torn WAL tail" if report.torn_tail_discarded else ""
+            print(f"recovered: replayed {report.replayed} WAL record(s){tail}")
+
+    ops = []
+    if args.insert:
+        ops.append(InsertSubtree(
+            parent=Pbn.parse(args.insert[0]),
+            fragment=args.insert[1],
+            before=Pbn.parse(args.before) if args.before else None,
+            after=Pbn.parse(args.after) if args.after else None,
+        ))
+    elif args.before or args.after:
+        raise SystemExit("--before/--after only position an --insert")
+    if args.delete:
+        ops.append(DeleteSubtree(target=Pbn.parse(args.delete)))
+    if args.replace:
+        ops.append(ReplaceText(target=Pbn.parse(args.replace[0]), text=args.replace[1]))
+
+    try:
+        for op in ops:
+            result = durable.apply(op)
+            detail = ""
+            if result.minted:
+                detail = f" minted {', '.join(str(n) for n in result.minted)}"
+            if result.removed:
+                detail += f" removed {len(result.removed)} node(s)"
+            print(f"seq {durable.seq}: {op.describe()}{detail}")
+        if args.checkpoint:
+            size = durable.checkpoint()
+            print(f"checkpointed: image {size} bytes, WAL reset")
+        print(f"state: seq={durable.seq} wal={durable.wal_size} bytes "
+              f"nodes={durable.store.size_summary()['nodes']}")
+    finally:
+        durable.close()
+    return 0
 
 
 def _run_batch(args: argparse.Namespace) -> int:

@@ -112,6 +112,40 @@ class DataGuide:
             guide_type.pbn = parent.pbn.child(len(parent.children))  # type: ignore[union-attr]
         return guide_type
 
+    def copy(self) -> "tuple[DataGuide, dict[GuideType, GuideType]]":
+        """An independent deep copy plus the old-type -> new-type map.
+
+        The update subsystem derives a new store version per mutation
+        batch; copying the guide keeps the published (old) version's
+        types frozen while the new version grows types and counts.
+        Paths, child order, guide numbers, and counts are preserved, so
+        corresponding types get identical Type IDs.
+        """
+        mapping: dict[GuideType, GuideType] = {}
+
+        def copy_type(
+            guide_type: GuideType, parent: Optional[GuideType]
+        ) -> GuideType:
+            duplicate = GuideType(guide_type.path, parent)
+            duplicate.pbn = guide_type.pbn
+            duplicate.count = guide_type.count
+            mapping[guide_type] = duplicate
+            for child in guide_type.children:
+                duplicate.children.append(copy_type(child, duplicate))
+            return duplicate
+
+        guide = DataGuide()
+        for root in self.roots:
+            guide.roots.append(copy_type(root, None))
+        guide._by_path = {
+            path: mapping[t] for path, t in self._by_path.items()
+        }
+        guide._by_name = {
+            name: [mapping[t] for t in types]
+            for name, types in self._by_name.items()
+        }
+        return guide, mapping
+
     # -- paper helper functions ----------------------------------------------
 
     def type_of(self, node: Node) -> GuideType:

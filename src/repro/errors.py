@@ -62,3 +62,9 @@ class StorageError(ReproError):
 class NumberingError(ReproError):
     """Raised on invalid PBN/vPBN construction or comparison
     (empty number, non-positive component, mismatched documents, ...)."""
+
+
+class UpdateError(ReproError):
+    """Raised when an update operation is invalid against the current
+    store version (unknown target, deleting a root, inserting before an
+    attribute, replacing text of an element, ...)."""

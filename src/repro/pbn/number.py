@@ -1,13 +1,23 @@
 """The prefix-based number type.
 
-A :class:`Pbn` is an immutable sequence of positive integers, e.g. ``1.2.2``
-for "second child of the second child of the first root" (paper Figure 8).
-Its length equals the node's level, and its prefixes are exactly the numbers
-of its ancestors — the property every axis predicate exploits.
+A :class:`Pbn` is an immutable sequence of positive components, e.g.
+``1.2.2`` for "second child of the second child of the first root" (paper
+Figure 8).  Its length equals the node's level, and its prefixes are exactly
+the numbers of its ancestors — the property every axis predicate exploits.
+
+Components are positive integers at initial load.  The update subsystem
+(:mod:`repro.updates`) additionally mints *rational* components — positive
+:class:`fractions.Fraction` values folded from ORDPATH caret runs — so a
+sibling can be inserted between ``2`` and ``3`` as ``5/2`` without touching
+any extant number.  Rationals compare, hash, and mix with integers exactly
+as document order requires, so every layer above (axes, level arrays,
+indexes) works unchanged; integral rationals are normalized back to ``int``
+so equal numbers have one representation.
 """
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import Iterator
 
 from repro.errors import NumberingError
@@ -27,11 +37,31 @@ class Pbn:
     def __init__(self, *components: int) -> None:
         if not components:
             raise NumberingError("a PBN number needs at least one component")
+        normalize = False
         for component in components:
-            if not isinstance(component, int) or component < 1:
+            if isinstance(component, int):
+                if component < 1:
+                    raise NumberingError(
+                        f"PBN components must be positive, got {component!r}"
+                    )
+            elif isinstance(component, Fraction):
+                if component <= 0:
+                    raise NumberingError(
+                        f"PBN components must be positive, got {component!r}"
+                    )
+                normalize = True
+            else:
                 raise NumberingError(
-                    f"PBN components must be positive integers, got {component!r}"
+                    f"PBN components must be positive integers or rationals, "
+                    f"got {component!r}"
                 )
+        if normalize:
+            # Integral rationals collapse to int so 5/1 == 5 has one
+            # representation (equal hash, equal tuple) everywhere.
+            components = tuple(
+                int(c) if isinstance(c, Fraction) and c.denominator == 1 else c
+                for c in components
+            )
         object.__setattr__(self, "components", components)
 
     def __setattr__(self, key: str, value: object) -> None:
@@ -46,10 +76,16 @@ class Pbn:
 
     @classmethod
     def parse(cls, text: str) -> "Pbn":
-        """Parse dotted notation, e.g. ``"1.2.2"``."""
+        """Parse dotted notation, e.g. ``"1.2.2"`` or ``"1.5/2.2"`` (a
+        minted rational component renders as ``numerator/denominator``)."""
         try:
-            return cls(*(int(part) for part in text.split(".")))
-        except ValueError as exc:
+            return cls(
+                *(
+                    Fraction(part) if "/" in part else int(part)
+                    for part in text.split(".")
+                )
+            )
+        except (ValueError, ZeroDivisionError) as exc:
             raise NumberingError(f"malformed PBN number {text!r}") from exc
 
     # -- structure -----------------------------------------------------------

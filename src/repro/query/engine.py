@@ -158,19 +158,30 @@ class Engine:
         self.attach(uri, store)
         return store
 
-    def attach(self, uri: str, store: DocumentStore) -> None:
+    def attach(self, uri: str, store: DocumentStore, invalidate_views: bool = True) -> None:
         """Register a pre-built store under ``uri`` without rebuilding it.
 
         ``QueryService`` loads each document once and attaches the same
         immutable store to every pooled engine; reloading a uri drops any
-        cached virtual views over the old document.
+        cached virtual views over the old document.  The service passes
+        ``invalidate_views=False`` when publishing an *update* version —
+        it already ran the shared cache's fine-grained revalidation, and
+        a blanket eviction here would throw away views the update never
+        touched.
+
+        Only call while no query is in flight on this engine: the maps
+        for the uri's previous store are dropped.
         """
+        previous = self._stores.get(uri)
+        if previous is not None and previous is not store:
+            self._store_by_document.pop(id(previous.document), None)
+            self._navigators.pop(id(previous), None)
         self._stores[uri] = store
         self._store_by_document[id(store.document)] = store
-        # Invalidate cached virtual views of a reloaded uri.
+        # Invalidate cached virtual views of a replaced uri.
         for key in [k for k in self._virtuals if k[0] == uri]:
             del self._virtuals[key]
-        if self.view_cache is not None:
+        if invalidate_views and self.view_cache is not None:
             self.view_cache.invalidate_uri(uri)
 
     def document(self, uri: str) -> Document:

@@ -179,29 +179,87 @@ class ViewCache(LRUCache):
     skips vDataGuide resolution *and* level-array construction.  Entries
     are pinned to the store that was loaded when they were built:
     :meth:`get_or_build_view` rejects (and rebuilds) entries whose
-    document object is no longer the one registered under the uri.
+    document is no longer current under the uri.
+
+    *Reloading* a uri drops every entry (:meth:`invalidate_uri`).  An
+    *update* is finer: copy-on-write mutation publishes a new document
+    version but leaves most types byte-identical, so
+    :meth:`revalidate` evicts only the views whose vDataGuide touches a
+    mutated type and *re-binds* the rest to the new version — their
+    level arrays, and the immutable snapshot nodes they navigate, are
+    still exact for every type they can reach.
     """
 
     def __init__(
         self, capacity: int = 64, metrics: Optional[ServiceMetrics] = None
     ) -> None:
         super().__init__(capacity, metrics, name="view")
+        #: ``(uri, spec)`` -> the *current* document an entry built over
+        #: an older version remains valid for (set by :meth:`revalidate`).
+        self._bound: dict = {}
 
     def get_or_build_view(self, engine, uri: str, spec: str):
         document = engine.store(uri).document
+        key = (uri, spec)
 
         def build():
             if self.metrics is not None:
                 self.metrics.incr("engine.views_built")
             return engine.build_virtual(uri, spec)
 
-        vdoc = self.get_or_build((uri, spec), build)
-        if vdoc.document is not document:
+        vdoc = self.get_or_build(key, build)
+        with self._lock:
+            bound = self._bound.get(key)
+        if vdoc.document is not document and bound is not document:
             # The uri was reloaded underneath a stale entry; replace it.
-            self.invalidate((uri, spec))
-            return self.get_or_build((uri, spec), build)
+            self.invalidate(key)
+            return self.get_or_build(key, build)
         return vdoc
 
     def invalidate_uri(self, uri: str) -> int:
         """Drop every view over ``uri`` (called on document reload)."""
+        with self._lock:
+            for key in [k for k in self._bound if k[0] == uri]:
+                del self._bound[key]
         return self.invalidate_where(lambda key: key[0] == uri)
+
+    def revalidate(self, uri: str, new_document, touched_paths) -> int:
+        """Apply an update's fine-grained invalidation; returns the number
+        of entries evicted.
+
+        A cached view must go iff any original type its vDataGuide
+        references is prefix-related (either direction) to any touched
+        DataGuide path: a touched descendant changes what the view can
+        reach below a referenced type, a touched ancestor changes which
+        instances exist above it.  Every other view over ``uri`` is
+        re-bound to ``new_document`` — it keeps serving the snapshot it
+        was built over, which is value-identical for all its types.
+        """
+        touched = [tuple(path) for path in touched_paths]
+
+        def is_stale(vdoc) -> bool:
+            for vtype in vdoc.vguide.iter_vtypes():
+                referenced = vtype.original.path
+                for path in touched:
+                    n = min(len(referenced), len(path))
+                    if referenced[:n] == path[:n]:
+                        return True
+            return False
+
+        evicted = 0
+        with self._lock:
+            for key in [k for k in self._entries if k[0] == uri]:
+                if is_stale(self._entries[key]):
+                    del self._entries[key]
+                    self._bound.pop(key, None)
+                    evicted += 1
+                else:
+                    self._bound[key] = new_document
+        if self.metrics is not None and evicted:
+            self.metrics.incr("cache.view.update_evictions", evicted)
+        return evicted
+
+    def clear(self) -> None:
+        with self._lock:
+            self._bound.clear()
+        super().clear()

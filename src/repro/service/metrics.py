@@ -19,9 +19,15 @@ Metric names are dotted strings; the conventional namespace is:
 ``service.queries``            queries admitted through a ``QueryService``
 ``service.batches``            batch calls
 ``service.checkout_seconds``   histogram — time waiting for a pooled engine
+``service.updates_applied``    update operations durably applied & published
+``service.updates_aborted``    update operations rejected (store unchanged)
+``service.wal_fsync_seconds``  histogram — WAL append+fsync latency per op
+``service.recovery_seconds``   histogram — crash-recovery time per open
+``service.recovery_replayed``  WAL records replayed by recovery
 ``cache.plan.hits/misses``     plan-cache outcomes
 ``cache.view.hits/misses``     view-cache outcomes
 ``cache.plan.evictions``       entries dropped at capacity (same for view)
+``cache.view.update_evictions`` views evicted by an update's touched types
 ``buffer.hits/misses``         buffer-pool outcomes (per page request)
 ``navigator.indexed.steps``    axis steps taken by the indexed navigator
 ``navigator.virtual.steps``    axis steps taken by the virtual navigator

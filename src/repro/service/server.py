@@ -9,6 +9,16 @@ thread per connection, queries fanned across the service's engine pool):
     string values instead of XML.  ``200`` with the serialized result;
     ``400`` with the error message for parse/evaluation failures.
 
+``POST /update``
+    Body is a JSON update operation (the WAL payload format of
+    :mod:`repro.updates.ops`): ``{"op": "insert", "parent": "1",
+    "fragment": "<x/>", "before"/"after": ...}``, ``{"op": "delete",
+    "target": "1.2"}``, or ``{"op": "replace", "target": "1.2.1",
+    "text": ...}``.  The target document is the ``uri`` query parameter
+    (optional when exactly one document is loaded).  ``200`` with
+    ``{"uri", "version", "minted", "removed", "touched"}``; ``400`` for
+    invalid operations (the store is unchanged).
+
 ``GET /metrics``
     JSON: the service snapshot (counters, histograms, cache and storage
     stats).
@@ -64,6 +74,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
+        if parsed.path == "/update":
+            self._do_update(parsed)
+            return
         if parsed.path != "/query":
             self._respond_json(404, {"error": f"unknown path {parsed.path!r}"})
             return
@@ -84,6 +97,44 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._respond(200, "\n".join(result.values()), "text/plain")
         else:
             self._respond(200, result.to_xml(), "application/xml")
+
+    def _do_update(self, parsed) -> None:
+        from repro.updates.ops import op_from_json
+
+        params = parse_qs(parsed.query)
+        uri = params.get("uri", [None])[0]
+        if uri is None:
+            uris = self.server.service.uris()
+            if len(uris) != 1:
+                self._respond_json(
+                    400, {"error": "several documents loaded; pass ?uri=..."}
+                )
+                return
+            uri = uris[0]
+        length = int(self.headers.get("Content-Length", 0))
+        body = self.rfile.read(length).decode("utf-8")
+        try:
+            payload = json.loads(body)
+            if not isinstance(payload, dict):
+                raise ValueError("update body must be a JSON object")
+        except ValueError as error:
+            self._respond_json(400, {"error": f"invalid JSON body: {error}"})
+            return
+        try:
+            result = self.server.service.update(uri, op_from_json(payload))
+        except ReproError as error:
+            self._respond_json(400, {"error": str(error)})
+            return
+        self._respond_json(
+            200,
+            {
+                "uri": uri,
+                "version": result.store.version,
+                "minted": [str(number) for number in result.minted],
+                "removed": [str(number) for number in result.removed],
+                "touched": sorted(".".join(path) for path in result.touched_paths),
+            },
+        )
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -116,7 +167,10 @@ class ServiceServer(ThreadingHTTPServer):
 def serve_forever(service: QueryService, host: str, port: int) -> None:
     """Run a server until interrupted (the ``repro serve`` entry point)."""
     server = ServiceServer(service, host=host, port=port, verbose=True)
-    print(f"serving on http://{host}:{server.port}  (POST /query, GET /metrics)")
+    print(
+        f"serving on http://{host}:{server.port}  "
+        "(POST /query, POST /update, GET /metrics)"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -14,9 +14,19 @@ Thread-safety contract:
 
 * ``execute`` / ``batch`` are safe from any number of threads; callers
   block while all pooled engines are busy.
-* ``load`` / ``open_image`` take the topology lock and are safe to call
-  concurrently with queries, but a query racing a *reload* of the uri it
-  reads may see either document — version pinning is future work.
+* ``load`` / ``open_image`` / ``update`` take the topology lock and are
+  safe to call concurrently with queries.  Topology changes reach an
+  engine only while it is *idle* — a replacement store is attached
+  immediately to engines waiting in the pool and queued as *pending*
+  for busy ones, which drain the queue at their next checkout.  A query
+  therefore sees one consistent snapshot end to end: the version its
+  engine held when the query started, never a mid-flight mix.
+* ``update`` serializes writers per service; each applied operation
+  derives a new copy-on-write store version
+  (:mod:`repro.updates.mutations`) and publishes it without waiting for
+  readers.  Cached virtual views are revalidated against the
+  operation's touched types, not blanket-evicted
+  (:meth:`~repro.service.cache.ViewCache.revalidate`).
 * :class:`~repro.service.metrics.ServiceMetrics` totals are exact (lock
   protected).  The shared :class:`~repro.storage.stats.StorageStats`
   block keeps the seed's unlocked hot-path counters and is approximate
@@ -29,7 +39,8 @@ import queue
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional, Union
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.query.engine import Engine, Result
 from repro.service.cache import PlanCache, ViewCache
@@ -38,6 +49,11 @@ from repro.storage.stats import StorageStats
 from repro.storage.store import DocumentStore
 from repro.xmlmodel.nodes import Document
 from repro.xmlmodel.parser import parse_document
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.updates.durable import DurableStore
+    from repro.updates.mutations import MutationResult
+    from repro.updates.ops import UpdateOp
 
 
 class BatchResult:
@@ -102,10 +118,17 @@ class QueryService:
         self.plan_cache = PlanCache(plan_cache_capacity, self.metrics)
         self.view_cache = ViewCache(view_cache_capacity, self.metrics)
         self._stores: dict[str, DocumentStore] = {}
+        self._durables: dict[str, "DurableStore"] = {}
         self._topology_lock = threading.Lock()
+        self._write_lock = threading.Lock()
         self._engines: list[Engine] = [
             self._make_engine() for _ in range(pool_size)
         ]
+        #: per-engine stores attached while the engine was busy; drained
+        #: (newest version per uri) at its next checkout.
+        self._pending: dict[int, dict[str, DocumentStore]] = {
+            id(engine): {} for engine in self._engines
+        }
         self._idle: queue.LifoQueue = queue.LifoQueue()
         for engine in self._engines:
             self._idle.put(engine)
@@ -164,13 +187,111 @@ class QueryService:
     #: CLI-facing alias mirroring :meth:`Engine.open`.
     open = open_image
 
+    def open_durable(self, directory: str, uri: Optional[str] = None) -> "DurableStore":
+        """Open (recovering if needed) a durable store directory and attach
+        its current version pool-wide; subsequent :meth:`update` calls for
+        its uri go through the WAL."""
+        from repro.updates.durable import DurableStore
+
+        durable = DurableStore.open(
+            directory, page_size=self.page_size, buffer_capacity=self.buffer_capacity
+        )
+        store = durable.store
+        store.stats = self.stats
+        store.page_manager.stats = self.stats
+        store.type_index.stats = self.stats
+        store.value_index.stats = self.stats
+        store.value_index._tree.stats = self.stats
+        store.buffer_pool.metrics = self.metrics
+        key = uri if uri is not None else store.document.uri
+        store.document.uri = key
+        self.metrics.observe("service.recovery_seconds", durable.recovery.duration_s)
+        if durable.recovery.replayed:
+            self.metrics.incr("service.recovery_replayed", durable.recovery.replayed)
+        with self._write_lock:
+            self._durables[key] = durable
+            self._attach(key, store)
+        return durable
+
     def _attach(self, uri: str, store: DocumentStore) -> None:
+        """Full (re)load of a uri: swap the store in and blanket-evict its
+        cached views.  Busy engines pick the store up at their next
+        checkout; idle ones are attached here."""
         with self._topology_lock:
             self._stores[uri] = store
-            for engine in self._engines:
-                engine.attach(uri, store)
             self.view_cache.invalidate_uri(uri)
+            self._publish_locked(uri, store, invalidate_views=True)
         self.metrics.incr("service.documents_loaded")
+
+    def _publish_locked(
+        self, uri: str, store: DocumentStore, invalidate_views: bool
+    ) -> None:
+        """Hand ``store`` to every engine — immediately to engines idle in
+        the pool, as a pending attach to busy ones.  Caller holds the
+        topology lock, so an engine checked in concurrently still drains
+        its pending entry before serving another query."""
+        idle: list[Engine] = []
+        while True:
+            try:
+                idle.append(self._idle.get_nowait())
+            except queue.Empty:
+                break
+        idle_ids = {id(engine) for engine in idle}
+        for engine in self._engines:
+            if id(engine) not in idle_ids:
+                self._pending[id(engine)][uri] = store
+        for engine in idle:
+            engine.attach(uri, store, invalidate_views=invalidate_views)
+            self._idle.put(engine)
+
+    # -- updates -----------------------------------------------------------------
+
+    def update(self, uri: str, op: "UpdateOp") -> "MutationResult":
+        """Durably apply one update operation to the document under
+        ``uri`` and publish the derived store version.
+
+        Writers are serialized (one derivation at a time per service);
+        readers are never blocked — queries in flight finish on the
+        version their engine held at checkout, later checkouts see the
+        new one.  With the uri opened via :meth:`open_durable` the
+        operation is WAL-logged (fsync before publish); a uri loaded
+        from text or an image is updated in memory only.
+        """
+        from repro.errors import ReproError
+        from repro.updates.mutations import apply_op
+
+        with self._write_lock:
+            durable = self._durables.get(uri)
+            try:
+                if durable is not None:
+                    result = durable.apply(op)
+                    self.metrics.observe(
+                        "service.wal_fsync_seconds", durable.last_fsync_s
+                    )
+                else:
+                    result = apply_op(self.store(uri), op)
+            except ReproError:
+                self.metrics.incr("service.updates_aborted")
+                raise
+            with self._topology_lock:
+                self._stores[uri] = result.store
+                self.view_cache.revalidate(
+                    uri, result.store.document, result.touched_paths
+                )
+                self._publish_locked(uri, result.store, invalidate_views=False)
+        self.metrics.incr("service.updates_applied")
+        return result
+
+    def checkpoint(self, uri: str) -> int:
+        """Fold the WAL of a durable uri into its image; returns the new
+        image size in bytes."""
+        from repro.errors import StorageError
+
+        with self._write_lock:
+            durable = self._durables.get(uri)
+            if durable is None:
+                raise StorageError(f"{uri!r} is not backed by a durable store")
+            return durable.checkpoint()
 
     def store(self, uri: str) -> DocumentStore:
         with self._topology_lock:
@@ -187,17 +308,20 @@ class QueryService:
 
     def warm(self, uri: str, spec: str) -> None:
         """Pre-resolve a virtual view so the first query finds it hot."""
-        engine = self._checkout()
-        try:
+        with self._engine() as engine:
             engine.virtual(uri, spec)
-        finally:
-            self._checkin(engine)
 
     # -- execution ---------------------------------------------------------------
 
     def _checkout(self) -> Engine:
         started = time.perf_counter()
         engine = self._idle.get()
+        with self._topology_lock:
+            pending = self._pending[id(engine)]
+            if pending:
+                for uri, store in pending.items():
+                    engine.attach(uri, store, invalidate_views=False)
+                pending.clear()
         self.metrics.observe(
             "service.checkout_seconds", time.perf_counter() - started
         )
@@ -205,6 +329,18 @@ class QueryService:
 
     def _checkin(self, engine: Engine) -> None:
         self._idle.put(engine)
+
+    @contextmanager
+    def _engine(self):
+        """Check an engine out of the pool for the duration of a ``with``
+        block.  The engine returns to the pool on *every* exit path — a
+        query that raises must not leak its engine, or the pool drains
+        until ``execute`` blocks forever."""
+        engine = self._checkout()
+        try:
+            yield engine
+        finally:
+            self._checkin(engine)
 
     def execute(
         self,
@@ -216,11 +352,8 @@ class QueryService:
         whole pool is busy).  Plan and view caches are consulted inside
         the engine; see the metric names in :mod:`repro.service.metrics`."""
         self.metrics.incr("service.queries")
-        engine = self._checkout()
-        try:
+        with self._engine() as engine:
             return engine.execute(query, mode=mode, variables=variables)
-        finally:
-            self._checkin(engine)
 
     def batch(
         self,
@@ -266,6 +399,13 @@ class QueryService:
                 "hit_rate": self.metrics.hit_rate("view"),
             },
         }
+        with self._write_lock:
+            durables = {
+                uri: {"seq": durable.seq, "wal_bytes": durable.wal_size}
+                for uri, durable in self._durables.items()
+            }
+        if durables:
+            report["durable"] = durables
         return report
 
     def reset_stats(self) -> None:

@@ -40,6 +40,56 @@ class HeapFile:
         heap._length = len(text)
         return heap
 
+    @classmethod
+    def splice(
+        cls,
+        base: "HeapFile",
+        cut_start: int,
+        cut_end: int,
+        replacement: str,
+    ) -> "HeapFile":
+        """A new heap equal to ``base`` with ``[cut_start, cut_end)``
+        replaced by ``replacement`` — sharing every page that lies wholly
+        before the cut.
+
+        This is the update subsystem's copy-on-write primitive: page ids
+        are global to the (shared) :class:`PageManager`, so two heap
+        versions can own overlapping page lists; the old version keeps
+        reading its pages untouched while the new version rewrites only
+        from the first dirtied page onward.
+        """
+        if not 0 <= cut_start <= cut_end <= base._length:
+            raise StorageError(
+                f"splice [{cut_start}, {cut_end}) out of bounds for heap of "
+                f"length {base._length}"
+            )
+        manager = base.manager
+        size = manager.page_size
+        shared = cut_start // size  # pages wholly before the first change
+        tail = (
+            base.read_range(shared * size, cut_start)
+            + replacement
+            + base.read_range(cut_end, base._length)
+        )
+        heap = cls(manager, base.buffer_pool)
+        heap._page_ids = base._page_ids[:shared]
+        for start in range(0, len(tail), size):
+            page_id = manager.allocate()
+            manager.write(page_id, tail[start : start + size])
+            heap._page_ids.append(page_id)
+        heap._length = shared * size + len(tail)
+        return heap
+
+    def shared_page_prefix(self, other: "HeapFile") -> int:
+        """How many leading pages this heap shares (by id) with ``other``
+        — E14's measure of copy-on-write effectiveness."""
+        count = 0
+        for mine, theirs in zip(self._page_ids, other._page_ids):
+            if mine != theirs:
+                break
+            count += 1
+        return count
+
     @property
     def length(self) -> int:
         """Total characters stored."""

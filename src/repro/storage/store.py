@@ -90,6 +90,53 @@ class DocumentStore:
         self.value_index = ValueIndex.build(entries, self.stats, order=index_order)
         self._text_index = None
         self._text_index_lock = threading.Lock()
+        #: Update-subsystem version counter: 0 for a freshly loaded store,
+        #: bumped on every copy-on-write derivation (see repro.updates).
+        self.version = 0
+
+    @classmethod
+    def from_parts(
+        cls,
+        *,
+        document: Document,
+        guide: DataGuide,
+        types_by_id: "list[GuideType]",
+        page_manager: PageManager,
+        buffer_pool: BufferPool,
+        heap: HeapFile,
+        value_index: ValueIndex,
+        type_index: TypeIndex,
+        node_by_key: dict,
+        type_of_node: dict,
+        stats: Optional[StorageStats] = None,
+        text_index=None,
+        version: int = 0,
+    ) -> "DocumentStore":
+        """Assemble a store from pre-built parts without re-ingesting.
+
+        Two callers: the version-2 image loader (parts decoded from disk)
+        and the update subsystem (parts derived copy-on-write from the
+        previous version).  The normal constructor stays the ingest path.
+        """
+        store = cls.__new__(cls)
+        store.stats = stats if stats is not None else StorageStats()
+        store.document = document
+        store.guide = guide
+        store.types_by_id = types_by_id
+        store._id_of_type = {
+            guide_type: type_id for type_id, guide_type in enumerate(types_by_id)
+        }
+        store.page_manager = page_manager
+        store.buffer_pool = buffer_pool
+        store.heap = heap
+        store.value_index = value_index
+        store.type_index = type_index
+        store._node_by_key = node_by_key
+        store._type_of_node = type_of_node
+        store._text_index = text_index
+        store._text_index_lock = threading.Lock()
+        store.version = version
+        return store
 
     # -- node and type lookup -----------------------------------------------------
 

@@ -56,6 +56,47 @@ class TextIndex:
             postings.sort()
         return index
 
+    def derived(
+        self,
+        removed: "list[tuple[str, tuple[int, ...]]]",
+        added: "list[tuple[str, tuple[int, ...]]]",
+        stats: StorageStats | None = None,
+    ) -> "TextIndex":
+        """A copy-on-write successor reflecting value-node churn.
+
+        :param removed: ``(value, components)`` of deleted/overwritten
+            text and attribute nodes.
+        :param added: ``(value, components)`` of inserted/new ones.
+
+        Only the posting lists of terms occurring in those values are
+        copied; everything else is shared with this index.
+        """
+        from bisect import insort
+
+        index = TextIndex(stats if stats is not None else self.stats)
+        index._postings = dict(self._postings)
+        owned: set[str] = set()
+
+        def own(term: str) -> list[tuple[int, ...]]:
+            if term not in owned:
+                index._postings[term] = list(index._postings.get(term, ()))
+                owned.add(term)
+            return index._postings[term]
+
+        for value, components in removed:
+            for term in set(tokenize(value)):
+                postings = own(term)
+                position = bisect_left(postings, components)
+                if position < len(postings) and postings[position] == components:
+                    del postings[position]
+                if not postings:
+                    del index._postings[term]
+                    owned.discard(term)
+        for value, components in added:
+            for term in set(tokenize(value)):
+                insort(own(term), components)
+        return index
+
     def terms(self) -> list[str]:
         return sorted(self._postings)
 

@@ -13,9 +13,10 @@ it before an indexed query can run.
 
 from __future__ import annotations
 
-from bisect import bisect_left
-from typing import Iterator, Sequence
+from bisect import bisect_left, insort
+from typing import Iterable, Iterator, Sequence
 
+from repro.errors import StorageError
 from repro.pbn.number import Pbn
 from repro.storage.stats import StorageStats
 
@@ -31,6 +32,31 @@ class TypeIndex:
         """Add a number to a type's posting list.  Numbers must arrive in
         document order (they do when loading a document front to back)."""
         self._postings.setdefault(type_id, []).append(number.components)
+
+    def derived(
+        self, touched: Iterable[int], stats: StorageStats | None = None
+    ) -> "TypeIndex":
+        """A copy-on-write successor: posting lists for ``touched`` type
+        ids are copied (safe to :meth:`insert`/:meth:`remove` on the new
+        index), every other list is shared with this index."""
+        index = TypeIndex(stats if stats is not None else self.stats)
+        index._postings = dict(self._postings)
+        for type_id in touched:
+            index._postings[type_id] = list(index._postings.get(type_id, ()))
+        return index
+
+    def insert(self, type_id: int, number: Pbn) -> None:
+        """Insert one number into a (copied) posting list, keeping it in
+        document order."""
+        insort(self._postings.setdefault(type_id, []), number.components)
+
+    def remove(self, type_id: int, number: Pbn) -> None:
+        """Remove one number from a (copied) posting list."""
+        postings = self._postings.get(type_id, [])
+        position = bisect_left(postings, number.components)
+        if position >= len(postings) or postings[position] != number.components:
+            raise StorageError(f"no posting for {number} under type {type_id}")
+        del postings[position]
 
     def count(self, type_id: int) -> int:
         """Number of nodes of the type."""

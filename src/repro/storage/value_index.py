@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.errors import StorageError
-from repro.pbn.codec import encode_pbn
+from repro.pbn.codec import decode_key, encode_key
 from repro.pbn.number import Pbn
 from repro.storage.bptree import BPlusTree
 from repro.storage.stats import StorageStats
@@ -49,7 +49,12 @@ class ValueEntry:
 
 
 class ValueIndex:
-    """B+-tree from encoded PBN numbers to :class:`ValueEntry` rows."""
+    """B+-tree from encoded PBN numbers to :class:`ValueEntry` rows.
+
+    Keys use the rational-capable :func:`~repro.pbn.codec.encode_key`
+    codec (not the gap-free ``encode_pbn``) so numbers minted by the
+    update subsystem sort between extant integers without renumbering.
+    """
 
     def __init__(self, stats: StorageStats | None = None, order: int = 64):
         self.stats = stats if stats is not None else StorageStats()
@@ -64,41 +69,45 @@ class ValueIndex:
     ) -> "ValueIndex":
         """Bulk-load from document-order ``(number, entry)`` pairs."""
         index = cls(stats=stats, order=order)
-        items = [(encode_pbn(number), entry) for number, entry in entries]
+        items = [(encode_key(number), entry) for number, entry in entries]
         index._tree = BPlusTree.bulk_load(items, order=order, stats=index.stats)
         return index
 
     def insert(self, number: Pbn, entry: ValueEntry) -> None:
-        self._tree.insert(encode_pbn(number), entry)
+        self._tree.insert(encode_key(number), entry)
+
+    def delete(self, number: Pbn) -> None:
+        """Remove one entry.
+
+        :raises StorageError: if the number was never indexed.
+        """
+        if not self._tree.delete(encode_key(number)):
+            raise StorageError(f"no value entry for PBN {number}")
 
     def lookup(self, number: Pbn) -> ValueEntry:
         """Point lookup.
 
         :raises StorageError: if the number was never indexed.
         """
-        entry = self._tree.get(encode_pbn(number))
+        entry = self._tree.get(encode_key(number))
         if entry is None:
             raise StorageError(f"no value entry for PBN {number}")
         return entry
 
     def get(self, number: Pbn) -> Optional[ValueEntry]:
         """Point lookup returning ``None`` when absent."""
-        return self._tree.get(encode_pbn(number))
+        return self._tree.get(encode_key(number))
 
     def subtree(self, number: Pbn) -> Iterator[tuple[Pbn, ValueEntry]]:
         """All indexed nodes in the subtree rooted at ``number``
         (descendant-or-self), in document order."""
-        from repro.pbn.codec import decode_pbn
-
-        for key, entry in self._tree.prefix_scan(encode_pbn(number)):
-            yield decode_pbn(key), entry
+        for key, entry in self._tree.prefix_scan(encode_key(number)):
+            yield decode_key(key), entry
 
     def subtree_all(self) -> Iterator[tuple[Pbn, ValueEntry]]:
         """Every indexed node in document order (a full index scan)."""
-        from repro.pbn.codec import decode_pbn
-
         for key, entry in self._tree.scan():
-            yield decode_pbn(key), entry
+            yield decode_key(key), entry
 
     def __len__(self) -> int:
         return len(self._tree)

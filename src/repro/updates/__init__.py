@@ -1,0 +1,52 @@
+"""The durable update subsystem: mutations, WAL, recovery.
+
+The paper's stability argument (Section 3) delegates insertion to
+ORDPATH-style careting and then *assumes* extant numbers never change.
+This package makes that real for the storage engine:
+
+* :mod:`repro.updates.careting` — folds ORDPATH caret runs into rational
+  PBN components so minted numbers live in the same level-shaped space the
+  whole query stack already operates on;
+* :mod:`repro.updates.ops` — the logical update operations (insert
+  subtree, delete subtree, replace text) and their WAL serialization;
+* :mod:`repro.updates.mutations` — derives a new copy-on-write
+  :class:`~repro.storage.store.DocumentStore` version from an old one plus
+  an operation, maintaining every index incrementally;
+* :mod:`repro.updates.wal` — the append-only, CRC-framed, fsync'd
+  write-ahead log;
+* :mod:`repro.updates.durable` — a directory of image + WAL with
+  checkpointing and crash recovery;
+* :mod:`repro.updates.faults` — the fault-injection harness the recovery
+  tests drive.
+"""
+
+__all__ = [
+    "DurableStore",
+    "MutationResult",
+    "apply_op",
+    "DeleteSubtree",
+    "InsertSubtree",
+    "ReplaceText",
+    "UpdateOp",
+]
+
+_HOMES = {
+    "DurableStore": "repro.updates.durable",
+    "MutationResult": "repro.updates.mutations",
+    "apply_op": "repro.updates.mutations",
+    "DeleteSubtree": "repro.updates.ops",
+    "InsertSubtree": "repro.updates.ops",
+    "ReplaceText": "repro.updates.ops",
+    "UpdateOp": "repro.updates.ops",
+}
+
+
+def __getattr__(name: str):
+    # Lazy re-exports keep ``import repro.updates.careting`` (used by the
+    # pbn layer's tests) from paying for the whole subsystem.
+    home = _HOMES.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(home), name)

@@ -1,0 +1,207 @@
+"""Folding ORDPATH caret runs into rational PBN components.
+
+The problem: every layer above the numbering — level arrays, the vPBN
+guard rule, type-index prefix scans, the value index — assumes *level
+shape*: one component per tree level (``len(number) == type.length``).
+ORDPATH minting (:mod:`repro.pbn.ordpath`) produces numbers that are *not*
+level shaped: a logical component is a whole caret run ``(4, -2, 7)``.
+Teaching the entire query stack about caret runs would touch every axis
+predicate.
+
+The solution here: an order isomorphism ``fold`` that maps each logical
+ORDPATH component (a tuple of raw integers, interior even = carets, last
+odd = ordinal) to a single positive **dyadic rational**, with three
+properties:
+
+* **order preserving** — raw tuple order of components maps to numeric
+  order of rationals, so document order is still plain tuple comparison;
+* **identity on extant numbers** — the ordinal ``2v - 1`` (the careting
+  image of the dense ordinal ``v``) folds to exactly ``v``, so loaded
+  documents keep their integer numbers bit for bit;
+* **exactly invertible** — ``unfold`` recovers the caret run from the
+  rational, so minting *between two stored components* needs no sidecar
+  state: unfold both, run the ORDPATH primitive, fold the result.
+
+Construction.  ``H`` embeds the first raw integer into the positive
+rationals; ``G`` embeds continuation raws into the open unit interval::
+
+    H(c) = (c + 1) / 2          for c >= 1      (odd c = 2v-1 |-> v)
+    H(c) = 2 ** (c - 1)         for c <= 0      (…, -1 |-> 1/4, 0 |-> 1/2)
+
+    G(c) = 1 - 2 ** (-c - 1)    for c >= 0      (0 |-> 1/2, 1 |-> 3/4, …)
+    G(c) = 2 ** (c - 1)         for c <  0      (-1 |-> 1/4, -2 |-> 1/8, …)
+
+A caret ``c`` (even) is followed by more raws; those continuations land in
+the open interval ``(H(c), H(c+1))`` (resp. ``(G(c), G(c+1))``), scaled
+recursively.  Both maps and both gap widths are powers of two, so every
+folded value is dyadic — which is exactly what the key codec
+(:func:`repro.pbn.codec.encode_key`) can serialize order-preservingly.
+
+Order preservation follows from ORDPATH components being prefix-free
+(interior raws even, the final raw odd): two distinct components first
+differ at some raw position, and there ``H``/``G`` monotonicity plus the
+open-interval nesting decide consistently with tuple order.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import NumberingError
+from repro.pbn.ordpath import OrdPbn, after, before, between
+
+Component = "int | Fraction"
+
+_ONE = Fraction(1)
+
+
+def _h(c: int) -> Fraction:
+    """The first-raw embedding ``H`` (strictly increasing over all ints)."""
+    if c >= 1:
+        return Fraction(c + 1, 2)
+    return Fraction(1, 1 << (1 - c))
+
+
+def _g(c: int) -> Fraction:
+    """The continuation embedding ``G`` into the open unit interval."""
+    if c >= 0:
+        return _ONE - Fraction(1, 1 << (c + 1))
+    return Fraction(1, 1 << (1 - c))
+
+
+def fold(raw: tuple[int, ...]):
+    """Fold one logical ORDPATH component (caret run + ordinal) into a
+    positive rational; single odd raws ``2v - 1`` fold to the int ``v``.
+
+    :raises NumberingError: if ``raw`` is not a valid logical component
+        (interior raws must be even, the last odd).
+    """
+    if not raw or raw[-1] % 2 == 0:
+        raise NumberingError(f"not a logical ORDPATH component: {raw}")
+    for interior in raw[:-1]:
+        if interior % 2 != 0:
+            raise NumberingError(f"not a logical ORDPATH component: {raw}")
+    if len(raw) == 1:
+        value = _h(raw[0])
+    else:
+        low, width = _h(raw[0]), _h(raw[0] + 1) - _h(raw[0])
+        value = low + width * _fold01(raw[1:])
+    if value.denominator == 1:
+        return int(value)
+    return value
+
+
+def _fold01(raw: tuple[int, ...]) -> Fraction:
+    if len(raw) == 1:
+        return _g(raw[0])
+    return _g(raw[0]) + (_g(raw[0] + 1) - _g(raw[0])) * _fold01(raw[1:])
+
+
+def _floor_log2(q: Fraction) -> int:
+    """Largest ``e`` with ``2**e <= q`` (``q`` positive)."""
+    n, d = q.numerator, q.denominator
+    e = n.bit_length() - d.bit_length()
+    # Now 2**e <= q < 2**(e+2); settle which side of 2**(e+1) we are on.
+    if (n >= d << (e + 1)) if e + 1 >= 0 else (n << -(e + 1)) >= d:
+        return e + 1
+    if (n >= d << e) if e >= 0 else (n << -e) >= d:
+        return e
+    return e - 1
+
+
+def _is_power_of_two(q: Fraction) -> bool:
+    n, d = q.numerator, q.denominator
+    return (n & (n - 1)) == 0 and (d & (d - 1)) == 0
+
+
+def unfold(component) -> tuple[int, ...]:
+    """Invert :func:`fold`: recover the logical ORDPATH component of a
+    stored PBN component (an int or a minted dyadic Fraction).
+
+    :raises NumberingError: for values outside the fold's image (these
+        never occur for numbers this library minted).
+    """
+    q = Fraction(component)
+    if q <= 0:
+        raise NumberingError(f"component {component!r} is not positive")
+    raws: list[int] = []
+    # Invert H: find c with q == H(c) (done, c must be odd) or
+    # H(c) < q < H(c+1) (descend into caret c, which must be even).
+    if q >= 1:
+        t = 2 * q - 1
+        if t.denominator == 1:
+            c = int(t)
+            _require_ordinal(c, component)
+            return (c,)
+        c = int(t.numerator // t.denominator)
+    else:
+        e = _floor_log2(q)
+        if _is_power_of_two(q):
+            c = e + 1
+            _require_ordinal(c, component)
+            return (c,)
+        c = e + 1
+    if c % 2 != 0:
+        raise NumberingError(f"component {component!r} is not a careting image")
+    raws.append(c)
+    remainder = (q - _h(c)) / (_h(c + 1) - _h(c))
+    while True:
+        c, remainder = _unfold01_step(remainder, component)
+        raws.append(c)
+        if remainder is None:
+            return tuple(raws)
+
+
+def _unfold01_step(r: Fraction, original):
+    """One G-inversion step: returns ``(raw, next_remainder_or_None)``."""
+    if not 0 < r < 1:
+        raise NumberingError(f"component {original!r} is not a careting image")
+    if r >= Fraction(1, 2):
+        complement = _ONE - r
+        if _is_power_of_two(complement):
+            c = -_floor_log2(complement) - 1
+            _require_ordinal(c, original)
+            return c, None
+        c = -_floor_log2(complement) - 2
+    else:
+        e = _floor_log2(r)
+        if _is_power_of_two(r):
+            c = e + 1
+            _require_ordinal(c, original)
+            return c, None
+        c = e + 1
+    if c % 2 != 0:
+        raise NumberingError(f"component {original!r} is not a careting image")
+    return c, (r - _g(c)) / (_g(c + 1) - _g(c))
+
+
+def _require_ordinal(c: int, original) -> None:
+    if c % 2 == 0:
+        raise NumberingError(f"component {original!r} is not a careting image")
+
+
+# ---------------------------------------------------------------------------
+# minting: the only three ways a new sibling component is ever created
+# ---------------------------------------------------------------------------
+
+
+def component_between(left, right):
+    """A fresh component strictly between two sibling components, minted
+    by the ORDPATH ``between`` primitive — no extant component changes."""
+    if not left < right:
+        raise NumberingError(f"cannot mint between {left!r} and {right!r}")
+    minted = between(OrdPbn(*unfold(left)), OrdPbn(*unfold(right)))
+    return fold(minted.raw)
+
+
+def component_before(component):
+    """A fresh component strictly below ``component`` (still positive)."""
+    minted = before(OrdPbn(*unfold(component)))
+    return fold(minted.raw)
+
+
+def component_after(component):
+    """A fresh component strictly above ``component``; for an integer last
+    child ``k`` this is exactly ``k + 1`` (plain append stays integral)."""
+    minted = after(OrdPbn(*unfold(component)))
+    return fold(minted.raw)

@@ -1,0 +1,96 @@
+"""Fault injection for the durable update path.
+
+The recovery guarantees in :mod:`repro.updates.durable` are only worth
+what the tests can break.  This module gives them the knobs:
+
+* :class:`FaultInjector` — arms named *crash points* inside the WAL
+  writer and checkpointer; when execution reaches an armed point a
+  :class:`SimulatedCrash` is raised, leaving files exactly as a process
+  kill at that instant would (buffers are flushed before every point, so
+  the bytes on disk are deterministic);
+* :func:`torn_tail` — chops bytes off the end of a file, simulating a
+  crash mid-``write`` that the page cache never completed;
+* :func:`flip_bit` — flips one bit, simulating media corruption.
+
+Crash-point names used by the library::
+
+    wal.before_append    nothing written yet
+    wal.mid_write        a partial frame is on disk
+    wal.after_write      full frame written, fsync not reached
+    wal.after_fsync      record durable, caller never saw success
+    checkpoint.before_replace   new image written to temp file only
+    checkpoint.after_replace    image replaced, WAL not yet reset
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ReproError
+
+CRASH_POINTS = (
+    "wal.before_append",
+    "wal.mid_write",
+    "wal.after_write",
+    "wal.after_fsync",
+    "checkpoint.before_replace",
+    "checkpoint.after_replace",
+)
+
+
+class SimulatedCrash(ReproError):
+    """Raised at an armed crash point; models sudden process death."""
+
+
+class FaultInjector:
+    """Arms crash points by name, optionally after N passes.
+
+    ``injector.arm("wal.after_write")`` makes the next pass through that
+    point raise; ``arm(point, after=3)`` lets two passes through first.
+    A fired point disarms itself, so recovery code reusing the same
+    injector does not crash again.
+    """
+
+    def __init__(self) -> None:
+        self._armed: dict[str, int] = {}
+        self.fired: list[str] = []
+
+    def arm(self, point: str, after: int = 1) -> None:
+        if point not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {point!r}")
+        if after < 1:
+            raise ValueError("after must be >= 1")
+        self._armed[point] = after
+
+    def hit(self, point: str) -> None:
+        """Called by the durable path; raises if ``point`` is armed."""
+        remaining = self._armed.get(point)
+        if remaining is None:
+            return
+        if remaining > 1:
+            self._armed[point] = remaining - 1
+            return
+        del self._armed[point]
+        self.fired.append(point)
+        raise SimulatedCrash(point)
+
+
+def torn_tail(path: str, drop_bytes: int) -> None:
+    """Truncate ``drop_bytes`` off the end of ``path`` (simulated torn
+    final write)."""
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(max(0, size - drop_bytes))
+
+
+def flip_bit(path: str, offset: int, bit: int = 0) -> None:
+    """Flip one bit of the byte at ``offset`` (negative offsets count
+    from the end of the file)."""
+    with open(path, "r+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        position = offset if offset >= 0 else size + offset
+        handle.seek(position)
+        byte = handle.read(1)[0]
+        handle.seek(position)
+        handle.write(bytes([byte ^ (1 << bit)]))

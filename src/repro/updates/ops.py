@@ -1,0 +1,127 @@
+"""The logical update operations and their WAL serialization.
+
+Three operations cover the paper's update story (Section 3 delegates
+sibling insertion to careting; everything else is composition):
+
+* :class:`InsertSubtree` — parse a well-formed XML fragment and attach it
+  as a new child subtree, positioned as last child, or before / after a
+  given sibling;
+* :class:`DeleteSubtree` — remove a node and everything below it;
+* :class:`ReplaceText` — overwrite the value of a text or attribute node.
+
+Each op is a frozen dataclass with an exact JSON round-trip
+(:meth:`UpdateOp.to_json` / :func:`op_from_json`) — the WAL stores the
+*logical* operation, not physical page images, so redo is deterministic
+replay through the same mutation code the live path uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import UpdateError
+from repro.pbn.number import Pbn
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """Base class for logical update operations."""
+
+    def to_json(self) -> dict:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class InsertSubtree(UpdateOp):
+    """Insert ``fragment`` (one well-formed element) under ``parent``.
+
+    Exactly one position is used: ``before``/``after`` name an existing
+    child of ``parent`` (at most one may be set); with neither set the
+    fragment becomes the last content child.
+    """
+
+    parent: Pbn
+    fragment: str
+    before: Optional[Pbn] = None
+    after: Optional[Pbn] = None
+
+    def __post_init__(self) -> None:
+        if self.before is not None and self.after is not None:
+            raise UpdateError("insert position is ambiguous: both before and after set")
+
+    def to_json(self) -> dict:
+        payload = {
+            "op": "insert",
+            "parent": str(self.parent),
+            "fragment": self.fragment,
+        }
+        if self.before is not None:
+            payload["before"] = str(self.before)
+        if self.after is not None:
+            payload["after"] = str(self.after)
+        return payload
+
+    def describe(self) -> str:
+        if self.before is not None:
+            return f"insert before {self.before}"
+        if self.after is not None:
+            return f"insert after {self.after}"
+        return f"insert under {self.parent}"
+
+
+@dataclass(frozen=True)
+class DeleteSubtree(UpdateOp):
+    """Delete the node numbered ``target`` and its whole subtree."""
+
+    target: Pbn
+
+    def to_json(self) -> dict:
+        return {"op": "delete", "target": str(self.target)}
+
+    def describe(self) -> str:
+        return f"delete {self.target}"
+
+
+@dataclass(frozen=True)
+class ReplaceText(UpdateOp):
+    """Overwrite the value of the text or attribute node ``target``."""
+
+    target: Pbn
+    text: str
+
+    def to_json(self) -> dict:
+        return {"op": "replace", "target": str(self.target), "text": self.text}
+
+    def describe(self) -> str:
+        return f"replace text of {self.target}"
+
+
+def op_from_json(payload: dict) -> UpdateOp:
+    """Inverse of :meth:`UpdateOp.to_json`.
+
+    :raises UpdateError: on unknown or malformed payloads.
+    """
+    try:
+        kind = payload["op"]
+        if kind == "insert":
+            return InsertSubtree(
+                parent=Pbn.parse(payload["parent"]),
+                fragment=payload["fragment"],
+                before=(
+                    Pbn.parse(payload["before"]) if "before" in payload else None
+                ),
+                after=Pbn.parse(payload["after"]) if "after" in payload else None,
+            )
+        if kind == "delete":
+            return DeleteSubtree(target=Pbn.parse(payload["target"]))
+        if kind == "replace":
+            return ReplaceText(
+                target=Pbn.parse(payload["target"]), text=payload["text"]
+            )
+    except KeyError as exc:
+        raise UpdateError(f"malformed update payload: missing {exc}") from exc
+    raise UpdateError(f"unknown update op {payload.get('op')!r}")

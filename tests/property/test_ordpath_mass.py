@@ -1,0 +1,114 @@
+"""Mass randomized insertion sequences over the ORDPATH primitives.
+
+The hypothesis suite (test_ordpath_properties) explores small scripts
+with shrinking; this suite complements it with *volume*: thousands of
+seeded random insertion sequences, plus adversarial single-gap and
+front-loading patterns, checking the three contracts the update
+subsystem stands on — total order preserved, extant numbers unchanged,
+level stable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.pbn.ordpath import OrdPbn, after, before, between, initial_numbering
+
+
+def _random_sequence(rng: random.Random, operations: int, start: int = 3):
+    """Run ``operations`` random sibling inserts; assert the contracts
+    after every single operation (extant set checked at the end)."""
+    numbers = initial_numbering(start)
+    extant: list[OrdPbn] = list(numbers)
+    for _ in range(operations):
+        index = rng.randrange(len(numbers) + 1)
+        if index == 0:
+            new = before(numbers[0])
+        elif index == len(numbers):
+            new = after(numbers[-1])
+        else:
+            new = between(numbers[index - 1], numbers[index])
+        numbers.insert(index, new)
+    return numbers, extant
+
+
+def test_two_thousand_random_sequences():
+    rng = random.Random(20140605)  # the paper's publication year, roughly
+    for round_number in range(2000):
+        numbers, extant = _random_sequence(rng, operations=rng.randrange(1, 24))
+        # total order preserved, no collisions
+        assert numbers == sorted(numbers)
+        assert len(set(numbers)) == len(numbers)
+        # extant numbers unchanged: the initial numbering is still there
+        survivors = set(numbers)
+        assert all(number in survivors for number in extant)
+        # level stable: every mint is a level-1 sibling
+        assert all(number.level == 1 for number in numbers)
+
+
+def test_long_sequence_with_interleaved_levels():
+    """One deep run: inserts at two tree levels, 3000 operations."""
+    rng = random.Random(99)
+    roots = initial_numbering(2)
+    children = {root: initial_numbering(2, parent=root) for root in roots}
+    for _ in range(3000):
+        if rng.random() < 0.5:
+            index = rng.randrange(len(roots) + 1)
+            if index == 0:
+                new = before(roots[0])
+            elif index == len(roots):
+                new = after(roots[-1])
+            else:
+                new = between(roots[index - 1], roots[index])
+            roots.insert(index, new)
+            children[new] = initial_numbering(2, parent=new)
+        else:
+            root = roots[rng.randrange(len(roots))]
+            siblings = children[root]
+            index = rng.randrange(len(siblings) + 1)
+            if index == 0:
+                new = before(siblings[0])
+            elif index == len(siblings):
+                new = after(siblings[-1])
+            else:
+                new = between(siblings[index - 1], siblings[index])
+            siblings.insert(index, new)
+    assert roots == sorted(roots)
+    assert all(number.level == 1 for number in roots)
+    for root, siblings in children.items():
+        assert siblings == sorted(siblings)
+        for child in siblings:
+            assert child.level == 2
+            assert root.is_parent_of(child)
+    # global document order: parents immediately precede their subtrees
+    flat = []
+    for root in roots:
+        flat.append(root)
+        flat.extend(children[root])
+    assert flat == sorted(flat)
+
+
+def test_adversarial_single_gap_hammering():
+    """Every insert lands in the same gap — the worst case for component
+    growth; order and extant stability must still hold exactly."""
+    numbers = initial_numbering(2)
+    left, right = numbers
+    minted = []
+    for _ in range(500):
+        new = between(left, right)
+        assert left < new < right
+        minted.append(new)
+        left = new  # always split the right-hand remainder
+    assert minted == sorted(minted)
+    assert len(set(minted)) == len(minted)
+    assert all(number.level == 1 for number in minted)
+    assert initial_numbering(2) == numbers  # inputs untouched
+
+
+def test_adversarial_prepend_storm():
+    numbers = initial_numbering(1)
+    for _ in range(500):
+        numbers.insert(0, before(numbers[0]))
+    assert numbers == sorted(numbers)
+    assert len(set(numbers)) == len(numbers)
+    assert numbers[-1] == OrdPbn(1)  # the extant number survived

@@ -2,13 +2,24 @@
 
 import io
 import struct
+import zlib
 
 import pytest
 
 from repro.errors import StorageError
+from repro.pbn.codec import encode_pbn
 from repro.pbn.number import Pbn
 from repro.query.engine import Engine
-from repro.storage.persist import dump_store, load_store, parse_store, save_store
+from repro.storage.persist import (
+    _ENTRY,
+    _KIND_CODES,
+    dump_store,
+    load_store,
+    load_store_ex,
+    parse_store,
+    parse_store_ex,
+    save_store,
+)
 from repro.storage.store import DocumentStore
 from repro.workloads.books import books_document, paper_figure2
 from repro.xmlmodel.serializer import serialize
@@ -76,18 +87,146 @@ def test_truncated_image_rejected():
         parse_store(io.BytesIO(truncated))
 
 
-def test_tampered_text_rejected():
-    """Changing the heap text without fixing the node table must fail the
-    verification pass, not silently answer from wrong offsets."""
+def _section_offsets(image: bytes) -> list[tuple[int, int]]:
+    """``(payload_offset, payload_length)`` for each CRC-framed v2 section."""
+    offsets = []
+    cursor = 6  # past magic + version
+    while cursor < len(image):
+        length, _crc = struct.unpack_from("<II", image, cursor)
+        offsets.append((cursor + 8, length))
+        cursor += 8 + length
+    return offsets
+
+
+def test_tampered_text_rejected_by_crc():
+    """Flipping a byte of the heap text must fail the text section's
+    checksum — before any node is served."""
     store = DocumentStore(paper_figure2())
     buffer = io.BytesIO()
     dump_store(store, buffer)
     image = bytearray(buffer.getvalue())
-    # Flip 'X' (a title's text) to a longer entity, shifting offsets.
+    index = image.find(b"<title>X</title>")
+    assert index > 0
+    image[index + 7] = ord(b"Y")
+    with pytest.raises(StorageError, match="checksum"):
+        parse_store(io.BytesIO(bytes(image)))
+
+
+def test_tampered_text_with_fixed_crc_rejected_by_verify():
+    """An adversary who also recomputes the CRC is still caught: the node
+    table no longer matches the re-serialized tree."""
+    store = DocumentStore(paper_figure2())
+    buffer = io.BytesIO()
+    dump_store(store, buffer)
+    image = bytearray(buffer.getvalue())
+    sections = _section_offsets(bytes(image))
+    text_offset, text_length = sections[1]
+    index = image.find(b"<title>X</title>")
+    assert text_offset <= index < text_offset + text_length
+    # Swap the two title texts' wrapping tags structurally: turn <title>
+    # into <titlf> (same length, well-formed, but a different type table
+    # and node spans than the image claims).
+    image[index + 5] = ord(b"f")
+    end = image.find(b"</title>", index)
+    image[end + 6] = ord(b"f")
+    struct.pack_into(
+        "<I",
+        image,
+        text_offset - 4,
+        zlib.crc32(bytes(image[text_offset : text_offset + text_length])),
+    )
+    with pytest.raises(StorageError):
+        parse_store(io.BytesIO(bytes(image)))
+
+
+def test_every_section_crc_is_checked():
+    """Corrupting any one section's payload trips its own checksum."""
+    store = DocumentStore(paper_figure2())
+    buffer = io.BytesIO()
+    dump_store(store, buffer)
+    image = buffer.getvalue()
+    for payload_offset, payload_length in _section_offsets(image):
+        if payload_length == 0:
+            continue
+        corrupt = bytearray(image)
+        corrupt[payload_offset] ^= 0x40
+        with pytest.raises(StorageError, match="checksum"):
+            parse_store(io.BytesIO(bytes(corrupt)))
+
+
+def test_applied_seq_roundtrip():
+    store = DocumentStore(paper_figure2())
+    buffer = io.BytesIO()
+    dump_store(store, buffer, applied_seq=41)
+    buffer.seek(0)
+    _loaded, seq = parse_store_ex(buffer)
+    assert seq == 41
+
+
+def test_save_load_ex_file(tmp_path):
+    store = DocumentStore(paper_figure2())
+    path = str(tmp_path / "books.vpbn")
+    save_store(store, path, applied_seq=7)
+    loaded, seq = load_store_ex(path)
+    assert seq == 7
+    assert serialize(loaded.document) == serialize(store.document)
+
+
+def _dump_v1(store: DocumentStore) -> bytes:
+    """The version-1 writer, reproduced so v1 compatibility stays tested
+    after the writer moved to version 2."""
+    out = io.BytesIO()
+
+    def write_str(text: str) -> None:
+        data = text.encode("utf-8")
+        out.write(struct.pack("<I", len(data)))
+        out.write(data)
+
+    out.write(b"VPBN")
+    out.write(struct.pack("<H", 1))
+    write_str(store.document.uri)
+    write_str(store.heap.read_all())
+    out.write(struct.pack("<I", len(store.types_by_id)))
+    for guide_type in store.types_by_id:
+        write_str(guide_type.dotted())
+    entries = list(store.value_index.subtree_all())
+    out.write(struct.pack("<I", len(entries)))
+    for number, entry in entries:
+        blob = encode_pbn(number)
+        out.write(struct.pack("<I", len(blob)))
+        out.write(blob)
+        out.write(
+            _ENTRY.pack(
+                entry.type_id,
+                _KIND_CODES[entry.kind],
+                entry.start,
+                entry.end,
+                entry.content_start,
+                entry.content_end,
+            )
+        )
+    return out.getvalue()
+
+
+def test_v1_image_still_loads():
+    store = DocumentStore(books_document(8, seed=9))
+    image = _dump_v1(store)
+    loaded, seq = parse_store_ex(io.BytesIO(image))
+    assert seq == 0
+    assert serialize(loaded.document) == serialize(store.document)
+    assert [t.dotted() for t in loaded.types_by_id] == [
+        t.dotted() for t in store.types_by_id
+    ]
+
+
+def test_v1_tampered_text_rejected():
+    """The original v1 tampering scenario: shift offsets by swapping text
+    for a longer entity and fix the length prefix."""
+    store = DocumentStore(paper_figure2())
+    image = bytearray(_dump_v1(store))
     index = image.find(b"<title>X</title>")
     assert index > 0
     image[index + 7 : index + 8] = b"&amp;"
-    # Patch the string length prefix accordingly.
     uri_len = struct.unpack_from("<I", image, 6)[0]
     text_len_offset = 6 + 4 + uri_len
     old_len = struct.unpack_from("<I", image, text_len_offset)[0]

@@ -1,0 +1,97 @@
+"""The ψ fold: ORDPATH caret runs as dyadic rational PBN components."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import NumberingError
+from repro.updates.careting import (
+    component_after,
+    component_before,
+    component_between,
+    fold,
+    unfold,
+)
+
+
+def test_fold_is_identity_on_extant_ordinals():
+    """The dense ordinal v loads as the careting image 2v-1; folding it
+    must give back exactly the integer v — stored numbers never change."""
+    for v in range(1, 200):
+        assert fold((2 * v - 1,)) == v
+        assert isinstance(fold((2 * v - 1,)), int)
+
+
+def test_unfold_inverts_fold_on_minted_components():
+    rng = random.Random(11)
+    components = [Fraction(v) for v in range(1, 6)]
+    for _ in range(500):
+        choice = rng.random()
+        if choice < 0.4:
+            index = rng.randrange(len(components) - 1)
+            new = component_between(components[index], components[index + 1])
+        elif choice < 0.7:
+            new = component_before(components[0])
+        else:
+            new = component_after(components[-1])
+        assert fold(unfold(new)) == new
+        components.append(new)
+        components.sort()
+
+
+def test_component_after_extends_extant_integers_densely():
+    """Appending after the extant integer k mints k+1, so pure appends
+    reproduce the initial dense numbering."""
+    for k in range(1, 50):
+        assert component_after(k) == k + 1
+
+
+def test_between_is_strictly_inside():
+    rng = random.Random(7)
+    pairs = [(Fraction(1), Fraction(2))]
+    for _ in range(300):
+        left, right = pairs[rng.randrange(len(pairs))]
+        middle = component_between(left, right)
+        assert left < middle < right
+        pairs.append((left, middle))
+        pairs.append((middle, right))
+
+
+def test_minted_components_are_dyadic():
+    """Every minted value must be a dyadic rational — the key codec can
+    only serialize power-of-two denominators order-preservingly."""
+    rng = random.Random(3)
+    components = [Fraction(1), Fraction(2)]
+    for _ in range(300):
+        index = rng.randrange(len(components) - 1)
+        new = component_between(components[index], components[index + 1])
+        denominator = Fraction(new).denominator
+        assert denominator & (denominator - 1) == 0
+        components.insert(index + 1, new)
+
+
+def test_order_isomorphism_on_random_insertions():
+    """Tuple order of unfolded caret runs == numeric order of folds."""
+    rng = random.Random(19)
+    components = [Fraction(v) for v in range(1, 4)]
+    for _ in range(400):
+        index = rng.randrange(len(components) + 1)
+        if index == 0:
+            new = component_before(components[0])
+        elif index == len(components):
+            new = component_after(components[-1])
+        else:
+            new = component_between(components[index - 1], components[index])
+        components.insert(index, new)
+    raws = [unfold(Fraction(c)) for c in components]
+    assert raws == sorted(raws)
+    assert components == sorted(components)
+    assert len(set(components)) == len(components)
+
+
+def test_unfold_rejects_non_dyadic():
+    with pytest.raises(NumberingError):
+        unfold(Fraction(1, 3))

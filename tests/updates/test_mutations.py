@@ -1,0 +1,199 @@
+"""Copy-on-write mutations: splice shapes, index maintenance, snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError, StorageError, UpdateError
+from repro.pbn.number import Pbn
+from repro.storage.store import DocumentStore
+from repro.updates.mutations import apply_op, verify_store
+from repro.updates.ops import DeleteSubtree, InsertSubtree, ReplaceText
+from repro.xmlmodel.parser import parse_document
+
+
+def _store(text: str = '<doc><a x="1">hello</a><b/><c>tail</c></doc>') -> DocumentStore:
+    return DocumentStore(parse_document(text, "t.xml"))
+
+
+def _apply(store, op):
+    result = apply_op(store, op)
+    verify_store(result.store)
+    return result
+
+
+def test_append_insert_mints_next_integer():
+    store = _store()
+    result = _apply(store, InsertSubtree(parent=Pbn.parse("1"), fragment="<d>x</d>"))
+    assert [str(n) for n in result.minted] == ["1.4", "1.4.1"]
+    assert result.store.heap.read_all() == (
+        '<doc><a x="1">hello</a><b/><c>tail</c><d>x</d></doc>'
+    )
+    assert result.store.version == store.version + 1
+
+
+def test_insert_before_first_and_after_mint_rationals():
+    store = _store()
+    before = _apply(
+        store,
+        InsertSubtree(parent=Pbn.parse("1"), fragment="<z/>", before=Pbn.parse("1.1")),
+    )
+    (minted,) = before.minted
+    assert minted < Pbn.parse("1.1")
+    assert Pbn.parse("1").is_prefix_of(minted)
+    after = _apply(
+        store,
+        InsertSubtree(parent=Pbn.parse("1"), fragment="<z/>", after=Pbn.parse("1.1")),
+    )
+    (minted,) = after.minted
+    assert Pbn.parse("1.1") < minted < Pbn.parse("1.2")
+    assert after.store.heap.read_all() == (
+        '<doc><a x="1">hello</a><z/><b/><c>tail</c></doc>'
+    )
+
+
+def test_insert_between_minted_neighbours_converges():
+    """Repeated insertion at the same gap keeps minting fresh, ordered,
+    never-colliding numbers (the careting substrate end to end)."""
+    store = _store("<doc><l/><r/></doc>")
+    left = Pbn.parse("1.1")
+    seen = {left, Pbn.parse("1.2")}
+    for _ in range(12):
+        result = _apply(
+            store, InsertSubtree(parent=Pbn.parse("1"), fragment="<m/>", after=left)
+        )
+        (minted,) = result.minted
+        assert minted not in seen
+        assert left < minted < Pbn.parse("1.2")
+        seen.add(minted)
+        store = result.store
+        left = minted
+    assert store.heap.read_all() == "<doc><l/>" + "<m/>" * 12 + "<r/></doc>"
+
+
+def test_insert_into_self_closing_parent():
+    store = _store()
+    result = _apply(store, InsertSubtree(parent=Pbn.parse("1.2"), fragment="<k/>"))
+    assert result.store.heap.read_all() == (
+        '<doc><a x="1">hello</a><b><k/></b><c>tail</c></doc>'
+    )
+    assert [str(n) for n in result.minted] == ["1.2.1"]
+
+
+def test_insert_rejects_position_before_attributes():
+    store = _store()
+    with pytest.raises(UpdateError):
+        apply_op(
+            store,
+            InsertSubtree(
+                parent=Pbn.parse("1.1"), fragment="<k/>", before=Pbn.parse("1.1.1")
+            ),
+        )
+
+
+def test_insert_rejects_malformed_fragments():
+    store = _store()
+    with pytest.raises(ReproError):  # parser refuses a second root
+        apply_op(store, InsertSubtree(parent=Pbn.parse("1"), fragment="<x/><y/>"))
+    with pytest.raises(ReproError):
+        apply_op(store, InsertSubtree(parent=Pbn.parse("1"), fragment="<x>"))
+
+
+def test_insert_rejects_unknown_parent_and_sibling():
+    store = _store()
+    with pytest.raises(StorageError):
+        apply_op(store, InsertSubtree(parent=Pbn.parse("9"), fragment="<x/>"))
+    with pytest.raises(UpdateError):
+        apply_op(
+            store,
+            InsertSubtree(
+                parent=Pbn.parse("1"), fragment="<x/>", before=Pbn.parse("1.3.1")
+            ),
+        )
+
+
+def test_delete_subtree_and_adjacent_text_survives():
+    store = _store()
+    result = _apply(store, DeleteSubtree(target=Pbn.parse("1.1")))
+    assert result.store.heap.read_all() == "<doc><b/><c>tail</c></doc>"
+    assert len(result.removed) == 3  # a, @x, its text
+    assert result.store.node(Pbn.parse("1.3.1")).value == "tail"
+
+
+def test_delete_attribute_removes_preceding_space():
+    store = _store()
+    result = _apply(store, DeleteSubtree(target=Pbn.parse("1.1.1")))
+    assert result.store.heap.read_all() == "<doc><a>hello</a><b/><c>tail</c></doc>"
+
+
+def test_delete_last_content_child_collapses_to_self_closing():
+    store = _store()
+    result = _apply(store, DeleteSubtree(target=Pbn.parse("1.3.1")))
+    assert result.store.heap.read_all() == '<doc><a x="1">hello</a><b/><c/></doc>'
+
+
+def test_delete_root_is_rejected():
+    store = _store()
+    with pytest.raises(UpdateError):
+        apply_op(store, DeleteSubtree(target=Pbn.parse("1")))
+
+
+def test_replace_text_escapes():
+    store = _store()
+    result = _apply(store, ReplaceText(target=Pbn.parse("1.1.2"), text="a < b & c"))
+    assert result.store.heap.read_all() == (
+        '<doc><a x="1">a &lt; b &amp; c</a><b/><c>tail</c></doc>'
+    )
+    assert result.store.node(Pbn.parse("1.1.2")).value == "a < b & c"
+
+
+def test_replace_attribute_escapes_quotes():
+    store = _store()
+    result = _apply(store, ReplaceText(target=Pbn.parse("1.1.1"), text='say "hi"'))
+    assert result.store.heap.read_all() == (
+        '<doc><a x="say &quot;hi&quot;">hello</a><b/><c>tail</c></doc>'
+    )
+
+
+def test_replace_rejects_elements():
+    store = _store()
+    with pytest.raises(UpdateError):
+        apply_op(store, ReplaceText(target=Pbn.parse("1.2"), text="no"))
+
+
+def test_old_version_is_untouched():
+    store = _store()
+    image = store.heap.read_all()
+    nodes = dict(store._node_by_key)
+    result = apply_op(store, DeleteSubtree(target=Pbn.parse("1.1")))
+    result = apply_op(
+        result.store, InsertSubtree(parent=Pbn.parse("1"), fragment="<d/>")
+    )
+    assert store.heap.read_all() == image
+    assert store._node_by_key == nodes
+    assert store.node(Pbn.parse("1.1")).tag == "a"
+    verify_store(store)
+
+
+def test_indexes_follow_the_mutation():
+    store = _store()
+    result = _apply(store, InsertSubtree(parent=Pbn.parse("1"), fragment="<d>new words</d>"))
+    derived = result.store
+    # value index serves the minted nodes' spans
+    entry = derived.value_index.lookup(Pbn.parse("1.4"))
+    assert derived.heap.read_all()[entry.start : entry.end] == "<d>new words</d>"
+    # type index gained the new type's posting
+    d_type = derived.guide.lookup_path(("doc", "d"))
+    assert d_type is not None and d_type.count == 1
+    # untouched type postings are shared with the base version by identity
+    a_id = store.type_id(store.guide.lookup_path(("doc", "a")))
+    d_a_id = derived.type_id(derived.guide.lookup_path(("doc", "a")))
+    assert derived.type_index._postings[d_a_id] is store.type_index._postings[a_id]
+
+
+def test_heap_pages_before_splice_are_shared():
+    text = "<doc>" + "".join(f"<p>{i:04d}</p>" for i in range(600)) + "</doc>"
+    store = DocumentStore(parse_document(text, "t.xml"), page_size=256)
+    result = _apply(store, InsertSubtree(parent=Pbn.parse("1"), fragment="<q/>"))
+    shared = result.store.heap.shared_page_prefix(store.heap)
+    assert shared > 0.9 * store.heap.page_count
