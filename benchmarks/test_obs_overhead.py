@@ -1,0 +1,88 @@
+"""Observability overhead: tracing disabled vs sampled at 1%.
+
+The issue's bar: instrumentation may not tax the E13 warm query path or
+the E14 durable update path by more than 5% when tracing is disabled,
+and sampling 1% of requests must stay inside the same envelope (the
+per-request cost amortizes across the 99 untraced requests).
+
+These are ratio assertions, so they use best-of-R totals over a batch of
+requests rather than the ``benchmark`` fixture (which times one
+configuration per test).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.service import QueryService
+from repro.workloads.books import books_document
+from repro.workloads import queries as Q
+
+_QUERY = Q.instantiate(
+    Q.BOOKS_INVERT.queries["names"],
+    Q.virtual_source("book.xml", Q.BOOKS_INVERT.spec),
+)
+
+_OVERHEAD_BUDGET = 1.05
+_REQUESTS = 60
+_REPEATS = 5
+
+
+def _service(trace_sample: float, durable_dir=None) -> QueryService:
+    service = QueryService(pool_size=1, trace_sample=trace_sample)
+    if durable_dir is not None:
+        from repro.updates.durable import DurableStore
+
+        DurableStore.create(str(durable_dir), books_document(100, seed=2)).close()
+        service.open_durable(str(durable_dir))
+    else:
+        service.load("book.xml", books_document(100, seed=2))
+    return service
+
+
+def _best_total(run, requests: int = _REQUESTS, repeats: int = _REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(requests):
+            run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_sampled_tracing_overhead_on_warm_queries():
+    disabled = _service(trace_sample=0.0)
+    sampled = _service(trace_sample=0.01)
+    for service in (disabled, sampled):
+        service.execute(_QUERY)  # prime plan/view caches: E13 warm path
+    baseline = _best_total(lambda: disabled.execute(_QUERY))
+    traced = _best_total(lambda: sampled.execute(_QUERY))
+    assert sampled.tracer.counts()["admitted"] >= _REQUESTS
+    ratio = traced / baseline
+    assert ratio < _OVERHEAD_BUDGET, (
+        f"1%-sampled warm queries cost {ratio:.3f}x the untraced baseline "
+        f"({traced:.4f}s vs {baseline:.4f}s over {_REQUESTS} requests)"
+    )
+
+
+def test_sampled_tracing_overhead_on_durable_updates(tmp_path):
+    from repro.updates.ops import InsertSubtree
+    from repro.pbn.number import Pbn
+
+    disabled = _service(trace_sample=0.0, durable_dir=tmp_path / "off")
+    sampled = _service(trace_sample=0.01, durable_dir=tmp_path / "on")
+    op = InsertSubtree(
+        parent=Pbn.parse("1"), fragment="<book><title>Obs</title></book>"
+    )
+
+    def runner(service):
+        uri = service.uris()[0]
+        return lambda: service.update(uri, op)
+
+    baseline = _best_total(runner(disabled), requests=20, repeats=3)
+    traced = _best_total(runner(sampled), requests=20, repeats=3)
+    ratio = traced / baseline
+    assert ratio < _OVERHEAD_BUDGET, (
+        f"1%-sampled durable updates cost {ratio:.3f}x the untraced "
+        f"baseline ({traced:.4f}s vs {baseline:.4f}s over 20 updates)"
+    )

@@ -13,6 +13,11 @@ Commands
     ``--books N`` / ``--auction N`` / ``--dblp N`` load synthetic datasets
     under ``book.xml`` / ``auction.xml`` / ``dblp.xml`` instead of files.
 
+    ``--explain-analyze`` runs the query under a forced trace and prints
+    the measured per-operator profile (calls, wall time, exclusive page
+    reads / comparisons, virtual-vs-stored navigation split) after the
+    result — see ``docs/OBSERVABILITY.md``.
+
 ``explain``
     Print the parsed expression tree of a query.
 
@@ -53,6 +58,16 @@ Commands
 
     ``--durable URI=DIR`` opens a durable store directory; ``POST
     /update`` against its uri is WAL-logged and crash-safe.
+
+    ``--trace-sample`` / ``--slow-query-ms`` / ``--trace-buffer``
+    configure end-to-end tracing (``GET /debug/traces``; slow requests
+    are logged with their span tree).
+
+``traces``
+    Fetch and render a running server's trace ring buffer::
+
+        python -m repro traces --url http://127.0.0.1:8080
+        python -m repro traces --slow
 
 ``bench``
     Alias for ``python -m repro.bench`` (the experiment suite).
@@ -100,6 +115,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print string values, one per line, instead of XML")
     query.add_argument("--stats", action="store_true",
                        help="print logical cost counters after the result")
+    query.add_argument("--explain-analyze", action="store_true",
+                       help="trace the run and print the per-operator "
+                            "profile (time, page reads, comparisons)")
 
     explain = sub.add_parser("explain", help="print the parsed expression tree")
     explain.add_argument("text", help="the query")
@@ -167,6 +185,24 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--mode", choices=["indexed", "tree"], default="indexed")
     serve.add_argument("--threads", type=int, default=4,
                        help="engine pool size / max concurrent queries")
+    serve.add_argument("--trace-sample", type=float, default=0.01,
+                       metavar="RATE",
+                       help="fraction of requests traced end to end "
+                            "(0 disables tracing; default 0.01)")
+    serve.add_argument("--slow-query-ms", type=float, default=500.0,
+                       metavar="MS",
+                       help="requests at least this slow land in the slow "
+                            "log with their span tree (0 disables)")
+    serve.add_argument("--trace-buffer", type=int, default=64,
+                       help="ring-buffer capacity for recent/slow traces")
+
+    traces = sub.add_parser(
+        "traces", help="fetch and render a running server's traces"
+    )
+    traces.add_argument("--url", default="http://127.0.0.1:8080",
+                        help="server base url (default http://127.0.0.1:8080)")
+    traces.add_argument("--slow", action="store_true",
+                        help="show the slow-query log instead of recent traces")
 
     sub.add_parser("bench", help="run the experiment suite (see repro.bench)")
     return parser
@@ -247,11 +283,22 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "update":
         return _run_update(args)
 
+    if args.command == "traces":
+        return _run_traces(args)
+
     if args.command == "serve":
         from repro.service import QueryService
         from repro.service.server import serve_forever
 
-        service = QueryService(pool_size=args.threads, mode=args.mode)
+        service = QueryService(
+            pool_size=args.threads,
+            mode=args.mode,
+            trace_sample=args.trace_sample,
+            trace_buffer=args.trace_buffer,
+            slow_query_s=(
+                args.slow_query_ms / 1e3 if args.slow_query_ms > 0 else None
+            ),
+        )
         uris = _load_documents(service, args)
         for spec in args.durable:
             if "=" in spec:
@@ -277,12 +324,20 @@ def _dispatch(args: argparse.Namespace) -> int:
         if not uris:
             print("note: no documents loaded; doc()/virtualDoc() will fail",
                   file=sys.stderr)
-        result = engine.execute(args.text, mode=args.mode)
+        if args.explain_analyze:
+            from repro.obs.profile import build_profile, render_profile
+
+            result, trace = engine.explain_analyze(args.text, mode=args.mode)
+        else:
+            result = engine.execute(args.text, mode=args.mode)
         if args.values:
             for value in result.values():
                 print(value)
         else:
             print(result.to_xml())
+        if args.explain_analyze:
+            print()
+            print(render_profile(build_profile(trace)))
         if args.stats:
             for name, value in engine.stats.snapshot().items():
                 print(f"# {name}: {value}", file=sys.stderr)
@@ -407,6 +462,27 @@ def _run_update(args: argparse.Namespace) -> int:
               f"nodes={durable.store.size_summary()['nodes']}")
     finally:
         durable.close()
+    return 0
+
+
+def _run_traces(args: argparse.Namespace) -> int:
+    import json
+    from urllib.request import urlopen
+
+    from repro.obs.profile import render_trace
+
+    url = args.url.rstrip("/") + "/debug/traces"
+    with urlopen(url) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    kind = "slow" if args.slow else "recent"
+    traces = payload.get(kind, [])
+    counts = payload.get("counts", {})
+    print(f"# {len(traces)} {kind} trace(s); "
+          f"sampled {counts.get('sampled', '?')} of "
+          f"{counts.get('admitted', '?')} admitted requests")
+    for trace in traces:
+        print(render_trace(trace))
+        print()
     return 0
 
 

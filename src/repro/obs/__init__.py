@@ -1,0 +1,59 @@
+"""Observability: tracing, EXPLAIN ANALYZE profiles, Prometheus exposition.
+
+Three zero-dependency modules the whole stack reports into:
+
+* :mod:`repro.obs.trace` — thread-local spans, a sampling
+  :class:`~repro.obs.trace.Tracer` with a ring buffer of recent traces
+  and a slow-query log;
+* :mod:`repro.obs.profile` — aggregates one query's trace into a
+  plan-shaped profile (``repro query --explain-analyze``,
+  ``QueryService.explain``, ``POST /explain``);
+* :mod:`repro.obs.prometheus` — the ``text/plain; version=0.0.4``
+  exposition of :class:`~repro.service.metrics.ServiceMetrics` served by
+  ``GET /metrics`` under content negotiation.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and the metric ->
+paper-cost mapping.
+"""
+
+from repro.obs.trace import (
+    MAX_ATTRS,
+    MAX_SPANS,
+    NOOP,
+    Span,
+    Trace,
+    Tracer,
+    current_span,
+    span,
+    span_add,
+)
+from repro.obs.profile import (
+    ProfileNode,
+    build_profile,
+    navigation_split,
+    operators,
+    render_profile,
+    render_trace,
+    totals,
+)
+from repro.obs.prometheus import render_prometheus
+
+__all__ = [
+    "MAX_ATTRS",
+    "MAX_SPANS",
+    "NOOP",
+    "Span",
+    "Trace",
+    "Tracer",
+    "current_span",
+    "span",
+    "span_add",
+    "ProfileNode",
+    "build_profile",
+    "navigation_split",
+    "operators",
+    "render_profile",
+    "render_trace",
+    "totals",
+    "render_prometheus",
+]

@@ -1,0 +1,214 @@
+"""EXPLAIN ANALYZE: turn one query's trace into a plan-shaped profile.
+
+A trace records every span instance — a FLWR loop that applies the same
+path step three hundred times produces three hundred ``step`` spans.  The
+profile aggregates instances by their *position in the plan*: spans are
+keyed by the path of ``(name, detail)`` labels from the root, so repeated
+executions of one operator fold into a single profile row with a call
+count, while the tree shape (parse, then evaluation, then the steps
+inside it) is preserved.
+
+Costs are attributed **exclusively**: each row reports the storage
+counters (page reads, buffer hits, PBN comparisons, index scans) its own
+span instances incurred *minus* what their children incurred.  Exclusive
+costs therefore sum, over the whole profile, to the root span's inclusive
+delta — which for a single-threaded run is exactly the
+:class:`~repro.storage.stats.StorageStats` delta of the query.  That
+additivity is what lets a profile answer "where did the pages go" without
+double counting.
+
+The per-operator rows carry the paper's cost model directly:
+``steps.virtual`` / ``steps.indexed`` / ``steps.tree`` split navigation
+between the vPBN machinery and the stored-document strategies,
+``comparisons`` counts the Section 5 predicate evaluations, and the
+``algorithm1`` span isolates the ``O(cN)`` level-array construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.obs.trace import Trace
+
+#: Storage counters shown in rendered rows, in display order.
+_STORAGE_KEYS = (
+    "page_reads", "buffer_hits", "comparisons",
+    "index_probes", "index_range_scans", "bytes_read",
+)
+
+#: Attribute keys that split navigation by strategy.
+_STEP_KEYS = ("steps.virtual", "steps.indexed", "steps.tree")
+
+
+class ProfileNode:
+    """One aggregated operator in the profile tree."""
+
+    __slots__ = ("name", "detail", "calls", "total_s", "storage", "attrs", "children")
+
+    def __init__(self, name: str, detail: str) -> None:
+        self.name = name
+        self.detail = detail
+        self.calls = 0
+        self.total_s = 0.0
+        #: *exclusive* storage-counter deltas, summed over instances.
+        self.storage: dict[str, int] = {}
+        #: numeric span attributes, summed over instances.
+        self.attrs: dict[str, float] = {}
+        self.children: dict[tuple[str, str], "ProfileNode"] = {}
+
+    @property
+    def label(self) -> str:
+        return f"{self.name} {self.detail}".strip()
+
+    def walk(self):
+        """This node then every descendant, depth first."""
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "operator": self.label,
+            "calls": self.calls,
+            "time_ms": round(self.total_s * 1e3, 4),
+        }
+        if self.storage:
+            payload["storage"] = dict(self.storage)
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.children:
+            payload["children"] = [c.to_dict() for c in self.children.values()]
+        return payload
+
+
+def build_profile(trace: Union[Trace, dict]) -> ProfileNode:
+    """Aggregate a trace (live object or ``to_dict`` payload) into a
+    profile tree rooted at the trace's root span."""
+    root_span = trace.root.to_dict() if isinstance(trace, Trace) else trace["root"]
+
+    def fold(span: dict, node: ProfileNode) -> None:
+        node.calls += 1
+        children = span.get("children", ())
+        inclusive = span.get("storage", {})
+        child_sum: dict[str, int] = {}
+        for child in children:
+            for key, value in child.get("storage", {}).items():
+                child_sum[key] = child_sum.get(key, 0) + value
+        node.total_s += span.get("duration_ms", 0.0) / 1e3
+        for key, value in inclusive.items():
+            exclusive = value - child_sum.get(key, 0)
+            if exclusive:
+                node.storage[key] = node.storage.get(key, 0) + exclusive
+        for key, value in span.get("attrs", {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                node.attrs[key] = node.attrs.get(key, 0) + value
+            else:
+                node.attrs.setdefault(key, value)
+        for child in children:
+            key = (child.get("name", "?"), child.get("detail", ""))
+            sub = node.children.get(key)
+            if sub is None:
+                sub = ProfileNode(*key)
+                node.children[key] = sub
+            fold(child, sub)
+
+    root = ProfileNode(root_span.get("name", "?"), root_span.get("detail", ""))
+    fold(root_span, root)
+    return root
+
+
+def operators(profile: ProfileNode) -> list[ProfileNode]:
+    """The axis-step rows of a profile, in plan order (first execution)."""
+    return [node for node in profile.walk() if node.name == "step"]
+
+
+def totals(profile: ProfileNode) -> dict[str, int]:
+    """Exclusive storage costs summed over the whole profile — equal to
+    the root span's inclusive delta (the run's ``StorageStats`` delta)."""
+    summed: dict[str, int] = {}
+    for node in profile.walk():
+        for key, value in node.storage.items():
+            summed[key] = summed.get(key, 0) + value
+    return summed
+
+
+def navigation_split(profile: ProfileNode) -> dict[str, int]:
+    """Total navigator steps by strategy (virtual vs stored navigation)."""
+    split: dict[str, int] = {}
+    for node in profile.walk():
+        for key in _STEP_KEYS:
+            value = node.attrs.get(key)
+            if value:
+                split[key] = split.get(key, 0) + int(value)
+    return split
+
+
+def _format_row(node: ProfileNode) -> str:
+    parts = [f"calls={node.calls}", f"time={node.total_s * 1e3:.3f}ms"]
+    for key in _STORAGE_KEYS:
+        value = node.storage.get(key)
+        if value:
+            parts.append(f"{key}={value}")
+    for key, value in node.attrs.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if value == int(value):
+                value = int(value)
+            parts.append(f"{key}={value}")
+        else:
+            parts.append(f"{key}={value}")
+    return "  ".join(parts)
+
+
+def render_profile(profile: ProfileNode) -> str:
+    """The human-readable EXPLAIN ANALYZE text: the aggregated span tree
+    with per-row exclusive costs, then the additive totals."""
+    lines: list[str] = []
+
+    def emit(node: ProfileNode, depth: int) -> None:
+        pad = "  " * depth
+        lines.append(f"{pad}{node.label}  [{_format_row(node)}]")
+        for child in node.children.values():
+            emit(child, depth + 1)
+
+    emit(profile, 0)
+    footer = totals(profile)
+    if footer:
+        rendered = "  ".join(f"{k}={footer[k]}" for k in sorted(footer))
+        lines.append(f"total (exclusive costs sum): {rendered}")
+    split = navigation_split(profile)
+    if split:
+        rendered = "  ".join(f"{k}={split[k]}" for k in sorted(split))
+        lines.append(f"navigation split: {rendered}")
+    return "\n".join(lines)
+
+
+def render_trace(trace: Union[Trace, dict], max_depth: Optional[int] = None) -> str:
+    """A plain rendering of one trace's span tree (the ``repro traces``
+    output) — instances, not aggregates."""
+    payload = trace.to_dict() if isinstance(trace, Trace) else trace
+    lines = [
+        f"trace #{payload.get('trace_id', '?')}  "
+        f"{payload.get('duration_ms', 0.0):.3f} ms"
+    ]
+
+    def emit(span: dict, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        pad = "  " * depth
+        label = span.get("name", "?")
+        detail = span.get("detail", "")
+        if detail:
+            label += f" {detail}"
+        extras: list[str] = [f"{span.get('duration_ms', 0.0):.3f} ms"]
+        for key, value in span.get("storage", {}).items():
+            extras.append(f"{key}={value}")
+        for key, value in span.get("attrs", {}).items():
+            extras.append(f"{key}={value}")
+        lines.append(f"{pad}- {label}  [{'  '.join(extras)}]")
+        for child in span.get("children", ()):
+            emit(child, depth + 1)
+
+    emit(payload["root"], 1)
+    if payload.get("dropped_spans"):
+        lines.append(f"  ({payload['dropped_spans']} span(s) dropped at cap)")
+    return "\n".join(lines)

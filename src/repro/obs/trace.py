@@ -1,0 +1,390 @@
+"""End-to-end tracing: thread-local spans, a sampling tracer, a ring buffer.
+
+The paper argues vPBN's overhead is *modest*; the benchmark tables (E1-E14)
+show that offline, but a live service needs the same attribution per
+request — which slice of a slow query went to parsing, Algorithm 1
+level-array construction, axis navigation, buffer-pool misses, or the
+WAL fsync.  This module is the zero-dependency substrate the rest of the
+stack reports into:
+
+* A **span** is a named, monotonic-clock interval with a bounded
+  attribute map (pages read, PBN comparisons, cache outcomes) and child
+  spans.  Spans form one tree per request — the trace.
+* The **active span is thread-local**.  Instrumented code anywhere in
+  the stack (navigators, buffer pool, WAL) calls :func:`span` /
+  :func:`span_add` without threading a tracer through every signature;
+  when no trace is active on the thread both are a dictionary lookup
+  plus a branch, so the hot path pays nothing measurable when tracing
+  is disabled or the request was not sampled.
+* A :class:`Tracer` decides *which* requests trace (``sample_rate``,
+  deterministic every-Nth so tests can pin it), keeps the last traces in
+  a ring buffer, and appends any trace slower than ``slow_threshold_s``
+  to a separate slow-query log (also logged via :mod:`logging`).
+
+When a trace is started with a ``stats`` block (the engine's
+:class:`~repro.storage.stats.StorageStats`), every span snapshots the
+counters on entry and exit, so a finished trace attributes logical
+storage costs — page reads, buffer hits, comparisons, index scans — to
+the exact span that incurred them.  Under a single-threaded run the
+attribution is exact to the unit; with several engines sharing one stats
+block it is approximate, like the block itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+logger = logging.getLogger("repro.obs")
+
+#: Per-span attribute cap — a span never grows past this many keys, so a
+#: pathological query cannot balloon the ring buffer.
+MAX_ATTRS = 32
+
+#: Per-trace span cap — children beyond it are dropped (their attribute
+#: adds fold into the nearest recorded ancestor) and counted on the trace.
+MAX_SPANS = 512
+
+_ids = itertools.count(1)
+
+
+class Span:
+    """One timed interval in a trace, with bounded attributes."""
+
+    __slots__ = (
+        "name", "detail", "started_s", "ended_s",
+        "attrs", "children", "stats_enter", "stats_exit",
+    )
+
+    def __init__(self, name: str, detail: str = "") -> None:
+        self.name = name
+        self.detail = detail
+        self.started_s = time.perf_counter()
+        self.ended_s: Optional[float] = None
+        self.attrs: dict = {}
+        self.children: list[Span] = []
+        self.stats_enter: Optional[dict] = None
+        self.stats_exit: Optional[dict] = None
+
+    @property
+    def duration_s(self) -> float:
+        end = self.ended_s if self.ended_s is not None else time.perf_counter()
+        return end - self.started_s
+
+    def add(self, key: str, amount: int = 1) -> None:
+        """Accumulate a numeric attribute (bounded: new keys are dropped
+        once the span holds :data:`MAX_ATTRS`)."""
+        attrs = self.attrs
+        current = attrs.get(key)
+        if current is not None:
+            attrs[key] = current + amount
+        elif len(attrs) < MAX_ATTRS:
+            attrs[key] = amount
+
+    def set(self, key: str, value) -> None:
+        """Set a (non-accumulating) attribute, same bound as :meth:`add`."""
+        if key in self.attrs or len(self.attrs) < MAX_ATTRS:
+            self.attrs[key] = value
+
+    def storage_delta(self) -> dict[str, int]:
+        """Inclusive stats-counter deltas over this span (empty when the
+        trace carries no stats block)."""
+        if self.stats_enter is None or self.stats_exit is None:
+            return {}
+        return {
+            key: self.stats_exit[key] - self.stats_enter[key]
+            for key in self.stats_exit
+            if self.stats_exit[key] != self.stats_enter[key]
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (the ``/debug/traces`` format)."""
+        payload: dict = {
+            "name": self.name,
+            "duration_ms": round(self.duration_s * 1e3, 4),
+        }
+        if self.detail:
+            payload["detail"] = self.detail
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        delta = self.storage_delta()
+        if delta:
+            payload["storage"] = delta
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms)"
+
+
+class Trace:
+    """A finished (or in-flight) request trace: one span tree.
+
+    :ivar trace_id: monotonically increasing per process.
+    :ivar started_at: wall-clock start (``time.time``), for log lines.
+    :ivar dropped_spans: children not recorded because the trace hit
+        :data:`MAX_SPANS`; their attribute adds folded into ancestors.
+    """
+
+    __slots__ = ("trace_id", "root", "started_at", "dropped_spans")
+
+    def __init__(self, root: Span) -> None:
+        self.trace_id = next(_ids)
+        self.root = root
+        self.started_at = time.time()
+        self.dropped_spans = 0
+
+    @property
+    def duration_s(self) -> float:
+        return self.root.duration_s
+
+    def to_dict(self) -> dict:
+        payload = {
+            "trace_id": self.trace_id,
+            "started_at": self.started_at,
+            "duration_ms": round(self.root.duration_s * 1e3, 4),
+            "root": self.root.to_dict(),
+        }
+        if self.dropped_spans:
+            payload["dropped_spans"] = self.dropped_spans
+        return payload
+
+
+class _Context:
+    """Thread-local trace state: the trace, the open span, the stats block."""
+
+    __slots__ = ("trace", "current", "stats", "span_count")
+
+    def __init__(self, trace: Trace, stats) -> None:
+        self.trace = trace
+        self.current = trace.root
+        self.stats = stats
+        self.span_count = 1
+
+
+_tls = threading.local()
+
+
+def current_span() -> Optional[Span]:
+    """The open span on this thread, or ``None`` (tracing inactive)."""
+    ctx = getattr(_tls, "ctx", None)
+    return ctx.current if ctx is not None else None
+
+
+def span_add(key: str, amount: int = 1) -> None:
+    """Accumulate onto the open span; a branch when tracing is inactive."""
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is not None:
+        ctx.current.add(key, amount)
+
+
+class _NoopSpan:
+    """Shared attribute sink for untraced paths — instrumented code can
+    call ``add``/``set`` on whatever a ``with span(...)`` yielded without
+    checking whether tracing is live."""
+
+    __slots__ = ()
+
+    def add(self, key: str, amount: int = 1) -> None:
+        pass
+
+    def set(self, key: str, value) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _NoopHandle:
+    """Shared do-nothing context manager for untraced paths."""
+
+    __slots__ = ()
+    trace = None
+
+    def __enter__(self):
+        return NOOP_SPAN
+
+    def __exit__(self, *exc):
+        return False
+
+
+NOOP = _NoopHandle()
+
+
+class _SpanHandle:
+    """Context manager that pushes a child span on the thread's trace."""
+
+    __slots__ = ("_ctx", "_span", "_parent")
+    trace = None
+
+    def __init__(self, ctx: _Context, name: str, detail: str) -> None:
+        self._ctx = ctx
+        self._span = Span(name, detail)
+        self._parent = None
+
+    def __enter__(self) -> Span:
+        ctx = self._ctx
+        span = self._span
+        span.started_s = time.perf_counter()
+        if ctx.stats is not None:
+            span.stats_enter = ctx.stats.snapshot()
+        self._parent = ctx.current
+        self._parent.children.append(span)
+        ctx.current = span
+        ctx.span_count += 1
+        return span
+
+    def __exit__(self, *exc) -> bool:
+        ctx = self._ctx
+        span = self._span
+        span.ended_s = time.perf_counter()
+        if ctx.stats is not None:
+            span.stats_exit = ctx.stats.snapshot()
+        ctx.current = self._parent
+        return False
+
+
+def span(name: str, detail: str = ""):
+    """A child span of the active span — :data:`NOOP` when no trace is
+    active on this thread or the trace is at its span budget."""
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is None:
+        return NOOP
+    if ctx.span_count >= MAX_SPANS:
+        ctx.trace.dropped_spans += 1
+        return NOOP
+    return _SpanHandle(ctx, name, detail)
+
+
+class _RootHandle:
+    """Context manager owning a whole trace on this thread."""
+
+    __slots__ = ("_tracer", "trace", "_ctx")
+
+    def __init__(self, tracer: "Tracer", name: str, detail: str, stats) -> None:
+        self._tracer = tracer
+        self.trace = Trace(Span(name, detail))
+        self._ctx = _Context(self.trace, stats)
+
+    def __enter__(self) -> Span:
+        self.trace.root.started_s = time.perf_counter()
+        if self._ctx.stats is not None:
+            self.trace.root.stats_enter = self._ctx.stats.snapshot()
+        _tls.ctx = self._ctx
+        return self.trace.root
+
+    def __exit__(self, *exc) -> bool:
+        root = self.trace.root
+        root.ended_s = time.perf_counter()
+        if self._ctx.stats is not None:
+            root.stats_exit = self._ctx.stats.snapshot()
+        _tls.ctx = None
+        self._tracer._record(self.trace)
+        return False
+
+
+class Tracer:
+    """Sampling decisions plus the recorders.
+
+    :param capacity: ring-buffer size for recent traces (and, separately,
+        for the slow-query log).
+    :param sample_rate: fraction of requests traced.  ``0`` disables
+        tracing (requests pay one branch), ``1`` traces everything, and a
+        rate ``r`` in between traces every ``round(1/r)``-th request —
+        deterministic, so tests and the overhead benchmark can pin it.
+    :param slow_threshold_s: traces at least this slow are appended to the
+        slow-query log with their full span tree and logged as a warning;
+        ``None`` disables the log.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        sample_rate: float = 0.0,
+        slow_threshold_s: Optional[float] = None,
+    ) -> None:
+        self.sample_rate = sample_rate
+        self.slow_threshold_s = slow_threshold_s
+        self._lock = threading.Lock()
+        self._recent: deque = deque(maxlen=max(capacity, 1))
+        self._slow: deque = deque(maxlen=max(capacity, 1))
+        self._admitted = 0
+        self._sampled = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.sample_rate > 0.0
+
+    def _sample(self) -> bool:
+        rate = self.sample_rate
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            self._admitted += 1
+            if rate >= 1.0:
+                self._sampled += 1
+                return True
+            period = max(round(1.0 / rate), 1)
+            if self._admitted % period == 0:
+                self._sampled += 1
+                return True
+        return False
+
+    def start(self, name: str, detail: str = "", stats=None, force: bool = False):
+        """A context manager for one request.
+
+        Starts a new trace when none is active on this thread (subject to
+        sampling unless ``force``); degrades to a plain child span when a
+        trace is already active; yields the shared no-op span (and
+        records nothing) when not sampled.  After the ``with`` block the
+        handle's ``trace`` attribute holds the finished :class:`Trace`
+        (root starts only).
+        """
+        if getattr(_tls, "ctx", None) is not None:
+            return span(name, detail)
+        if not force and not self._sample():
+            return NOOP
+        return _RootHandle(self, name, detail, stats)
+
+    def _record(self, trace: Trace) -> None:
+        slow = (
+            self.slow_threshold_s is not None
+            and trace.duration_s >= self.slow_threshold_s
+        )
+        with self._lock:
+            self._recent.append(trace)
+            if slow:
+                self._slow.append(trace)
+        if slow:
+            logger.warning(
+                "slow request: %s %s took %.1f ms (threshold %.1f ms)",
+                trace.root.name,
+                trace.root.detail,
+                trace.duration_s * 1e3,
+                self.slow_threshold_s * 1e3,
+            )
+
+    # -- reads -----------------------------------------------------------------
+
+    def recent(self) -> list[Trace]:
+        """Newest-last copies of the ring buffer."""
+        with self._lock:
+            return list(self._recent)
+
+    def slow(self) -> list[Trace]:
+        with self._lock:
+            return list(self._slow)
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            return {"admitted": self._admitted, "sampled": self._sampled}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._recent.clear()
+            self._slow.clear()

@@ -23,6 +23,7 @@ from typing import Optional, Union
 
 from repro.core.virtual_document import VirtualDocument
 from repro.errors import QueryEvaluationError
+from repro.obs.trace import current_span, span
 from repro.pbn.assign import assign_numbers
 from repro.query import ast
 from repro.query.context import Context
@@ -39,6 +40,11 @@ from repro.xmlmodel.parser import parse_document
 from repro.xmlmodel.serializer import serialize
 
 logger = logging.getLogger("repro.engine")
+
+
+def _preview(text: str, limit: int = 120) -> str:
+    """Query text bounded for span details and log lines."""
+    return text if len(text) <= limit else text[: limit - 3] + "..."
 
 
 class Result:
@@ -102,6 +108,10 @@ class Engine:
     :param view_cache: optional :class:`~repro.service.cache.ViewCache`;
         when set, ``virtual`` resolves views through it instead of the
         engine-local memo, sharing level arrays across an engine pool.
+    :param tracer: optional :class:`~repro.obs.trace.Tracer`; when set,
+        ``execute`` opens a sampled trace for queries that are not
+        already running under one (the ``QueryService`` opens the trace
+        at admission instead, before engine checkout).
     """
 
     def __init__(
@@ -114,6 +124,7 @@ class Engine:
         metrics=None,
         plan_cache=None,
         view_cache=None,
+        tracer=None,
     ) -> None:
         self.mode = mode
         self.page_size = page_size
@@ -123,6 +134,7 @@ class Engine:
         self.metrics = metrics
         self.plan_cache = plan_cache
         self.view_cache = view_cache
+        self.tracer = tracer
         self._stores: dict[str, DocumentStore] = {}
         self._store_by_document: dict[int, DocumentStore] = {}
         self._virtuals: dict[tuple[str, str], VirtualDocument] = {}
@@ -217,8 +229,15 @@ class Engine:
         """Resolve ``spec`` against the stored document under ``uri`` and
         run Algorithm 1 — the uncached work a view-cache hit skips."""
         store = self.store(uri)
-        vguide = parse_vdataguide(spec, store.guide)
-        vdoc = VirtualDocument(store.document, vguide, stats=self.stats)
+        with span("view.resolve", f"{uri} {spec}") as resolve_span:
+            with span("algorithm1"):
+                # vDataGuide resolution including the O(cN) level-array
+                # construction the paper's Algorithm 1 describes.
+                vguide = parse_vdataguide(spec, store.guide)
+            vdoc = VirtualDocument(store.document, vguide, stats=self.stats)
+            if resolve_span is not None:
+                resolve_span.set("vtypes", len(vguide))
+                resolve_span.set("chain_exact", str(vguide.chain_exact()))
         logger.info(
             "built virtual view %r over %r: %d virtual types, chain-exact=%s",
             spec, uri, len(vguide), vguide.chain_exact(),
@@ -260,14 +279,37 @@ class Engine:
         :param context_item: initial context item, if the query is a
             relative path.
         """
+        if (
+            self.tracer is not None
+            and isinstance(query, str)
+            and current_span() is None
+        ):
+            handle = self.tracer.start(
+                "query", detail=_preview(query), stats=self.stats
+            )
+            with handle:
+                return self._execute(query, mode, variables, context_item)
+        return self._execute(query, mode, variables, context_item)
+
+    def _execute(self, query, mode, variables, context_item) -> Result:
         started = time.perf_counter()
+        strategy = None
         if isinstance(query, str):
-            if self.plan_cache is not None:
-                expr = self.plan_cache.get_or_parse(query)
+            strategy = "virtual" if "virtualDoc" in query else (mode or self.mode)
+            root_span = current_span()
+            if root_span is None:
+                expr = self._resolve_plan(query)
             else:
-                if self.metrics is not None:
-                    self.metrics.incr("engine.parses")
-                expr = parse_query(query)
+                with span("parse") as parse_span:
+                    cached = (
+                        self.plan_cache is not None and query in self.plan_cache
+                    )
+                    expr = self._resolve_plan(query)
+                    parse_span.set(
+                        "plan_cache",
+                        "hit" if cached else
+                        ("miss" if self.plan_cache is not None else "uncached"),
+                    )
         else:
             expr = query
         evaluator = Evaluator(self, mode or self.mode)
@@ -276,10 +318,21 @@ class Engine:
             for name, value in (variables or {}).items()
         }
         context = Context(self, bindings, item=context_item)
-        items = evaluator.evaluate(expr, context)
+        with span("eval") as eval_span:
+            items = evaluator.evaluate(expr, context)
+            if eval_span is not None:
+                eval_span.set("items", len(items))
         elapsed = time.perf_counter() - started
+        root_span = current_span()
+        if root_span is not None:
+            root_span.set("mode", mode or self.mode)
+            root_span.set("items", len(items))
+            if strategy is not None:
+                root_span.set("strategy", strategy)
         if self.metrics is not None:
             self.metrics.incr("engine.queries")
+            if strategy is not None:
+                self.metrics.incr("engine.queries", labels={"strategy": strategy})
             self.metrics.observe("engine.query_seconds", elapsed)
         if logger.isEnabledFor(logging.DEBUG) and isinstance(query, str):
             preview = query if len(query) <= 120 else query[:117] + "..."
@@ -288,6 +341,34 @@ class Engine:
                 len(items), elapsed * 1e3, mode or self.mode, preview,
             )
         return Result(items, self, elapsed)
+
+    def _resolve_plan(self, query: str):
+        if self.plan_cache is not None:
+            return self.plan_cache.get_or_parse(query)
+        if self.metrics is not None:
+            self.metrics.incr("engine.parses")
+        return parse_query(query)
+
+    def explain_analyze(
+        self,
+        query: str,
+        mode: Optional[str] = None,
+        variables: Optional[dict[str, list]] = None,
+    ):
+        """Run ``query`` under a forced trace and return
+        ``(result, trace)`` — the trace feeds
+        :func:`repro.obs.profile.build_profile` for the per-operator
+        EXPLAIN ANALYZE rendering.  Uses the engine's tracer when one is
+        attached, a throwaway otherwise."""
+        from repro.obs.trace import Tracer
+
+        tracer = self.tracer if self.tracer is not None else Tracer()
+        handle = tracer.start(
+            "query", detail=_preview(query), stats=self.stats, force=True
+        )
+        with handle:
+            result = self.execute(query, mode=mode, variables=variables)
+        return result, handle.trace
 
     def explain(self, query: str) -> str:
         """A textual rendering of the parsed expression tree, followed —

@@ -17,6 +17,7 @@ from typing import Any
 from repro.core import vpbn
 from repro.core.virtual_document import VNode
 from repro.errors import QueryEvaluationError
+from repro.obs.trace import current_span, span
 from repro.query import ast
 from repro.query.context import Context
 from repro.query.eval_tree import TreeNavigator
@@ -126,6 +127,24 @@ class Evaluator:
     )
 
     def _apply_step(self, items: list, step: ast.Step, context: Context) -> list:
+        # Tracing wrapper: one "step" span per plan-step application, so
+        # EXPLAIN ANALYZE can aggregate by operator.  The untraced path
+        # pays a thread-local read and a branch.
+        if current_span() is None:
+            return self._apply_step_inner(items, step, context)
+        from repro.query.plan import step_label
+
+        with span("step", step_label(step)) as step_span:
+            out = self._apply_step_inner(items, step, context)
+            step_span.add("items_in", len(items))
+            step_span.add("items_out", len(out))
+            if step.predicates:
+                step_span.add("predicates", len(step.predicates))
+            return out
+
+    def _apply_step_inner(
+        self, items: list, step: ast.Step, context: Context
+    ) -> list:
         out: list = []
         for item in items:
             if not is_node(item):

@@ -14,6 +14,7 @@ can compare this strategy against the virtual one on equal terms.
 from __future__ import annotations
 
 from repro.dataguide.guide import GuideType
+from repro.obs.trace import span_add
 from repro.pbn import axes
 from repro.query.ast import NodeTest
 from repro.query.eval_tree import matches_test
@@ -62,6 +63,7 @@ class IndexedNavigator:
         """Nodes on ``axis`` of ``node`` satisfying ``test``, in axis order."""
         if self.metrics is not None:
             self.metrics.incr("navigator.indexed.steps")
+        span_add("steps.indexed")
         if isinstance(node, Document):
             return self._document_step(axis, test)
         handler = getattr(self, "_axis_" + axis.replace("-", "_"))

@@ -12,6 +12,7 @@ the ``attribute`` axis, never via ``child``/``descendant``/sibling axes.
 
 from __future__ import annotations
 
+from repro.obs.trace import span_add
 from repro.query.ast import NodeTest
 from repro.xmlmodel.nodes import Node, NodeKind
 
@@ -46,6 +47,7 @@ class TreeNavigator:
     def step(self, node: Node, axis: str, test: NodeTest) -> list[Node]:
         """Nodes on ``axis`` of ``node`` that satisfy ``test``, in axis
         order (document order; reversed for the reverse axes)."""
+        span_add("steps.tree")
         handler = getattr(self, "_axis_" + axis.replace("-", "_"))
         return [
             candidate

@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.core.virtual_document import VirtualDocument, VNode
 from repro.core import vpbn
+from repro.obs.trace import span_add
 from repro.query.ast import NodeTest
 from repro.query.items import VirtualDocItem, attach_vdoc
 from repro.storage.stats import StorageStats
@@ -70,6 +71,7 @@ class VirtualNavigator:
         (virtual document order; reversed for reverse axes)."""
         if self.metrics is not None:
             self.metrics.incr("navigator.virtual.steps")
+        span_add("steps.virtual")
         if isinstance(item, VirtualDocItem):
             return self._document_step(item.vdoc, axis, test)
         assert isinstance(item, VNode)

@@ -120,6 +120,13 @@ def _test_text(test: ast.NodeTest) -> str:
     return f"{test.kind}()"
 
 
+def step_label(step: ast.Step) -> str:
+    """The canonical ``axis::test`` rendering of a step — shared by the
+    explain output and the EXPLAIN ANALYZE operator names, so a profile's
+    operator set lines up with the plan's."""
+    return f"{step.axis}::{_test_text(step.test)}"
+
+
 # ---------------------------------------------------------------------------
 # statistics-annotated path plans
 # ---------------------------------------------------------------------------

@@ -27,6 +27,7 @@ import threading
 from collections import OrderedDict
 from typing import Callable, Optional
 
+from repro.obs.trace import span_add
 from repro.service.metrics import ServiceMetrics
 
 _MISSING = object()
@@ -68,6 +69,7 @@ class LRUCache:
                     self._entries.move_to_end(key)
                     if self.metrics is not None:
                         self.metrics.cache_hit(self.name)
+                    span_add(f"cache.{self.name}.hits")
                     return value
                 event = self._building.get(key)
                 if event is None:
@@ -88,6 +90,7 @@ class LRUCache:
             self._entries.move_to_end(key)
             if self.metrics is not None:
                 self.metrics.cache_miss(self.name)
+            span_add(f"cache.{self.name}.misses")
             self._evict_over_capacity()
         event.set()
         return value
@@ -107,10 +110,12 @@ class LRUCache:
             if value is _MISSING:
                 if self.metrics is not None:
                     self.metrics.cache_miss(self.name)
+                span_add(f"cache.{self.name}.misses")
                 return default
             self._entries.move_to_end(key)
             if self.metrics is not None:
                 self.metrics.cache_hit(self.name)
+            span_add(f"cache.{self.name}.hits")
             return value
 
     def put(self, key, value) -> None:

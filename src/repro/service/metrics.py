@@ -32,6 +32,17 @@ Metric names are dotted strings; the conventional namespace is:
 ``navigator.indexed.steps``    axis steps taken by the indexed navigator
 ``navigator.virtual.steps``    axis steps taken by the virtual navigator
 =============================  ==============================================
+
+Counters can additionally carry **labels** (``incr(name, labels={...})``);
+labeled increments live beside the plain name, never replacing it, so the
+names above keep their historical meaning.  The engine labels
+``engine.queries`` with ``strategy`` — ``virtual`` for queries navigating
+a ``virtualDoc()`` view through the vPBN machinery, ``indexed`` /
+``tree`` for stored-document navigation (the paper's query-the-virtual
+vs. stored baselines; the rewrite-the-data baselines, *materialized* and
+*renumbered*, are offline strategies measured by E10).  ``GET /metrics``
+exposes everything as Prometheus text under content negotiation
+(:mod:`repro.obs.prometheus`).
 """
 
 from __future__ import annotations
@@ -86,7 +97,17 @@ class LatencyHistogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Estimated ``q``-quantile (0 < q <= 1) in seconds."""
+        """Estimated ``q``-quantile (0 < q <= 1) in seconds.
+
+        The interpolated estimate is clamped to the observed
+        ``[min, max]`` range: the containing bucket's edges can lie
+        outside what was actually seen (a single observation sits
+        somewhere inside its bucket; the overflow bucket has no upper
+        bound at all), and an estimate outside the observed range is
+        always strictly worse than the nearest observed extreme.  For
+        the overflow bucket the high edge is ``max(self.max, low)`` so
+        interpolation never runs backwards.
+        """
         if self.count == 0:
             return 0.0
         target = q * self.count
@@ -94,13 +115,25 @@ class LatencyHistogram:
         for index, bucket_count in enumerate(self.counts):
             if running + bucket_count >= target and bucket_count:
                 low = self.bounds[index - 1] if index > 0 else 0.0
-                high = (
-                    self.bounds[index] if index < len(self.bounds) else self.max
-                )
+                if index < len(self.bounds):
+                    high = self.bounds[index]
+                else:
+                    high = max(self.max, low)
                 fraction = (target - running) / bucket_count
-                return low + (high - low) * fraction
+                estimate = low + (high - low) * fraction
+                return min(max(estimate, self.min), self.max)
             running += bucket_count
         return self.max
+
+    def copy(self) -> "LatencyHistogram":
+        """An independent snapshot (same bounds, copied counts)."""
+        duplicate = LatencyHistogram(list(self.bounds))
+        duplicate.counts = list(self.counts)
+        duplicate.count = self.count
+        duplicate.total = self.total
+        duplicate.min = self.min
+        duplicate.max = self.max
+        return duplicate
 
     def snapshot(self) -> dict[str, float]:
         return {
@@ -125,13 +158,29 @@ class ServiceMetrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
+        #: labeled counter variants: name -> {sorted (key, value) tuple -> n}.
+        #: Kept apart from ``_counters`` so existing plain names (and every
+        #: caller reading them) are untouched by the labeled dimension.
+        self._labeled: dict[str, dict[tuple, int]] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
 
     # -- updates ---------------------------------------------------------------
 
-    def incr(self, name: str, amount: int = 1) -> None:
+    def incr(
+        self, name: str, amount: int = 1, labels: Optional[dict] = None
+    ) -> None:
+        """Add to a counter; with ``labels`` the increment lands on the
+        labeled variant (e.g. per query strategy) instead of the plain
+        name — callers that want both totals and a breakdown issue both
+        increments."""
+        if labels is None:
+            with self._lock:
+                self._counters[name] = self._counters.get(name, 0) + amount
+            return
+        key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
         with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
+            series = self._labeled.setdefault(name, {})
+            series[key] = series.get(key, 0) + amount
 
     def observe(self, name: str, seconds: float) -> None:
         with self._lock:
@@ -152,9 +201,33 @@ class ServiceMetrics:
 
     # -- reads -----------------------------------------------------------------
 
-    def counter(self, name: str) -> int:
+    def counter(self, name: str, labels: Optional[dict] = None) -> int:
+        if labels is None:
+            with self._lock:
+                return self._counters.get(name, 0)
+        key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
         with self._lock:
-            return self._counters.get(name, 0)
+            return self._labeled.get(name, {}).get(key, 0)
+
+    def counters_structured(self) -> list[tuple[str, dict, int]]:
+        """Every counter as ``(dotted_name, labels, value)`` — plain
+        counters carry empty labels.  The Prometheus renderer's input."""
+        with self._lock:
+            rows = [(name, {}, value) for name, value in self._counters.items()]
+            for name, series in self._labeled.items():
+                for key, value in series.items():
+                    rows.append((name, dict(key), value))
+        rows.sort(key=lambda row: (row[0], sorted(row[1].items())))
+        return rows
+
+    def histograms_copy(self) -> dict[str, LatencyHistogram]:
+        """Independent copies of every histogram (bucket-level reads for
+        the Prometheus renderer)."""
+        with self._lock:
+            return {
+                name: histogram.copy()
+                for name, histogram in self._histograms.items()
+            }
 
     def hit_rate(self, cache: str) -> float:
         """Hits / lookups for a cache namespace, 0.0 when never used."""
@@ -165,14 +238,22 @@ class ServiceMetrics:
         return hits / lookups if lookups else 0.0
 
     def histogram(self, name: str) -> Optional[LatencyHistogram]:
+        """A defensive *snapshot copy* of a histogram — mutating the
+        returned object (or observing into it) never touches the live
+        series behind the lock."""
         with self._lock:
-            return self._histograms.get(name)
+            histogram = self._histograms.get(name)
+            return histogram.copy() if histogram is not None else None
 
     def snapshot(self) -> dict:
         """Counters and histogram summaries as one plain dict (for
         reports, the ``/metrics`` endpoint, and ``--metrics`` CLI output)."""
         with self._lock:
             counters = dict(sorted(self._counters.items()))
+            for name, series in sorted(self._labeled.items()):
+                for key, value in sorted(series.items()):
+                    inner = ",".join(f'{k}="{v}"' for k, v in key)
+                    counters[f"{name}{{{inner}}}"] = value
             histograms = {
                 name: histogram.snapshot()
                 for name, histogram in sorted(self._histograms.items())
@@ -182,4 +263,5 @@ class ServiceMetrics:
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
+            self._labeled.clear()
             self._histograms.clear()

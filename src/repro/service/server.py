@@ -19,9 +19,21 @@ thread per connection, queries fanned across the service's engine pool):
     ``{"uri", "version", "minted", "removed", "touched"}``; ``400`` for
     invalid operations (the store is unchanged).
 
+``POST /explain``
+    Body is the query text (optional ``mode`` parameter).  ``200`` with
+    the EXPLAIN ANALYZE report of :meth:`QueryService.explain` — static
+    plan, measured per-operator profile, and summary; ``400`` for
+    parse/evaluation failures.
+
 ``GET /metrics``
-    JSON: the service snapshot (counters, histograms, cache and storage
-    stats).
+    JSON by default: the service snapshot (counters, histograms, cache
+    and storage stats).  With ``Accept: text/plain`` (or ``openmetrics``,
+    or ``?format=prometheus``) the same counters render in the
+    Prometheus text exposition format, ``text/plain; version=0.0.4``.
+
+``GET /debug/traces``
+    JSON dump of the tracer's ring buffer: ``{"recent": [...], "slow":
+    [...], "counts": {...}}`` — each entry one full span tree.
 
 ``GET /healthz``
     JSON: ``{"status": "ok", "documents": [...]}``.
@@ -62,9 +74,20 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._respond(status, json.dumps(document, indent=2), "application/json")
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        path = urlparse(self.path).path
+        parsed = urlparse(self.path)
+        path = parsed.path
         if path == "/metrics":
-            self._respond_json(200, self.server.service.snapshot())
+            self._do_metrics(parsed)
+        elif path == "/debug/traces":
+            tracer = self.server.service.tracer
+            self._respond_json(
+                200,
+                {
+                    "recent": [trace.to_dict() for trace in tracer.recent()],
+                    "slow": [trace.to_dict() for trace in tracer.slow()],
+                    "counts": tracer.counts(),
+                },
+            )
         elif path == "/healthz":
             self._respond_json(
                 200, {"status": "ok", "documents": self.server.service.uris()}
@@ -72,10 +95,36 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         else:
             self._respond_json(404, {"error": f"unknown path {path!r}"})
 
+    def _do_metrics(self, parsed) -> None:
+        """JSON by default; Prometheus text on content negotiation."""
+        service = self.server.service
+        accept = self.headers.get("Accept", "")
+        wants_text = (
+            parse_qs(parsed.query).get("format", [""])[0] == "prometheus"
+            or "text/plain" in accept
+            or "openmetrics" in accept
+        )
+        if not wants_text:
+            self._respond_json(200, service.snapshot())
+            return
+        from repro.obs.prometheus import render_prometheus
+
+        gauges = {
+            "cache.plan.entries": len(service.plan_cache),
+            "cache.view.entries": len(service.view_cache),
+        }
+        body = render_prometheus(
+            service.metrics, storage=service.stats, extra_gauges=gauges
+        )
+        self._respond(200, body, "text/plain; version=0.0.4")
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
         if parsed.path == "/update":
             self._do_update(parsed)
+            return
+        if parsed.path == "/explain":
+            self._do_explain(parsed)
             return
         if parsed.path != "/query":
             self._respond_json(404, {"error": f"unknown path {parsed.path!r}"})
@@ -97,6 +146,21 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._respond(200, "\n".join(result.values()), "text/plain")
         else:
             self._respond(200, result.to_xml(), "application/xml")
+
+    def _do_explain(self, parsed) -> None:
+        params = parse_qs(parsed.query)
+        mode = params.get("mode", [None])[0]
+        length = int(self.headers.get("Content-Length", 0))
+        text = self.rfile.read(length).decode("utf-8")
+        if not text.strip():
+            self._respond_json(400, {"error": "empty query body"})
+            return
+        try:
+            report = self.server.service.explain(text, mode=mode)
+        except ReproError as error:
+            self._respond_json(400, {"error": str(error)})
+            return
+        self._respond_json(200, report)
 
     def _do_update(self, parsed) -> None:
         from repro.updates.ops import op_from_json
@@ -169,7 +233,9 @@ def serve_forever(service: QueryService, host: str, port: int) -> None:
     server = ServiceServer(service, host=host, port=port, verbose=True)
     print(
         f"serving on http://{host}:{server.port}  "
-        "(POST /query, POST /update, GET /metrics)"
+        "(POST /query, POST /update, POST /explain, GET /metrics, "
+        "GET /debug/traces)",
+        flush=True,
     )
     try:
         server.serve_forever()

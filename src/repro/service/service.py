@@ -42,7 +42,8 @@ from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Optional, Union
 
-from repro.query.engine import Engine, Result
+from repro.obs.trace import Tracer, span
+from repro.query.engine import Engine, Result, _preview
 from repro.service.cache import PlanCache, ViewCache
 from repro.service.metrics import ServiceMetrics
 from repro.storage.stats import StorageStats
@@ -93,6 +94,13 @@ class QueryService:
     :param page_size / buffer_capacity / index_order: storage knobs
         forwarded to document loading.
     :param metrics: share an external metrics block; fresh when omitted.
+    :param trace_sample: fraction of requests traced end to end
+        (deterministic every-Nth; ``0`` disables tracing entirely).
+    :param trace_buffer: ring-buffer capacity for recent / slow traces.
+    :param slow_query_s: requests at least this slow land in the slow
+        log with their full span tree; ``None`` disables the log.
+    :param tracer: share an external :class:`Tracer`; built from the
+        three knobs above when omitted.
     """
 
     def __init__(
@@ -105,6 +113,10 @@ class QueryService:
         buffer_capacity: int = 256,
         index_order: int = 64,
         metrics: Optional[ServiceMetrics] = None,
+        trace_sample: float = 0.0,
+        trace_buffer: int = 64,
+        slow_query_s: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if pool_size < 1:
             raise ValueError("service needs pool_size >= 1")
@@ -114,6 +126,11 @@ class QueryService:
         self.buffer_capacity = buffer_capacity
         self.index_order = index_order
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.tracer = tracer if tracer is not None else Tracer(
+            capacity=trace_buffer,
+            sample_rate=trace_sample,
+            slow_threshold_s=slow_query_s,
+        )
         self.stats = StorageStats()
         self.plan_cache = PlanCache(plan_cache_capacity, self.metrics)
         self.view_cache = ViewCache(view_cache_capacity, self.metrics)
@@ -143,6 +160,7 @@ class QueryService:
             metrics=self.metrics,
             plan_cache=self.plan_cache,
             view_cache=self.view_cache,
+            tracer=self.tracer,
         )
 
     # -- documents ---------------------------------------------------------------
@@ -193,9 +211,10 @@ class QueryService:
         its uri go through the WAL."""
         from repro.updates.durable import DurableStore
 
-        durable = DurableStore.open(
-            directory, page_size=self.page_size, buffer_capacity=self.buffer_capacity
-        )
+        with self.tracer.start("recovery", detail=directory, stats=self.stats, force=True):
+            durable = DurableStore.open(
+                directory, page_size=self.page_size, buffer_capacity=self.buffer_capacity
+            )
         store = durable.store
         store.stats = self.stats
         store.page_manager.stats = self.stats
@@ -260,7 +279,8 @@ class QueryService:
         from repro.errors import ReproError
         from repro.updates.mutations import apply_op
 
-        with self._write_lock:
+        handle = self.tracer.start("update", detail=op.describe(), stats=self.stats)
+        with handle, self._write_lock:
             durable = self._durables.get(uri)
             try:
                 if durable is not None:
@@ -273,7 +293,7 @@ class QueryService:
             except ReproError:
                 self.metrics.incr("service.updates_aborted")
                 raise
-            with self._topology_lock:
+            with span("update.publish"), self._topology_lock:
                 self._stores[uri] = result.store
                 self.view_cache.revalidate(
                     uri, result.store.document, result.touched_paths
@@ -291,7 +311,8 @@ class QueryService:
             durable = self._durables.get(uri)
             if durable is None:
                 raise StorageError(f"{uri!r} is not backed by a durable store")
-            return durable.checkpoint()
+            with self.tracer.start("checkpoint", detail=uri, stats=self.stats, force=True):
+                return durable.checkpoint()
 
     def store(self, uri: str) -> DocumentStore:
         with self._topology_lock:
@@ -315,13 +336,14 @@ class QueryService:
 
     def _checkout(self) -> Engine:
         started = time.perf_counter()
-        engine = self._idle.get()
-        with self._topology_lock:
-            pending = self._pending[id(engine)]
-            if pending:
-                for uri, store in pending.items():
-                    engine.attach(uri, store, invalidate_views=False)
-                pending.clear()
+        with span("checkout"):
+            engine = self._idle.get()
+            with self._topology_lock:
+                pending = self._pending[id(engine)]
+                if pending:
+                    for uri, store in pending.items():
+                        engine.attach(uri, store, invalidate_views=False)
+                    pending.clear()
         self.metrics.observe(
             "service.checkout_seconds", time.perf_counter() - started
         )
@@ -350,10 +372,18 @@ class QueryService:
     ) -> Result:
         """Evaluate ``query`` on the next idle engine (blocking while the
         whole pool is busy).  Plan and view caches are consulted inside
-        the engine; see the metric names in :mod:`repro.service.metrics`."""
+        the engine; see the metric names in :mod:`repro.service.metrics`.
+
+        When the request is sampled (:attr:`tracer`), the trace opens
+        here at admission — pool checkout, parsing, view resolution, and
+        every axis step below land in one span tree."""
         self.metrics.incr("service.queries")
-        with self._engine() as engine:
-            return engine.execute(query, mode=mode, variables=variables)
+        handle = self.tracer.start("query", detail=_preview(query), stats=self.stats)
+        with handle as root:
+            with self._engine() as engine:
+                result = engine.execute(query, mode=mode, variables=variables)
+            root.set("items", len(result))
+            return result
 
     def batch(
         self,
@@ -380,6 +410,34 @@ class QueryService:
             with ThreadPoolExecutor(max_workers=worker_count) as executor:
                 outcomes = list(executor.map(run, queries))
         return BatchResult(outcomes, time.perf_counter() - started)
+
+    def explain(self, query: str, mode: Optional[str] = None) -> dict:
+        """EXPLAIN ANALYZE: run ``query`` under a forced trace and return
+        the planner's view next to the measured profile.
+
+        Keys: ``plan`` (the static explain text), ``profile`` (the
+        aggregated span tree, JSON-shaped), ``rendered`` (the
+        human-readable profile), ``operators`` (the axis-step row
+        labels, plan order), and ``summary`` (item count, wall time,
+        trace id)."""
+        from repro.obs.profile import build_profile, operators, render_profile
+
+        self.metrics.incr("service.explains")
+        with self._engine() as engine:
+            plan = engine.explain(query)
+            result, trace = engine.explain_analyze(query, mode=mode)
+        profile = build_profile(trace)
+        return {
+            "plan": plan,
+            "profile": profile.to_dict(),
+            "rendered": render_profile(profile),
+            "operators": [node.label for node in operators(profile)],
+            "summary": {
+                "items": len(result),
+                "elapsed_ms": round(result.elapsed_seconds * 1e3, 4),
+                "trace_id": trace.trace_id,
+            },
+        }
 
     # -- reporting ---------------------------------------------------------------
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from repro.obs.trace import span_add
 from repro.storage.pages import PageManager
 
 
@@ -48,6 +49,7 @@ class BufferPool:
                 self.manager.stats.buffer_hits += 1
                 if self.metrics is not None:
                     self.metrics.incr("buffer.hits")
+                span_add("buffer.hits")
                 return frame
             data = self.manager.read(page_id)
             self._frames[page_id] = data
@@ -55,6 +57,7 @@ class BufferPool:
                 self._frames.popitem(last=False)
         if self.metrics is not None:
             self.metrics.incr("buffer.misses")
+        span_add("buffer.misses")
         return data
 
     def clear(self) -> None:

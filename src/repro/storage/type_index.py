@@ -17,6 +17,7 @@ from bisect import bisect_left, insort
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import StorageError
+from repro.obs.trace import span_add
 from repro.pbn.number import Pbn
 from repro.storage.stats import StorageStats
 
@@ -65,6 +66,7 @@ class TypeIndex:
     def numbers(self, type_id: int) -> Iterator[Pbn]:
         """All numbers of the type, in document order."""
         self.stats.index_range_scans += 1
+        span_add("index.range_scans")
         for components in self._postings.get(type_id, ()):
             yield Pbn(*components)
 
@@ -75,6 +77,7 @@ class TypeIndex:
         ``prefix`` — e.g. the type's instances inside one subtree, or the
         virtual children of a node (prefix = the shared lca components)."""
         self.stats.index_range_scans += 1
+        span_add("index.range_scans")
         postings = self._postings.get(type_id)
         if not postings:
             return
@@ -90,6 +93,7 @@ class TypeIndex:
         """Like :meth:`prefix_range` but returning raw component tuples
         (no Pbn allocation) — the hot path of the virtual evaluator."""
         self.stats.index_range_scans += 1
+        span_add("index.range_scans")
         postings = self._postings.get(type_id)
         if not postings:
             return []

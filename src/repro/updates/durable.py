@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ReproError, StorageError
+from repro.obs.trace import span
 from repro.storage.persist import dump_store, load_store_ex
 from repro.storage.store import DocumentStore
 from repro.updates.faults import FaultInjector
@@ -121,21 +122,24 @@ class DurableStore:
 
         seq = applied_seq
         replayed = 0
-        for record in records:
-            record_seq = record.get("seq")
-            if not isinstance(record_seq, int):
-                raise StorageError("WAL record is missing its sequence number")
-            if record_seq <= applied_seq:
-                continue  # checkpointed before the crash
-            if record_seq != seq + 1:
-                raise StorageError(
-                    f"WAL sequence gap: expected {seq + 1}, found {record_seq}"
-                )
-            payload = {k: v for k, v in record.items() if k != "seq"}
-            result = apply_op(store, op_from_json(payload))
-            store = result.store
-            seq = record_seq
-            replayed += 1
+        with span("update.replay", f"{len(records)} record(s)") as replay_span:
+            for record in records:
+                record_seq = record.get("seq")
+                if not isinstance(record_seq, int):
+                    raise StorageError("WAL record is missing its sequence number")
+                if record_seq <= applied_seq:
+                    continue  # checkpointed before the crash
+                if record_seq != seq + 1:
+                    raise StorageError(
+                        f"WAL sequence gap: expected {seq + 1}, found {record_seq}"
+                    )
+                payload = {k: v for k, v in record.items() if k != "seq"}
+                result = apply_op(store, op_from_json(payload))
+                store = result.store
+                seq = record_seq
+                replayed += 1
+            replay_span.set("replayed", replayed)
+            replay_span.set("torn_tail", torn)
 
         report = RecoveryReport(
             replayed=replayed,
@@ -169,7 +173,9 @@ class DurableStore:
         """Fold the WAL into the image; returns the image size in bytes."""
         image_path = os.path.join(self.directory, _IMAGE)
         tmp_path = os.path.join(self.directory, _TMP)
-        size = _write_image(tmp_path, self.store, applied_seq=self.seq)
+        with span("checkpoint.write_image") as image_span:
+            size = _write_image(tmp_path, self.store, applied_seq=self.seq)
+            image_span.set("bytes", size)
         if self.wal.injector is not None:
             self.wal.injector.hit("checkpoint.before_replace")
         os.replace(tmp_path, image_path)

@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import StorageError, UpdateError
+from repro.obs.trace import span
 from repro.pbn.number import Pbn
 from repro.storage.store import DocumentStore, _serialize_with_spans
 from repro.storage.heap import HeapFile
@@ -86,13 +87,14 @@ def apply_op(store: DocumentStore, op: UpdateOp) -> MutationResult:
     :raises UpdateError: for operations invalid against this version.
     :raises StorageError: for numbers that do not exist in this version.
     """
-    if isinstance(op, InsertSubtree):
-        return _apply_insert(store, op)
-    if isinstance(op, DeleteSubtree):
-        return _apply_delete(store, op)
-    if isinstance(op, ReplaceText):
-        return _apply_replace(store, op)
-    raise UpdateError(f"unknown update operation {op!r}")
+    with span("update.derive", op.describe()):
+        if isinstance(op, InsertSubtree):
+            return _apply_insert(store, op)
+        if isinstance(op, DeleteSubtree):
+            return _apply_delete(store, op)
+        if isinstance(op, ReplaceText):
+            return _apply_replace(store, op)
+        raise UpdateError(f"unknown update operation {op!r}")
 
 
 # ---------------------------------------------------------------------------

@@ -31,6 +31,7 @@ import zlib
 from typing import Optional
 
 from repro.errors import StorageError
+from repro.obs.trace import span
 from repro.updates.faults import FaultInjector
 
 _FRAME = struct.Struct("<II")
@@ -99,16 +100,18 @@ class WriteAheadLog:
         """Append one record durably (returns after fsync)."""
         data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
         frame = _FRAME.pack(len(data), zlib.crc32(data)) + data
-        self._hit("wal.before_append")
-        half = len(frame) // 2
-        self._file.write(frame[:half])
-        self._file.flush()
-        self._hit("wal.mid_write")
-        self._file.write(frame[half:])
-        self._file.flush()
-        self._hit("wal.after_write")
-        os.fsync(self._file.fileno())
-        self._hit("wal.after_fsync")
+        with span("wal.append") as wal_span:
+            wal_span.set("bytes", len(frame))
+            self._hit("wal.before_append")
+            half = len(frame) // 2
+            self._file.write(frame[:half])
+            self._file.flush()
+            self._hit("wal.mid_write")
+            self._file.write(frame[half:])
+            self._file.flush()
+            self._hit("wal.after_write")
+            os.fsync(self._file.fileno())
+            self._hit("wal.after_fsync")
 
     def truncate_to(self, length: int) -> None:
         """Discard everything past ``length`` (recovery's torn-tail cut)."""

@@ -1,0 +1,186 @@
+"""The tracing substrate: spans, sampling, bounds, ring buffers."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.trace import (
+    MAX_ATTRS,
+    MAX_SPANS,
+    NOOP,
+    Tracer,
+    current_span,
+    span,
+    span_add,
+)
+from repro.storage.stats import StorageStats
+
+
+def test_untraced_thread_pays_only_a_branch():
+    assert current_span() is None
+    span_add("anything")  # silently dropped
+    handle = span("child")
+    assert handle is NOOP
+    with handle as inner:
+        inner.add("x")  # the shared no-op span swallows attribute calls
+        inner.set("y", 1)
+    assert current_span() is None
+
+
+def test_nested_spans_form_one_tree():
+    tracer = Tracer(sample_rate=1.0)
+    with tracer.start("query", detail="q1") as root:
+        with span("parse"):
+            pass
+        with span("eval") as eval_span:
+            eval_span.set("items", 3)
+            with span("step", "child::a"):
+                span_add("steps.virtual")
+                span_add("steps.virtual")
+        assert current_span() is root
+    assert current_span() is None
+    [trace] = tracer.recent()
+    assert trace.root.name == "query"
+    assert [child.name for child in trace.root.children] == ["parse", "eval"]
+    step = trace.root.children[1].children[0]
+    assert step.detail == "child::a"
+    assert step.attrs["steps.virtual"] == 2
+    assert trace.root.duration_s >= step.duration_s
+
+
+def test_span_add_lands_on_the_innermost_open_span():
+    tracer = Tracer(sample_rate=1.0)
+    with tracer.start("query") as root:
+        span_add("outer")
+        with span("inner"):
+            span_add("counted")
+    assert root.attrs == {"outer": 1}
+    [trace] = tracer.recent()
+    assert trace.root.children[0].attrs == {"counted": 1}
+
+
+def test_attributes_are_bounded_per_span():
+    tracer = Tracer(sample_rate=1.0)
+    with tracer.start("query") as root:
+        for index in range(MAX_ATTRS * 2):
+            root.add(f"key{index}")
+        root.set("late", "value")  # over budget: dropped
+        root.add("key0", 5)  # existing keys still accumulate
+    assert len(root.attrs) == MAX_ATTRS
+    assert root.attrs["key0"] == 6
+    assert "late" not in root.attrs
+
+
+def test_span_budget_drops_children_not_the_trace():
+    tracer = Tracer(sample_rate=1.0)
+    with tracer.start("query"):
+        for _ in range(MAX_SPANS + 10):
+            with span("step"):
+                span_add("steps.tree")
+    [trace] = tracer.recent()
+    assert len(trace.root.children) == MAX_SPANS - 1  # root counts too
+    assert trace.dropped_spans == 11
+    # Dropped children's attribute adds folded into the open ancestor.
+    assert trace.root.attrs["steps.tree"] == 11
+
+
+def test_sampling_is_deterministic_every_nth():
+    tracer = Tracer(sample_rate=0.25)
+    sampled = [tracer.start("query") is not NOOP for _ in range(12)]
+    assert sampled == [False, False, False, True] * 3
+    assert tracer.counts() == {"admitted": 12, "sampled": 3}
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(sample_rate=0.0)
+    assert not tracer.enabled
+    with tracer.start("query") as root:
+        root.set("ignored", 1)
+        assert current_span() is None
+    assert tracer.recent() == []
+    assert tracer.counts() == {"admitted": 0, "sampled": 0}
+
+
+def test_force_overrides_sampling():
+    tracer = Tracer(sample_rate=0.0)
+    with tracer.start("query", force=True):
+        assert current_span() is not None
+    assert len(tracer.recent()) == 1
+
+
+def test_start_degrades_to_child_span_under_an_active_trace():
+    tracer = Tracer(sample_rate=1.0)
+    with tracer.start("query"):
+        inner = tracer.start("query", force=True)
+        assert inner.trace is None  # not a second root
+        with inner:
+            pass
+    [trace] = tracer.recent()
+    assert [child.name for child in trace.root.children] == ["query"]
+
+
+def test_ring_buffer_keeps_the_newest_traces():
+    tracer = Tracer(capacity=3, sample_rate=1.0)
+    for index in range(5):
+        with tracer.start("query", detail=f"q{index}"):
+            pass
+    details = [trace.root.detail for trace in tracer.recent()]
+    assert details == ["q2", "q3", "q4"]
+    tracer.clear()
+    assert tracer.recent() == []
+
+
+def test_slow_queries_land_in_the_slow_log():
+    tracer = Tracer(sample_rate=1.0, slow_threshold_s=0.0)
+    with tracer.start("query", detail="slow one"):
+        pass
+    assert [t.root.detail for t in tracer.slow()] == ["slow one"]
+    fast = Tracer(sample_rate=1.0, slow_threshold_s=3600.0)
+    with fast.start("query"):
+        pass
+    assert fast.slow() == []
+
+
+def test_storage_deltas_attribute_costs_to_the_incurring_span():
+    stats = StorageStats()
+    stats.page_reads = 100  # pre-existing activity is excluded
+    tracer = Tracer(sample_rate=1.0)
+    with tracer.start("query", stats=stats) as root:
+        stats.comparisons += 2
+        with span("step"):
+            stats.page_reads += 3
+            stats.comparisons += 5
+        stats.page_reads += 1
+    step = tracer.recent()[0].root.children[0]
+    assert step.storage_delta() == {"page_reads": 3, "comparisons": 5}
+    assert root.storage_delta() == {"page_reads": 4, "comparisons": 7}
+
+
+def test_traces_are_thread_local():
+    tracer = Tracer(sample_rate=1.0)
+    seen_on_worker: list = []
+
+    def worker():
+        seen_on_worker.append(current_span())
+        with tracer.start("query", detail="worker"):
+            seen_on_worker.append(current_span().detail)
+
+    with tracer.start("query", detail="main"):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert current_span().detail == "main"
+    assert seen_on_worker[0] is None  # main's trace is invisible over there
+    assert seen_on_worker[1] == "worker"
+    assert sorted(t.root.detail for t in tracer.recent()) == ["main", "worker"]
+
+
+def test_trace_to_dict_round_trips_the_tree():
+    tracer = Tracer(sample_rate=1.0)
+    with tracer.start("query", detail="q"):
+        with span("eval") as eval_span:
+            eval_span.set("items", 2)
+    payload = tracer.recent()[0].to_dict()
+    assert payload["root"]["name"] == "query"
+    assert payload["root"]["children"][0]["attrs"] == {"items": 2}
+    assert payload["duration_ms"] >= 0

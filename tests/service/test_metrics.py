@@ -57,6 +57,73 @@ def test_histogram_empty():
     assert histogram.snapshot()["count"] == 0
 
 
+def test_quantile_single_observation_is_the_observation():
+    # One sample lands somewhere inside its bucket; interpolation would
+    # report a bucket edge, but clamping to [min, max] pins it exactly.
+    histogram = LatencyHistogram()
+    histogram.observe(0.0037)
+    for q in (0.01, 0.5, 0.99, 1.0):
+        assert histogram.quantile(q) == 0.0037
+
+
+def test_quantile_overflow_bucket_stays_within_observed_range():
+    # Observations beyond the last bound fall into the open-ended
+    # overflow bucket; its high edge is the observed max, never infinity
+    # (and never below the bucket's low edge).
+    histogram = LatencyHistogram(bounds=[0.001, 0.01])
+    for value in (0.5, 1.5, 2.5):
+        histogram.observe(value)
+    for q in (0.5, 0.95, 0.99):
+        assert 0.5 <= histogram.quantile(q) <= 2.5
+    assert histogram.quantile(1.0) == 2.5
+
+
+def test_quantile_at_bucket_edges():
+    # Two buckets, two observations each: p50 resolves inside the first
+    # bucket, p100 at the top of the second, and every estimate stays
+    # clamped to the observed range.
+    histogram = LatencyHistogram(bounds=[0.001, 0.01])
+    for value in (0.0002, 0.0008, 0.002, 0.008):
+        histogram.observe(value)
+    assert histogram.quantile(0.5) <= 0.001
+    assert 0.001 <= histogram.quantile(0.75) <= 0.008
+    assert histogram.quantile(1.0) == 0.008
+    quantiles = [histogram.quantile(q / 100) for q in range(1, 101)]
+    assert quantiles == sorted(quantiles)
+    assert all(0.0002 <= q <= 0.008 for q in quantiles)
+
+
+def test_histogram_accessor_returns_a_defensive_copy():
+    metrics = ServiceMetrics()
+    metrics.observe("engine.query_seconds", 0.25)
+    copy = metrics.histogram("engine.query_seconds")
+    copy.observe(5.0)
+    copy.counts[0] += 100
+    live = metrics.histogram("engine.query_seconds")
+    assert live.count == 1
+    assert live.max == 0.25
+    assert sum(live.counts) == 1
+    assert metrics.histogram("missing") is None
+
+
+def test_labeled_counters_live_beside_the_plain_name():
+    metrics = ServiceMetrics()
+    metrics.incr("engine.queries")
+    metrics.incr("engine.queries", labels={"strategy": "virtual"})
+    metrics.incr("engine.queries", 2, labels={"strategy": "virtual"})
+    metrics.incr("engine.queries", labels={"strategy": "tree"})
+    assert metrics.counter("engine.queries") == 1  # plain name untouched
+    assert metrics.counter("engine.queries", labels={"strategy": "virtual"}) == 3
+    assert metrics.counter("engine.queries", labels={"strategy": "tree"}) == 1
+    rows = metrics.counters_structured()
+    assert ("engine.queries", {}, 1) in rows
+    assert ("engine.queries", {"strategy": "virtual"}, 3) in rows
+    snapshot = metrics.snapshot()
+    assert snapshot["counters"]['engine.queries{strategy="virtual"}'] == 3
+    metrics.reset()
+    assert metrics.counter("engine.queries", labels={"strategy": "virtual"}) == 0
+
+
 def test_snapshot_shape():
     metrics = ServiceMetrics()
     metrics.incr("service.queries")

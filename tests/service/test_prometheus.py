@@ -1,0 +1,142 @@
+"""Prometheus exposition and /metrics content negotiation."""
+
+from __future__ import annotations
+
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs.prometheus import (
+    escape_label_value,
+    format_labels,
+    metric_name,
+    render_prometheus,
+)
+from repro.service import QueryService
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import ServiceServer
+from repro.workloads.books import books_document
+
+
+# -- pure renderer --------------------------------------------------------
+
+
+def test_metric_name_mapping():
+    assert metric_name("engine.query_seconds") == "repro_engine_query_seconds"
+    assert metric_name("cache.plan.hits") == "repro_cache_plan_hits"
+    assert metric_name("weird-name!", prefix="") == "weird_name_"
+    assert metric_name("9lives", prefix="") == "_9lives"
+
+
+def test_label_value_escaping():
+    assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+    assert escape_label_value("a\\b") == "a\\\\b"
+    assert escape_label_value("line\nbreak") == "line\\nbreak"
+    # Backslash first, so escaping is not applied to its own output.
+    assert escape_label_value('\\"') == '\\\\\\"'
+    assert format_labels({}) == ""
+    assert format_labels({"b": "2", "a": "1"}) == '{a="1",b="2"}'
+
+
+def test_counters_render_with_type_lines_and_labels():
+    metrics = ServiceMetrics()
+    metrics.incr("engine.queries", 3)
+    metrics.incr("engine.queries", labels={"strategy": "virtual"})
+    metrics.incr("engine.queries", 2, labels={"strategy": 'in"dexed'})
+    text = render_prometheus(metrics)
+    lines = text.splitlines()
+    assert "# TYPE repro_engine_queries counter" in lines
+    assert "repro_engine_queries 3" in lines
+    assert 'repro_engine_queries{strategy="virtual"} 1' in lines
+    assert 'repro_engine_queries{strategy="in\\"dexed"} 2' in lines
+    # One TYPE line per metric name, even with several labeled series.
+    assert lines.count("# TYPE repro_engine_queries counter") == 1
+    assert text.endswith("\n")
+
+
+def test_histogram_buckets_are_cumulative_and_monotone():
+    metrics = ServiceMetrics()
+    for seconds in (0.5e-6, 3e-6, 3.5e-6, 0.002, 1.5):
+        metrics.observe("engine.query_seconds", seconds)
+    text = render_prometheus(metrics)
+    buckets = []
+    for line in text.splitlines():
+        if line.startswith("repro_engine_query_seconds_bucket"):
+            buckets.append(int(line.rsplit(" ", 1)[1]))
+    assert buckets, "no bucket series rendered"
+    assert buckets == sorted(buckets)  # cumulative counts never decrease
+    assert buckets[-1] == 5  # the +Inf bucket equals _count
+    assert "repro_engine_query_seconds_count 5" in text
+    assert 'le="+Inf"' in text
+
+
+def test_storage_and_gauges_sections():
+    metrics = ServiceMetrics()
+    service = QueryService(pool_size=1)
+    service.load("book.xml", books_document(5, seed=3))
+    service.execute('doc("book.xml")//title')
+    text = render_prometheus(
+        metrics, storage=service.stats, extra_gauges={"cache.plan.entries": 1}
+    )
+    assert "# TYPE repro_storage_page_reads counter" in text
+    assert "# TYPE repro_cache_plan_entries gauge" in text
+    assert "repro_cache_plan_entries 1.0" in text
+
+
+# -- HTTP content negotiation ---------------------------------------------
+
+
+@pytest.fixture
+def server():
+    service = QueryService(pool_size=2)
+    service.load("book.xml", books_document(10, seed=5))
+    server = ServiceServer(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _get(server: ServiceServer, path: str, accept: str | None = None):
+    request = urllib.request.Request(f"http://127.0.0.1:{server.port}{path}")
+    if accept is not None:
+        request.add_header("Accept", accept)
+    return urllib.request.urlopen(request, timeout=10)
+
+
+def test_metrics_default_is_json(server):
+    with _get(server, "/metrics") as response:
+        assert "application/json" in response.headers["Content-Type"]
+        assert response.read().decode("utf-8").lstrip().startswith("{")
+
+
+def test_metrics_negotiates_prometheus_text(server):
+    server.service.execute('doc("book.xml")//title')
+    for path, accept in (
+        ("/metrics", "text/plain"),
+        ("/metrics", "application/openmetrics-text"),
+        ("/metrics?format=prometheus", None),
+    ):
+        with _get(server, path, accept=accept) as response:
+            content_type = response.headers["Content-Type"]
+            assert "text/plain; version=0.0.4" in content_type
+            body = response.read().decode("utf-8")
+        assert "# TYPE repro_service_queries counter" in body
+        assert "repro_service_queries 1" in body
+        assert "repro_engine_query_seconds_count" in body
+        assert "repro_storage_index_range_scans" in body
+        assert "repro_cache_plan_entries" in body
+
+
+def test_strategy_labels_reach_the_exposition(server):
+    server.service.execute(
+        'virtualDoc("book.xml", "title { author { name } }")//title'
+    )
+    server.service.execute('doc("book.xml")//title')
+    with _get(server, "/metrics", accept="text/plain") as response:
+        body = response.read().decode("utf-8")
+    assert 'repro_engine_queries{strategy="virtual"} 1' in body
+    assert 'repro_engine_queries{strategy="indexed"} 1' in body
