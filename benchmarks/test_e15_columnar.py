@@ -1,0 +1,59 @@
+"""E15 — columnar batch kernels vs the scalar per-item axis loop.
+
+Each benchmark times a whole ``engine.execute`` of a single axis step
+over a fixed-size context set (fed through ``$ctx`` so the size is
+exact), once with the columnar merge-join kernels and once with the
+per-pair predicate loop.  The ordering axes are where the asymptotics
+differ — O(groups log n) bisections vs O(contexts x candidates)
+predicate calls — so those carry the regression gate
+(``scripts/check_bench_regression.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.engine import Engine
+from repro.query.eval import Evaluator
+from repro.workloads.books import books_document
+from repro.workloads import queries as Q
+
+_AXES = ["child", "descendant", "preceding", "following", "following-sibling"]
+_SIZES = [64, 256]
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    engine = Engine()
+    engine.load("book.xml", books_document(books=300, seed=2))
+    engine.virtual("book.xml", Q.BOOKS_INVERT.spec)
+    view = f'virtualDoc("book.xml", "{Q.BOOKS_INVERT.spec}")'
+    virtual_pool = engine.execute(f"{view}//title").items
+    indexed_pool = engine.execute('doc("book.xml")//title', mode="indexed").items
+    return engine, virtual_pool, indexed_pool
+
+
+@pytest.fixture(params=[False, True], ids=["scalar", "columnar"])
+def kernel(request, monkeypatch):
+    monkeypatch.setattr(Evaluator, "use_batch_kernels", request.param)
+    return request.param
+
+
+@pytest.mark.parametrize("size", _SIZES)
+@pytest.mark.parametrize("axis", _AXES)
+def test_virtual_axis_step(benchmark, contexts, kernel, axis, size):
+    engine, virtual_pool, _ = contexts
+    ctx = virtual_pool[:size]
+    query = f"$ctx/{axis}::*"
+    benchmark(lambda: engine.execute(query, variables={"ctx": ctx}))
+
+
+@pytest.mark.parametrize("size", _SIZES)
+@pytest.mark.parametrize("axis", _AXES)
+def test_indexed_axis_step(benchmark, contexts, kernel, axis, size):
+    engine, _, indexed_pool = contexts
+    ctx = indexed_pool[:size]
+    query = f"$ctx/{axis}::*"
+    benchmark(
+        lambda: engine.execute(query, mode="indexed", variables={"ctx": ctx})
+    )

@@ -1,0 +1,92 @@
+"""Bench-regression gate for the columnar kernels (CI smoke).
+
+Runs the E15 collection (batch vs per-pair axis evaluation) plus the E2
+PBN-predicate baseline, writes the combined results to ``BENCH_e15.json``,
+and fails when the columnar preceding/following kernels cost more than
+2x a plain PBN predicate evaluation per candidate pair — the kernels'
+whole point is that batch evaluation amortizes below the per-pair loop's
+floor, so crossing that line is a regression even if the suite is green.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py            # CI smoke
+    PYTHONPATH=src python scripts/check_bench_regression.py --full     # full E15
+
+The smoke profile keeps CI under a minute; ``--full`` reproduces the
+committed ``BENCH_e15.json`` (books=1024, context sets up to 1024).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import collect_e15
+from repro.bench.harness import per_op_ns
+from repro.pbn import axes as pbn_axes
+from repro.workloads.books import books_document
+from repro.storage.store import DocumentStore
+
+GATE_AXES = ("preceding", "following")
+GATE_FACTOR = 2.0
+
+
+def pbn_predicate_baseline(books: int = 200, pairs: int = 2000) -> dict[str, float]:
+    """E2's per-comparison PBN predicate cost for the gated axes."""
+    store = DocumentStore(books_document(books=books, seed=2))
+    numbers = [
+        node.pbn
+        for node in store.document.iter_descendants()
+        if node.pbn is not None
+    ]
+    rng = random.Random(5)
+    sample = [(rng.choice(numbers), rng.choice(numbers)) for _ in range(pairs)]
+    baseline = {}
+    for axis in GATE_AXES:
+        predicate = pbn_axes.AXIS_PREDICATES[axis]
+
+        def run():
+            for a, b in sample:
+                predicate(a, b)
+
+        baseline[axis] = per_op_ns(run, len(sample))
+    return baseline
+
+
+def main(argv: list[str]) -> int:
+    full = "--full" in argv
+    if full:
+        results = collect_e15(books=1024, sizes=(16, 64, 256, 1024), repeat=3)
+    else:
+        results = collect_e15(books=256, sizes=(16, 64, 256), repeat=2)
+    results["pbn_predicate_ns"] = pbn_predicate_baseline()
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_e15.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    failures: list[str] = []
+    for mode_name, per_axis in results["modes"].items():
+        for axis in GATE_AXES:
+            sizes = per_axis[axis]
+            largest = sizes[max(sizes, key=int)]
+            limit = GATE_FACTOR * results["pbn_predicate_ns"][axis]
+            verdict = "ok" if largest["batch_ns_per_pair"] <= limit else "FAIL"
+            print(
+                f"{mode_name:8s} {axis:18s} batch {largest['batch_ns_per_pair']:8.1f}"
+                f" ns/pair vs {GATE_FACTOR:.0f}x PBN {limit:8.1f} ns  {verdict}"
+            )
+            if verdict == "FAIL":
+                failures.append(f"{mode_name}/{axis}")
+    if failures:
+        print(f"bench regression: batch overhead above {GATE_FACTOR}x PBN "
+              f"for {', '.join(failures)}")
+        return 1
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1032,3 +1032,114 @@ def e14_durable_updates() -> list[Table]:
         ]
     )
     return [throughput, recovery, stability]
+
+
+# ---------------------------------------------------------------------------
+# E15 — columnar batch kernels vs the scalar per-item path
+# ---------------------------------------------------------------------------
+
+
+def collect_e15(
+    books: int = 1024,
+    sizes: tuple[int, ...] = (16, 64, 256, 1024),
+    repeat: int = 3,
+) -> dict:
+    """Raw batch-vs-scalar timings for every kernel-covered axis.
+
+    Contexts are sampled title nodes fed in through ``$ctx`` so the
+    context-set size is exact; each (axis, size) cell times a full
+    ``engine.execute`` with :attr:`Evaluator.use_batch_kernels` off
+    (the per-pair predicate loop) and on (the columnar merge-joins).
+    ``pairs`` is contexts x candidates — the work the scalar ordering
+    axes actually do — so per-pair nanoseconds are comparable with the
+    E2 per-predicate figures.
+    """
+    from repro.query.eval import Evaluator
+
+    engine = Engine()
+    engine.load("book.xml", books_document(books=books, seed=2))
+    engine.virtual("book.xml", Q.BOOKS_INVERT.spec)
+    view = f'virtualDoc("book.xml", "{Q.BOOKS_INVERT.spec}")'
+    pools = {
+        "virtual": (engine.execute(f"{view}//title").items, None),
+        "indexed": (
+            engine.execute('doc("book.xml")//title', mode="indexed").items,
+            "indexed",
+        ),
+    }
+    candidates = {
+        "virtual": len(engine.execute(f"{view}//*").items),
+        "indexed": len(engine.execute('doc("book.xml")//*', mode="indexed").items),
+    }
+    axes = [
+        "child",
+        "descendant",
+        "following",
+        "preceding",
+        "following-sibling",
+        "preceding-sibling",
+    ]
+    results: dict = {"books": books, "modes": {}, "candidates": candidates}
+    saved = Evaluator.use_batch_kernels
+    try:
+        for mode_name, (pool, mode) in pools.items():
+            per_axis: dict = {}
+            for axis in axes:
+                query = f"$ctx/{axis}::*"
+                per_size: dict = {}
+                for size in sizes:
+                    ctx = pool[: min(size, len(pool))]
+
+                    def run():
+                        engine.execute(query, mode=mode, variables={"ctx": ctx})
+
+                    Evaluator.use_batch_kernels = False
+                    scalar_s = best_of(run, repeat)
+                    Evaluator.use_batch_kernels = True
+                    batch_s = best_of(run, repeat)
+                    pairs = len(ctx) * candidates[mode_name]
+                    per_size[str(len(ctx))] = {
+                        "scalar_s": scalar_s,
+                        "batch_s": batch_s,
+                        "speedup": scalar_s / batch_s,
+                        "pairs": pairs,
+                        "batch_ns_per_pair": batch_s / pairs * 1e9,
+                    }
+                per_axis[axis] = per_size
+            results["modes"][mode_name] = per_axis
+    finally:
+        Evaluator.use_batch_kernels = saved
+    return results
+
+
+@experiment("e15")
+def e15_columnar() -> list[Table]:
+    """Columnar merge-join kernels vs the per-pair predicate loop."""
+    results = collect_e15()
+    tables = []
+    for mode_name, per_axis in results["modes"].items():
+        table = Table(
+            f"e15-{mode_name}",
+            f"batch vs per-pair axis evaluation, {mode_name} navigator "
+            f"(books={results['books']})",
+            ["axis", "contexts", "scalar ms", "batch ms", "speedup"],
+            notes=[
+                "expected shape: speedup grows with context-set size; the "
+                "ordering axes (preceding/following) gain the most because "
+                "the scalar path is O(contexts x candidates) while the "
+                "merge-join is one bisection per context group"
+            ],
+        )
+        for axis, per_size in per_axis.items():
+            for size, cell in per_size.items():
+                table.rows.append(
+                    [
+                        axis,
+                        int(size),
+                        seconds(cell["scalar_s"] * 1e3),
+                        seconds(cell["batch_s"] * 1e3),
+                        seconds(cell["speedup"]),
+                    ]
+                )
+        tables.append(table)
+    return tables

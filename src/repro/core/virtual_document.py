@@ -29,6 +29,7 @@ from repro.core.vpbn import VPbn
 from repro.dataguide.build import build_dataguide
 from repro.dataguide.guide import DataGuide, GuideType
 from repro.pbn.assign import assign_numbers
+from repro.pbn.columnar import Column, subtree_bound
 from repro.vdataguide.ast import VGuide, VType
 from repro.xmlmodel.nodes import Attribute, Document, Element, Node, NodeKind, Text
 
@@ -41,17 +42,22 @@ class VNode:
     :class:`VirtualDocument` it came from; it carries no identity.
     """
 
-    __slots__ = ("vtype", "node", "_vdoc")
+    __slots__ = ("vtype", "node", "_vdoc", "_vpbn")
 
     def __init__(self, vtype: VType, node: Node, vdoc: "Optional[VirtualDocument]" = None) -> None:
         self.vtype = vtype
         self.node = node
         self._vdoc = vdoc
+        self._vpbn: Optional[VPbn] = None
 
     @property
     def vpbn(self) -> VPbn:
-        """The node's vPBN number at this virtual position."""
-        return VPbn(self.node.pbn, self.vtype)
+        """The node's vPBN number at this virtual position (memoized —
+        ordering axes read it once per comparison)."""
+        cached = self._vpbn
+        if cached is None:
+            cached = self._vpbn = VPbn(self.node.pbn, self.vtype)
+        return cached
 
     @property
     def name(self) -> str:
@@ -97,6 +103,12 @@ class VirtualDocument:
         self._nodes_by_type: dict[GuideType, list[Node]] = {}
         self._keys_by_type: dict[GuideType, list[tuple[int, ...]]] = {}
         self._reachable: dict[VType, list[Node]] = {}
+        # Lazy columnar views for the batch kernels: per original type
+        # (sharing the _keys_by_type spine) and per virtual type (over the
+        # reachable instances only).  The virtual document is immutable —
+        # updates publish a new one — so these never invalidate piecemeal.
+        self._columns: dict[GuideType, Column] = {}
+        self._reachable_columns: dict[VType, tuple[Column, list[Node]]] = {}
         # Reentrant: reachability recurses parent-ward under the lock.  A
         # view cached by the service is navigated from several engine
         # threads at once; the lock keeps the lazy memos single-build.
@@ -164,9 +176,42 @@ class VirtualDocument:
         if keys is None:
             return []
         low = bisect_left(keys, prefix)
-        upper = prefix[:-1] + (prefix[-1] + 1,)
-        high = bisect_left(keys, upper, low)
+        # Fraction-safe subtree bound (a careted 5/2 sibling must not
+        # fall inside 2's child range), see repro.pbn.columnar.
+        high = bisect_left(keys, subtree_bound(prefix), low)
         return self._nodes_by_type[original][low:high]
+
+    def column(self, original: GuideType) -> Optional[tuple[Column, list[Node]]]:
+        """The type's document-ordered key column plus the row-aligned
+        node list (lazy; the column shares the index spine, copying
+        nothing).  ``None`` for a type with no instances."""
+        column = self._columns.get(original)
+        if column is None:
+            keys = self._keys_by_type.get(original)
+            if not keys:
+                return None
+            with self._memo_lock:
+                column = self._columns.get(original)
+                if column is None:
+                    column = Column(keys)
+                    self._columns[original] = column
+        return column, self._nodes_by_type[original]
+
+    def reachable_column(self, vtype: VType) -> Optional[tuple[Column, list[Node]]]:
+        """Like :meth:`column` but over the *reachable* instances of one
+        virtual type — the candidate set of the ordering axes."""
+        entry = self._reachable_columns.get(vtype)
+        if entry is None:
+            self.reachable_instances(vtype)  # populate self._reachable
+            nodes = self._reachable[vtype]
+            if not nodes:
+                return None
+            with self._memo_lock:
+                entry = self._reachable_columns.get(vtype)
+                if entry is None:
+                    entry = (Column([node.pbn.components for node in nodes]), nodes)
+                    self._reachable_columns[vtype] = entry
+        return entry
 
     def children(self, vnode: VNode) -> list[VNode]:
         """Virtual children of ``vnode``, in virtual sibling order:

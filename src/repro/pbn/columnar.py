@@ -1,0 +1,131 @@
+"""Columnar PBN key storage: per-type, document-ordered key columns.
+
+The paper reduces every axis test to *number comparisons*; this module
+stores the numbers the way a column store would so whole context sets can
+be answered with binary searches over one flat, sorted spine instead of a
+predicate call per (candidate, context) pair.
+
+A :class:`Column` wraps a type's posting list — the component tuples of
+every node of one (Data)Guide type, in document order, which for tuples is
+exactly sorted order.  The wrapped list is *shared by reference* with the
+type index / virtual document that owns it (building a column copies
+nothing); the column adds:
+
+* the fixed component ``width`` of the type (every node of a guide type
+  sits at one original depth, so all keys have equal length — the
+  invariant the ``preceding`` kernel's prefix-exclusion relies on);
+* bisect helpers phrased in subtree terms (:meth:`prefix_bounds`,
+  :meth:`row_of`), built on :func:`subtree_bound`;
+* an optional *packed* encoding — one flat ``array('q')`` of
+  ``len * width`` machine words — materialized lazily for space accounting
+  and serialization when every component is an ``int`` (columns holding
+  ORDPATH-minted :class:`~fractions.Fraction` components stay tuple-only).
+
+**Fraction safety.**  Update operations mint rational components, so the
+upper bound of a subtree scan must *not* be computed with ``last + 1``: a
+careted sibling ``5/2`` sits strictly between ``2`` and ``3`` and would
+leak into the range.  :func:`subtree_bound` appends an infinite sentinel
+component instead — ``key + (inf,)`` is greater than every extension of
+``key`` and smaller than everything after the subtree, for any mix of
+integer and rational components.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Optional, Sequence
+
+#: Sentinel strictly greater than any PBN component (ints and positive
+#: Fractions both compare below it), used to bound subtree ranges.
+TOP = float("inf")
+
+Key = tuple
+
+#: Cache sentinel for columns that cannot be packed (ragged width or
+#: rational components).
+_UNPACKABLE = array("q")
+
+
+def subtree_bound(key: Key) -> Key:
+    """The exclusive upper bound of ``key``'s subtree: sorted keys ``k``
+    with ``key <= k < subtree_bound(key)`` are exactly ``key`` and its
+    extensions (fraction-safe — no ``+ 1`` on the last component)."""
+    return key + (TOP,)
+
+
+class Column:
+    """A type's keys in document order, with bisect kernel primitives.
+
+    :param keys: sorted component tuples; held by reference (the caller's
+        posting list *is* the column spine — do not mutate it while the
+        column is alive; owners drop the column instead).
+    """
+
+    __slots__ = ("keys", "width", "_packed")
+
+    def __init__(self, keys: Sequence[Key]) -> None:
+        self.keys = keys
+        width = len(keys[0]) if keys else 0
+        for key in keys:
+            if len(key) != width:
+                width = -1  # ragged: kernels needing a fixed width bail
+                break
+        self.width = width
+        self._packed: Optional[array] = None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    # -- bisect primitives ---------------------------------------------------
+
+    def lower(self, key: Key, lo: int = 0, hi: Optional[int] = None) -> int:
+        """First row >= ``key``."""
+        return bisect_left(self.keys, key, lo, len(self.keys) if hi is None else hi)
+
+    def prefix_bounds(
+        self, prefix: Key, lo: int = 0, hi: Optional[int] = None
+    ) -> tuple[int, int]:
+        """Half-open row range of keys starting with ``prefix`` (the
+        subtree run; the whole column for an empty prefix)."""
+        if hi is None:
+            hi = len(self.keys)
+        if not prefix:
+            return (lo, hi)
+        low = bisect_left(self.keys, prefix, lo, hi)
+        high = bisect_left(self.keys, subtree_bound(prefix), low, hi)
+        return (low, high)
+
+    def row_of(self, key: Key) -> int:
+        """Exact row of ``key``, or ``-1`` when absent."""
+        keys = self.keys
+        row = bisect_left(keys, key)
+        if row < len(keys) and keys[row] == key:
+            return row
+        return -1
+
+    # -- packed encoding -----------------------------------------------------
+
+    def packed(self) -> Optional[array]:
+        """The flat ``array('q')`` encoding (``len * width`` words), or
+        ``None`` when the column is ragged or holds rational components.
+        Built once, cached."""
+        if self._packed is None:
+            if self.width <= 0:
+                self._packed = _UNPACKABLE
+            else:
+                try:
+                    self._packed = array(
+                        "q", (component for key in self.keys for component in key)
+                    )
+                except (TypeError, OverflowError):
+                    self._packed = _UNPACKABLE  # Fractions stay tuple-only
+        return None if self._packed is _UNPACKABLE else self._packed
+
+    def packed_nbytes(self) -> int:
+        """Size of the packed encoding in bytes (0 when unavailable)."""
+        packed = self.packed()
+        return packed.itemsize * len(packed) if packed is not None else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Column({len(self.keys)} keys, width={self.width})"

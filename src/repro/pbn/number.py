@@ -22,6 +22,25 @@ from typing import Iterator
 
 from repro.errors import NumberingError
 
+#: Bounded intern table for component tuples.  Axis predicates and index
+#: probes compare the same small tuples millions of times; interning makes
+#: the common equality checks pointer comparisons (tuple ``==`` short-
+#: circuits on identity) and deduplicates storage.  The cap keeps a
+#: pathological document from growing the table without bound; past it,
+#: construction degrades gracefully to uninterned tuples.
+_INTERNED: dict[tuple, tuple] = {}
+_INTERN_CAP = 1 << 17
+
+
+def intern_components(components: tuple) -> tuple:
+    """The canonical instance of ``components`` (bounded memo)."""
+    cached = _INTERNED.get(components)
+    if cached is not None:
+        return cached
+    if len(_INTERNED) < _INTERN_CAP:
+        _INTERNED[components] = components
+    return components
+
 
 class Pbn:
     """An immutable prefix-based (Dewey) number.
@@ -62,7 +81,7 @@ class Pbn:
                 int(c) if isinstance(c, Fraction) and c.denominator == 1 else c
                 for c in components
             )
-        object.__setattr__(self, "components", components)
+        object.__setattr__(self, "components", intern_components(components))
 
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Pbn is immutable")

@@ -44,6 +44,11 @@ class Evaluator:
         selected by the item kind, not the mode.
     """
 
+    #: Columnar batch kernels evaluate predicate-free steps over whole
+    #: context sets (class-level switch so tests and benchmarks can force
+    #: the scalar per-item path; results are identical either way).
+    use_batch_kernels = True
+
     def __init__(self, engine, mode: str = "indexed") -> None:
         if mode not in ("indexed", "tree"):
             raise QueryEvaluationError(f"unknown evaluation mode {mode!r}")
@@ -51,6 +56,7 @@ class Evaluator:
         self.mode = mode
         self._tree_nav = TreeNavigator()
         self._virtual_nav = VirtualNavigator(engine.stats, metrics=engine.metrics)
+        self._last_kernel = "scalar"
 
     # ------------------------------------------------------------------ dispatch
 
@@ -138,6 +144,7 @@ class Evaluator:
             out = self._apply_step_inner(items, step, context)
             step_span.add("items_in", len(items))
             step_span.add("items_out", len(out))
+            step_span.set("kernel", self._last_kernel)
             if step.predicates:
                 step_span.add("predicates", len(step.predicates))
             return out
@@ -145,6 +152,13 @@ class Evaluator:
     def _apply_step_inner(
         self, items: list, step: ast.Step, context: Context
     ) -> list:
+        if self.use_batch_kernels and items and not step.predicates:
+            batched = self._step_many(items, step.axis, step.test)
+            if batched is not None:
+                # Batch kernels return the step's final form directly:
+                # deduplicated, document order.
+                self._last_kernel = "columnar"
+                return batched
         out: list = []
         for item in items:
             if not is_node(item):
@@ -157,6 +171,9 @@ class Evaluator:
             for predicate in step.predicates:
                 candidates = self._filter(candidates, predicate, context)
             out.extend(candidates)
+        # Set last (not first): predicate evaluation recurses into nested
+        # steps, and those must not leave their kernel tag on this span.
+        self._last_kernel = "scalar"
         # ... but the step's result is always document order, deduplicated.
         if len(items) == 1:
             # Navigators return axis-ordered, duplicate-free results for a
@@ -165,6 +182,36 @@ class Evaluator:
                 out.reverse()
             return out
         return self.document_order(out)
+
+    def _step_many(self, items: list, axis: str, test: ast.NodeTest):
+        """Route a whole context set to one navigator's batch kernel, or
+        return ``None`` when the set is heterogeneous (mixed containers,
+        atomics, document items) or no kernel covers the axis."""
+        first = items[0]
+        if isinstance(first, VNode):
+            vdoc = first._vdoc
+            if vdoc is not None and all(
+                isinstance(item, VNode) and item._vdoc is vdoc for item in items
+            ):
+                return self._virtual_nav.step_many(items, axis, test)
+            return None
+        if (
+            self.mode == "indexed"
+            and isinstance(first, Node)
+            and not isinstance(first, Document)
+        ):
+            store = self.engine.store_of(first)
+            if store is None:
+                return None
+            for item in items:
+                if (
+                    not isinstance(item, Node)
+                    or isinstance(item, Document)
+                    or self.engine.store_of(item) is not store
+                ):
+                    return None
+            return self.engine.indexed_navigator(store).step_many(items, axis, test)
+        return None
 
     def _step(self, item: Any, axis: str, test: ast.NodeTest) -> list:
         if isinstance(item, (VNode, VirtualDocItem)):

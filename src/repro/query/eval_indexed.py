@@ -16,6 +16,8 @@ from __future__ import annotations
 from repro.dataguide.guide import GuideType
 from repro.obs.trace import span_add
 from repro.pbn import axes
+from repro.pbn.columnar import subtree_bound
+from repro.query import joins
 from repro.query.ast import NodeTest
 from repro.query.eval_tree import matches_test
 from repro.storage.store import DocumentStore
@@ -203,3 +205,188 @@ class IndexedNavigator:
                 found.append(candidate)
         found.reverse()  # reverse axis order
         return found
+
+    # -- batch (columnar) kernels --------------------------------------------------
+
+    def step_many(self, nodes: list[Node], axis: str, test: NodeTest):
+        """Evaluate a predicate-free step over a whole context set (all
+        element/attribute/text nodes of this store) in one pass with the
+        columnar merge-join kernels over the type index.
+
+        Returns the step's *final* result — deduplicated, document order —
+        or ``None`` when no kernel covers the axis (the evaluator falls
+        back to the per-item path)."""
+        handler = self._BATCH_AXES.get(axis)
+        if handler is None:
+            return None
+        out = handler(self, nodes, test, axis)
+        if out is None:
+            return None
+        if self.metrics is not None:
+            self.metrics.incr("navigator.indexed.steps", len(nodes))
+        span_add("steps.indexed", len(nodes))
+        return out
+
+    def _column_of(self, guide_type: GuideType):
+        return self.store.type_index.column(self.store.type_id(guide_type))
+
+    def _by_guide_type(self, nodes: list[Node]):
+        """Context nodes grouped as ``(guide_type, sorted keys)``."""
+        groups: dict[int, tuple[GuideType, list[tuple]]] = {}
+        for node in nodes:
+            guide_type = self.store.type_of(node)
+            entry = groups.get(id(guide_type))
+            if entry is None:
+                groups[id(guide_type)] = (guide_type, [node.pbn.components])
+            else:
+                entry[1].append(node.pbn.components)
+        return [(guide_type, sorted(keys)) for guide_type, keys in groups.values()]
+
+    def _scan_runs(self, guide_type: GuideType, prefixes: list[tuple]) -> list[tuple]:
+        """Keys of ``guide_type`` under any of the (sorted, equal-width,
+        distinct) prefixes — one moving-cursor pass over the type's column."""
+        stats = self.store.stats
+        column = self._column_of(guide_type)
+        if column is None:
+            stats.index_range_scans += 1
+            span_add("index.range_scans")
+            return []
+        rows, scans = joins.prefix_run_rows(column, prefixes)
+        stats.index_range_scans += scans
+        span_add("index.range_scans", scans)
+        keys = column.keys
+        return [keys[row] for row in rows]
+
+    def _batch_child_like(self, nodes, test, axis):
+        keys: list[tuple] = []
+        for guide_type, ctx_keys in self._by_guide_type(nodes):
+            for child_type in self._matching_types(guide_type.children, test, axis):
+                keys.extend(self._scan_runs(child_type, ctx_keys))
+        keys.sort()  # child ranges of distinct parents are disjoint: no dedup
+        return [self.store.node_by_components(key) for key in keys]
+
+    def _batch_descendant(self, nodes, test, axis):
+        # Context subtrees can nest across groups, so collect into a set.
+        keys: set[tuple] = set()
+        for guide_type, ctx_keys in self._by_guide_type(nodes):
+            descendant_types = [
+                t for t in guide_type.iter_subtree() if t is not guide_type
+            ]
+            for desc_type in self._matching_types(descendant_types, test, "descendant"):
+                keys.update(self._scan_runs(desc_type, ctx_keys))
+        if axis == "descendant-or-self":
+            keys.update(
+                node.pbn.components
+                for node in nodes
+                if matches_test(node.kind, node.name, test, axis)
+            )
+        return [self.store.node_by_components(key) for key in sorted(keys)]
+
+    def _batch_parent(self, nodes, test, axis):
+        include_document = False
+        prefixes: set[tuple] = set()
+        for node in nodes:
+            if len(node.pbn) == 1:
+                include_document = include_document or test.kind == "node"
+            else:
+                prefixes.add(node.pbn.components[:-1])
+        found: list[Node] = []
+        for prefix in sorted(prefixes):
+            parent = self.store.node_by_components(prefix)
+            if matches_test(parent.kind, parent.name, test, "parent"):
+                found.append(parent)
+        if include_document:
+            return [self.store.document, *found]
+        return found
+
+    def _batch_ancestor(self, nodes, test, axis):
+        or_self = axis == "ancestor-or-self"
+        # key -> already accepted (as a matching self); proper-ancestor
+        # prefixes still need the test applied.
+        accept: dict[tuple, bool] = {}
+        for node in nodes:
+            components = node.pbn.components
+            for length in range(1, len(components)):
+                accept.setdefault(components[:length], False)
+        if or_self:
+            for node in nodes:
+                if matches_test(node.kind, node.name, test, axis):
+                    accept[node.pbn.components] = True
+        found: list[Node] = []
+        for key in sorted(accept):
+            node = self.store.node_by_components(key)
+            if accept[key] or matches_test(node.kind, node.name, test, "ancestor"):
+                found.append(node)
+        if test.kind == "node":
+            return [self.store.document, *found]
+        return found
+
+    def _batch_ordering(self, nodes, test, axis):
+        stats = self.store.stats
+        preceding = axis == "preceding"
+        ctx_keys = [node.pbn.components for node in nodes]
+        keys: list[tuple] = []
+        for guide_type in self._matching_types(
+            self.store.guide.iter_types(), test, axis
+        ):
+            column = self._column_of(guide_type)
+            if column is None:
+                continue
+            stats.index_range_scans += 1
+            span_add("index.range_scans")
+            stats.comparisons += 1  # one bisect decides the whole column
+            column_keys = column.keys
+            if preceding:
+                upto, exclude = joins.preceding_bounds(column, ctx_keys)
+                keys.extend(
+                    column_keys[row] for row in range(upto) if row != exclude
+                )
+            else:
+                start = joins.following_start(column, ctx_keys)
+                keys.extend(column_keys[start:])
+        keys.sort()  # distinct types hold distinct keys: no dedup
+        return [self.store.node_by_components(key) for key in keys]
+
+    def _batch_siblings(self, nodes, test, axis):
+        stats = self.store.stats
+        preceding = axis == "preceding-sibling"
+        keys: set[tuple] = set()  # contexts sharing a parent overlap
+        for node in nodes:
+            ref = node.pbn.components
+            if len(ref) == 1:
+                sibling_types = self.store.guide.roots
+                prefix: tuple = ()
+            else:
+                parent_type = self.store.type_of(node).parent
+                assert parent_type is not None
+                sibling_types = parent_type.children
+                prefix = ref[:-1]
+            for sibling_type in self._matching_types(sibling_types, test, "sibling"):
+                column = self._column_of(sibling_type)
+                stats.index_range_scans += 1
+                span_add("index.range_scans")
+                if column is None:
+                    continue
+                low, high = joins.sibling_run(column, prefix)
+                stats.comparisons += 1  # run split at the context key
+                if preceding:
+                    start, end = low, column.lower(ref, low, high)
+                else:
+                    start, end = column.lower(subtree_bound(ref), low, high), high
+                column_keys = column.keys
+                keys.update(column_keys[row] for row in range(start, end))
+        return [self.store.node_by_components(key) for key in sorted(keys)]
+
+    _BATCH_AXES = {
+        "child": _batch_child_like,
+        "attribute": _batch_child_like,
+        "descendant": _batch_descendant,
+        "descendant-or-self": _batch_descendant,
+        "parent": _batch_parent,
+        "ancestor": _batch_ancestor,
+        "ancestor-or-self": _batch_ancestor,
+        "following": _batch_ordering,
+        "preceding": _batch_ordering,
+        "following-sibling": _batch_siblings,
+        "preceding-sibling": _batch_siblings,
+    }

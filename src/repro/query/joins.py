@@ -1,0 +1,153 @@
+"""Structural merge-join kernels over columnar PBN keys.
+
+Each kernel answers one axis for a whole *context set* against one
+:class:`~repro.pbn.columnar.Column` (a type's keys in document order),
+returning row indexes into the column.  The per-pair predicate loop the
+navigators otherwise run is O(candidates x contexts); these are
+O((contexts + output) * log candidates) bisect compositions built on three
+facts about sorted Dewey keys:
+
+* a subtree is one contiguous run — ``[key, key + (inf,))``;
+* within one type's column every key has the same width, so no column key
+  is a proper prefix of another;
+* the union of ``following`` sets is a suffix of the column and the union
+  of ``preceding`` sets is a prefix of it minus at most one ancestor row.
+
+The kernels are pure (no stats, no node materialization); the navigators
+translate rows to nodes and do the counting.  Everything here is
+fraction-safe: bounds come from :func:`~repro.pbn.columnar.subtree_bound`,
+never from ``last component + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.pbn.columnar import Column, Key, subtree_bound
+from repro.vdataguide.ast import VType
+
+
+def staircase(keys: Sequence[Key]) -> list[Key]:
+    """Drop keys that extend an earlier key (input sorted ascending).
+
+    The survivors' subtrees are pairwise disjoint and cover the union of
+    all input subtrees — the classic stack-based ancestor-descendant
+    staircase, collapsed to a single comparison per key because a kept
+    key's extensions follow it contiguously in sorted order.
+    """
+    kept: list[Key] = []
+    for key in keys:
+        if kept:
+            top = kept[-1]
+            if key[: len(top)] == top:
+                continue
+        kept.append(key)
+    return kept
+
+
+def descendant_rows(
+    column: Column, context_keys: Sequence[Key], or_self: bool = False
+) -> tuple[list[int], int]:
+    """Rows of ``column`` inside the subtree of any context key (proper
+    descendants unless ``or_self``).  Returns ``(rows, range_scans)``;
+    rows come out ascending and duplicate-free because the staircased
+    subtree runs are disjoint."""
+    tops = staircase(sorted(set(context_keys)))
+    keys = column.keys
+    rows: list[int] = []
+    cursor = 0
+    for top in tops:
+        low, high = column.prefix_bounds(top, cursor)
+        cursor = high
+        for row in range(low, high):
+            if not or_self and keys[row] == top:
+                continue
+            rows.append(row)
+    return rows, len(tops)
+
+
+def prefix_run_rows(
+    column: Column, prefixes: Sequence[Key]
+) -> tuple[list[int], int]:
+    """Rows whose key starts with any of ``prefixes`` (sorted, equal
+    length, distinct — e.g. the child ranges below a set of parents).
+    The runs are disjoint, so rows come out ascending, duplicate-free."""
+    rows: list[int] = []
+    cursor = 0
+    for prefix in prefixes:
+        low, high = column.prefix_bounds(prefix, cursor)
+        cursor = high
+        rows.extend(range(low, high))
+    return rows, len(prefixes)
+
+
+def following_start(column: Column, context_keys: Sequence[Key]) -> int:
+    """First row of the ``following``-union suffix: a key follows *some*
+    context key iff it sorts at or after the smallest context subtree
+    bound (after a subtree means after the key and outside its subtree)."""
+    bound = min(subtree_bound(key) for key in context_keys)
+    return column.lower(bound)
+
+
+def preceding_bounds(
+    column: Column, context_keys: Sequence[Key]
+) -> tuple[int, int]:
+    """The ``preceding``-union prefix of the column as ``(upto,
+    exclude_row)``: rows ``[0, upto)`` qualify except ``exclude_row``
+    (``-1`` when none).
+
+    A key x precedes some context key iff ``x < max_context`` and x is
+    not a prefix of ``max_context`` (smaller contexts add nothing: any x
+    preceding them also precedes the maximum, and an x preceding some y
+    while prefixing the maximum would have to follow its own subtree).
+    Fixed width means the column holds at most *one* prefix of the
+    maximum — the single excluded row.
+    """
+    bound = max(context_keys)
+    upto = column.lower(bound)
+    exclude = -1
+    width = column.width
+    if 0 < width <= len(bound):
+        exclude = column.row_of(bound[:width])
+        if exclude >= upto:
+            exclude = -1
+    return upto, exclude
+
+
+def sibling_run(
+    column: Column, run_prefix: Key, lo: int = 0, hi: Optional[int] = None
+) -> tuple[int, int]:
+    """Row range of the sibling run identified by ``run_prefix`` (the
+    shared parent-identifying components), clamped to ``[lo, hi)``."""
+    return column.prefix_bounds(run_prefix, lo, hi)
+
+
+def aligned_limit(candidate: VType, reference: VType) -> int:
+    """Length of the *aligned fast prefix* between two virtual types of
+    one virtual tree: the longest p such that for every position i < p
+    the two level arrays agree and the shared virtual ancestor type at
+    that level is identical.
+
+    Keys of the candidate type whose first ``p`` components diverge from
+    a reference key's first ``p`` components are ordered by the
+    diverging component alone (the ``v_preceding`` fast path), with no
+    possible kinship; only candidates agreeing on the whole aligned
+    prefix need the stratified scalar predicate.  Both conditions are
+    prefix-closed (level arrays are non-decreasing and chains share a
+    prefix), so a single cutoff captures the fast region.
+    """
+    xa = candidate.level_array
+    ya = reference.level_array
+    if xa is None or ya is None:
+        return 0
+    chain_x = candidate.chain()
+    chain_y = reference.chain()
+    limit = 0
+    for i in range(min(len(xa), len(ya))):
+        if xa[i] != ya[i]:
+            break
+        level = xa[i]
+        if chain_x[level - 1] is not chain_y[level - 1]:
+            break
+        limit += 1
+    return limit

@@ -18,6 +18,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.errors import StorageError
 from repro.obs.trace import span_add
+from repro.pbn.columnar import Column, subtree_bound
 from repro.pbn.number import Pbn
 from repro.storage.stats import StorageStats
 
@@ -28,27 +29,50 @@ class TypeIndex:
     def __init__(self, stats: StorageStats | None = None):
         self.stats = stats if stats is not None else StorageStats()
         self._postings: dict[int, list[tuple[int, ...]]] = {}
+        # Lazy per-type Column views over the posting lists (shared spine,
+        # zero copy) used by the batch merge-join kernels.  Invalidation is
+        # per type: a mutation drops only the touched type's column.
+        self._columns: dict[int, Column] = {}
 
     def append(self, type_id: int, number: Pbn) -> None:
         """Add a number to a type's posting list.  Numbers must arrive in
         document order (they do when loading a document front to back)."""
+        self._columns.pop(type_id, None)
         self._postings.setdefault(type_id, []).append(number.components)
+
+    def column(self, type_id: int) -> Column | None:
+        """The type's keys as a :class:`~repro.pbn.columnar.Column`
+        (built lazily over the live posting list), or ``None`` for a type
+        with no postings."""
+        column = self._columns.get(type_id)
+        if column is None:
+            postings = self._postings.get(type_id)
+            if not postings:
+                return None
+            column = Column(postings)
+            self._columns[type_id] = column
+        return column
 
     def derived(
         self, touched: Iterable[int], stats: StorageStats | None = None
     ) -> "TypeIndex":
         """A copy-on-write successor: posting lists for ``touched`` type
         ids are copied (safe to :meth:`insert`/:meth:`remove` on the new
-        index), every other list is shared with this index."""
+        index), every other list is shared with this index.  Columns ride
+        along for untouched types and are dropped for touched ones —
+        updates to a type invalidate only that type's column."""
         index = TypeIndex(stats if stats is not None else self.stats)
         index._postings = dict(self._postings)
+        index._columns = dict(self._columns)
         for type_id in touched:
             index._postings[type_id] = list(index._postings.get(type_id, ()))
+            index._columns.pop(type_id, None)
         return index
 
     def insert(self, type_id: int, number: Pbn) -> None:
         """Insert one number into a (copied) posting list, keeping it in
         document order."""
+        self._columns.pop(type_id, None)
         insort(self._postings.setdefault(type_id, []), number.components)
 
     def remove(self, type_id: int, number: Pbn) -> None:
@@ -57,6 +81,7 @@ class TypeIndex:
         position = bisect_left(postings, number.components)
         if position >= len(postings) or postings[position] != number.components:
             raise StorageError(f"no posting for {number} under type {type_id}")
+        self._columns.pop(type_id, None)
         del postings[position]
 
     def count(self, type_id: int) -> int:
@@ -83,7 +108,9 @@ class TypeIndex:
             return
         key = tuple(prefix)
         low = bisect_left(postings, key)
-        high = bisect_left(postings, key[:-1] + (key[-1] + 1,), low) if key else len(postings)
+        # subtree_bound, not "last + 1": a careted rational sibling like
+        # 5/2 sits between 2 and 3 and must not leak into 2's subtree.
+        high = bisect_left(postings, subtree_bound(key), low) if key else len(postings)
         for components in postings[low:high]:
             yield Pbn(*components)
 
@@ -99,7 +126,7 @@ class TypeIndex:
             return []
         low = bisect_left(postings, prefix)
         if prefix:
-            high = bisect_left(postings, prefix[:-1] + (prefix[-1] + 1,), low)
+            high = bisect_left(postings, subtree_bound(prefix), low)
         else:
             high = len(postings)
         return postings[low:high]

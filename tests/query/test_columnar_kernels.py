@@ -1,0 +1,279 @@
+"""Columnar batch kernels vs the scalar per-item path.
+
+The batch merge-join kernels must be invisible above the navigator layer:
+for every axis they cover, flipping :attr:`Evaluator.use_batch_kernels`
+must not change a single item or its position.  These tests pin that down
+over randomized documents and randomized virtual views, for both the
+virtual and the indexed navigator, and additionally check the two pieces
+of observable plumbing the kernels do add:
+
+* EXPLAIN ANALYZE step rows carry a ``kernel`` attribute saying which
+  path evaluated the step (``columnar`` or ``scalar``), and
+* updates through the service invalidate only the touched guide types'
+  columns — untouched types keep their :class:`Column` objects by
+  identity across the copy-on-write derivation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.virtual_document import VNode
+from repro.dataguide.build import build_dataguide
+from repro.obs.profile import build_profile, operators
+from repro.pbn.number import Pbn
+from repro.query.engine import Engine
+from repro.query.eval import Evaluator
+from repro.service import QueryService
+from repro.updates.ops import InsertSubtree
+from repro.workloads.books import books_document
+from repro.workloads.treegen import random_document, random_spec
+from repro.xmlmodel.nodes import Node
+
+# Every axis a batch kernel covers, plus a couple it does not (parent /
+# ancestor stay scalar on the virtual side) so the fallback path is
+# exercised through the same gate.
+AXES = [
+    "child::*",
+    "child::node()",
+    "attribute::*",
+    "descendant::*",
+    "descendant-or-self::node()",
+    "parent::*",
+    "ancestor::node()",
+    "ancestor-or-self::*",
+    "following-sibling::*",
+    "preceding-sibling::*",
+    "following::*",
+    "preceding::*",
+    "following::text()",
+    "preceding-sibling::text()",
+]
+
+
+def _fingerprint(result) -> list:
+    """Identity-and-order fingerprint of a result sequence.
+
+    Node and VNode identities are stable across executions against the
+    same engine (stores and virtual documents are cached), so comparing
+    fingerprints compares the exact items in the exact order.
+    """
+    out = []
+    for item in result.items:
+        if isinstance(item, VNode):
+            out.append(("vnode", id(item.vtype), id(item.node)))
+        elif isinstance(item, Node):
+            out.append(("node", id(item)))
+        else:
+            out.append(("atom", type(item).__name__, repr(item)))
+    return out
+
+
+def _both_ways(engine, query, monkeypatch, mode=None):
+    monkeypatch.setattr(Evaluator, "use_batch_kernels", False)
+    scalar = _fingerprint(engine.execute(query, mode=mode))
+    monkeypatch.setattr(Evaluator, "use_batch_kernels", True)
+    batch = _fingerprint(engine.execute(query, mode=mode))
+    return scalar, batch
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_virtual_batch_matches_scalar(seed, monkeypatch):
+    document = random_document(seed, max_depth=4, max_children=3)
+    guide = build_dataguide(document)
+    spec = random_spec(guide, seed, max_roots=2, max_children=3, max_depth=3)
+    engine = Engine()
+    engine.load("rand.xml", document)
+    source = f'virtualDoc("rand.xml", "{spec}")'
+    for axis in AXES:
+        query = f"{source}//*/{axis}"
+        scalar, batch = _both_ways(engine, query, monkeypatch)
+        assert batch == scalar, f"seed={seed} axis={axis}"
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_indexed_batch_matches_scalar(seed, monkeypatch):
+    document = random_document(seed + 100, max_depth=4, max_children=3)
+    engine = Engine()
+    engine.load("rand.xml", document)
+    for axis in AXES:
+        query = f'doc("rand.xml")//*/{axis}'
+        scalar, batch = _both_ways(engine, query, monkeypatch, mode="indexed")
+        assert batch == scalar, f"seed={seed} axis={axis}"
+
+
+def test_attribute_contexts_match(monkeypatch):
+    # Attribute nodes as the *context* of ordering and sibling steps hit
+    # the kernels' attribute special cases (attributes are never siblings,
+    # but do take part in following/preceding).
+    document = random_document(3, max_depth=4, max_children=3,
+                               attribute_probability=0.6)
+    engine = Engine()
+    engine.load("attr.xml", document)
+    for axis in ("following::*", "preceding::*", "following-sibling::*",
+                 "preceding-sibling::*", "parent::*"):
+        query = f'doc("attr.xml")//*/attribute::*/{axis}'
+        scalar, batch = _both_ways(engine, query, monkeypatch, mode="indexed")
+        assert batch == scalar, axis
+
+
+def test_named_steps_match_over_books(monkeypatch):
+    engine = Engine()
+    engine.load("book.xml", books_document(40, seed=11))
+    view = 'virtualDoc("book.xml", "title { author { name } }")'
+    for query in (
+        f"{view}//title/child::author",
+        f"{view}//author/following::name",
+        f"{view}//name/preceding::title",
+        f"{view}//title/following-sibling::title",
+        f"{view}//author/preceding-sibling::author",
+        'doc("book.xml")//author/following::title',
+        'doc("book.xml")//title/preceding::author',
+        'doc("book.xml")//book/child::title',
+    ):
+        scalar, batch = _both_ways(engine, query, monkeypatch, mode="indexed")
+        assert batch == scalar, query
+
+
+def test_explain_analyze_rows_carry_kernel_attribute():
+    engine = Engine()
+    engine.load("book.xml", books_document(12, seed=4))
+    _, trace = engine.explain_analyze(
+        'doc("book.xml")//book/author[name]/name', mode="indexed"
+    )
+    rows = operators(build_profile(trace))
+    kernels = {row.detail: row.attrs.get("kernel") for row in rows}
+    assert kernels, "expected step operators in the profile"
+    assert all(value in ("columnar", "scalar") for value in kernels.values())
+    # Predicate-free steps over non-document contexts batch; the
+    # predicated step must stay on the scalar path.
+    assert kernels["child::name"] == "columnar"
+    assert kernels["child::author"] == "scalar"
+
+
+def test_explain_analyze_virtual_kernel_attribute():
+    engine = Engine()
+    engine.load("book.xml", books_document(12, seed=4))
+    _, trace = engine.explain_analyze(
+        'virtualDoc("book.xml", "title { author { name } }")//title/author'
+    )
+    rows = operators(build_profile(trace))
+    kernels = {row.detail: row.attrs.get("kernel") for row in rows}
+    assert kernels.get("child::author") == "columnar"
+
+
+def test_type_index_derived_drops_only_touched_columns():
+    engine = Engine()
+    store = engine.load("book.xml", books_document(10, seed=3))
+    guide = store.guide
+    title_id = store.type_id(guide.lookup_path(("data", "book", "title")))
+    author_id = store.type_id(guide.lookup_path(("data", "book", "author")))
+    index = store.type_index
+    title_column = index.column(title_id)
+    author_column = index.column(author_id)
+    assert title_column is not None and author_column is not None
+
+    derived = index.derived({author_id}, store.stats)
+    # Untouched column objects survive the derivation by identity ...
+    assert derived.column(title_id) is title_column
+    # ... while the touched type's column is rebuilt from scratch.
+    assert derived.column(author_id) is not author_column
+    assert derived.column(author_id).keys == author_column.keys
+
+
+def test_service_update_invalidates_only_touched_type_columns(monkeypatch):
+    service = QueryService(pool_size=1)
+    service.load("book.xml", books_document(8, seed=2))
+    store = service.store("book.xml")
+    guide = store.guide
+    title_id = store.type_id(guide.lookup_path(("data", "book", "title")))
+    title_column = store.type_index.column(title_id)
+    assert title_column is not None
+
+    # Insert a second author under the first book: touches the author
+    # chain's types but not title.
+    service.update(
+        "book.xml",
+        InsertSubtree(
+            parent=Pbn.parse("1.1"),
+            fragment="<author><name>Fresh</name></author>",
+        ),
+    )
+    new_store = service.store("book.xml")
+    assert new_store is not store
+    assert new_store.type_index.column(title_id) is title_column
+
+    author_id = new_store.type_id(
+        new_store.guide.lookup_path(("data", "book", "author"))
+    )
+    author_column = new_store.type_index.column(author_id)
+    assert author_column is not None
+    assert len(author_column.keys) == len(
+        store.type_index.column(author_id).keys
+    ) + 1
+
+    # And the batch kernels see the post-update columns: the new author
+    # shows up through a columnar child step.
+    monkeypatch.setattr(Evaluator, "use_batch_kernels", True)
+    names = service.execute(
+        'doc("book.xml")//author/child::name', mode="indexed"
+    )
+    assert "Fresh" in {item.string_value() for item in names}
+    assert len(names) == len(author_column.keys)
+
+
+def test_order_key_gate_on_books_inversion():
+    """The canonical inverted view admits a plain virtual-order sort key:
+    the incomplete title identity in the author/name chains resolves
+    through the title column (one title per book)."""
+    from repro.query.eval_virtual import VirtualNavigator
+
+    engine = Engine()
+    engine.load("book.xml", books_document(8))
+    result = engine.execute(
+        'virtualDoc("book.xml", "title { author { name } }")//*'
+    )
+    vnodes = [item for item in result.items if isinstance(item, VNode)]
+    fn = VirtualNavigator()._order_key_fn(vnodes[0]._vdoc)
+    assert fn is not None
+    keys = [fn(vnode) for vnode in vnodes]
+    assert keys == sorted(keys)  # //* already comes out in virtual order
+
+
+def test_non_linearizable_view_falls_back_to_scalar(monkeypatch):
+    """A recursive self-inverting view can make the stratified virtual
+    comparator cyclic — there is no total order to merge by.  The order
+    key gate must reject such views and the batch kernels must decline,
+    so both paths agree byte for byte (the scalar sort defines the
+    order)."""
+    from repro.core import vpbn
+    from repro.query.eval_virtual import VirtualNavigator
+
+    # random seed 31 reproduces the cycle: the view nests `root` inside
+    # its own descendant chain (root { root.a.c { root.a.c.d root } ... }).
+    document = random_document(31, max_depth=5, max_children=4)
+    guide = build_dataguide(document)
+    spec = random_spec(guide, 1031)
+    engine = Engine()
+    engine.load("cyclic.xml", document)
+    source = f'virtualDoc("cyclic.xml", "{spec}")'
+
+    result = engine.execute(f"{source}//*/descendant::*")
+    vnodes = [item for item in result.items if isinstance(item, VNode)]
+    comparisons = {
+        (i, j): vpbn.compare_virtual_order(a.vpbn, b.vpbn)
+        for i, a in enumerate(vnodes)
+        for j, b in enumerate(vnodes)
+    }
+    assert any(  # the comparator really is non-transitive on this view
+        comparisons[i, j] < 0 and comparisons[j, k] < 0 and comparisons[i, k] >= 0
+        for i in range(len(vnodes))
+        for j in range(len(vnodes))
+        for k in range(len(vnodes))
+        if len({i, j, k}) == 3
+    )
+
+    assert VirtualNavigator()._order_key_fn(vnodes[0]._vdoc) is None
+    for axis in ("descendant", "preceding", "following", "child"):
+        scalar, batch = _both_ways(engine, f"{source}//*/{axis}::*", monkeypatch)
+        assert batch == scalar, axis

@@ -1,0 +1,155 @@
+"""Sibling-axis edge cases, asserted against both kernels.
+
+Three traps the sibling merge-join kernels must get right:
+
+* forest roots — roots of a virtual forest are siblings of each other,
+  including across different root vtypes, ordered by root index;
+* single-child runs — a run of length one has no siblings of its own
+  type, but may still have siblings of other types under the parent;
+* careted ordinals — ORDPATH-style rational components minted by
+  updates sort between their integer neighbours, so sibling runs and
+  before/after splits must order ``1 < 3/2 < 2`` correctly.
+
+Every scenario runs once per kernel (the :attr:`Evaluator.use_batch_kernels`
+switch) and the two results must agree exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.pbn.number import Pbn
+from repro.query.engine import Engine
+from repro.query.eval import Evaluator
+from repro.service import QueryService
+from repro.updates.ops import InsertSubtree
+from repro.workloads.books import books_document
+
+
+@pytest.fixture(params=[False, True], ids=["scalar", "columnar"])
+def kernels(request, monkeypatch):
+    monkeypatch.setattr(Evaluator, "use_batch_kernels", request.param)
+    return request.param
+
+
+def _values(result) -> list[str]:
+    return [item.node.string_value() for item in result.items]
+
+
+def test_forest_roots_are_siblings(kernels):
+    engine = Engine()
+    engine.load("book.xml", books_document(4, seed=9))
+    view = 'virtualDoc("book.xml", "title { author { name } }")'
+    titles = engine.execute(f"{view}//title")
+    assert len(titles) == 4
+
+    # Each root title's following siblings are exactly the later roots.
+    following = engine.execute(f"{view}//title/following-sibling::title")
+    assert _values(following) == _values(titles)[1:]
+    preceding = engine.execute(f"{view}//title/preceding-sibling::title")
+    assert _values(preceding) == _values(titles)[:-1]
+
+    # The first root has no preceding siblings.
+    lone = engine.execute(f"{view}//title[1]/preceding-sibling::*")
+    assert len(lone) == 0
+
+
+def test_mixed_root_vtypes_are_siblings(kernels):
+    # Two root vtypes: every title root and every location root belong
+    # to one forest, so they are mutual siblings ordered by root index.
+    engine = Engine()
+    engine.load("book.xml", books_document(3, seed=9))
+    view = 'virtualDoc("book.xml", "title location")'
+    roots = engine.execute(f"{view}//*")
+    assert len(roots) == 6  # 3 titles + 3 locations
+
+    sibs = engine.execute(f"{view}//title/following-sibling::*")
+    # Union over all titles of their later roots: everything except the
+    # very first root.
+    assert len(sibs) == 5
+    cross = engine.execute(f"{view}//title/following-sibling::location")
+    back = engine.execute(f"{view}//location/preceding-sibling::title")
+    assert len(cross) >= 1 and len(back) >= 1
+
+
+def test_single_child_runs(kernels):
+    # max_authors=1 pins every author run (and every name run) to length
+    # one: same-type sibling axes are empty, cross-type siblings remain.
+    engine = Engine()
+    engine.load("book.xml", books_document(5, max_authors=1, seed=1))
+    view = 'virtualDoc("book.xml", "title { author { name } }")'
+    assert len(engine.execute(f"{view}//author")) == 5
+    assert len(engine.execute(f"{view}//author/following-sibling::author")) == 0
+    assert len(engine.execute(f"{view}//author/preceding-sibling::author")) == 0
+    assert len(engine.execute(f"{view}//name/following-sibling::*")) == 0
+
+    # Indexed mode: a book's single title still has the author(s) and
+    # publisher as cross-type siblings.
+    sibs = engine.execute(
+        'doc("book.xml")//title/following-sibling::*', mode="indexed"
+    )
+    assert len(sibs) == 10  # per book: one author + one publisher
+
+
+def test_careted_ordinals_order_siblings(kernels):
+    service = QueryService(pool_size=1)
+    service.load("book.xml", books_document(3, seed=5))
+    titles_before = service.execute(
+        'doc("book.xml")//book/title', mode="indexed"
+    )
+    assert len(titles_before) == 3
+
+    # Insert a book *between* the first and second: ORDPATH careting
+    # mints a rational component strictly between 1 and 2 so no existing
+    # number moves.
+    result = service.update(
+        "book.xml",
+        InsertSubtree(
+            parent=Pbn.parse("1"),
+            before=Pbn.parse("1.2"),
+            fragment=(
+                "<book><title>Caret</title>"
+                "<author><name>Ada</name></author>"
+                "<publisher><location>Kent</location></publisher></book>"
+            ),
+        ),
+    )
+    minted_roots = {p for p in result.minted if p.level == 2}
+    assert any(
+        isinstance(p.components[1], Fraction) and 1 < p.components[1] < 2
+        for p in minted_roots
+    )
+
+    # The careted book sorts second — in indexed sibling scans ...
+    titles = service.execute('doc("book.xml")//book/title', mode="indexed")
+    assert [t.string_value() for t in titles][1] == "Caret"
+    after = service.execute(
+        'doc("book.xml")//book[title = "Caret"]/following-sibling::book',
+        mode="indexed",
+    )
+    assert len(after) == 2
+    before = service.execute(
+        'doc("book.xml")//book[title = "Caret"]/preceding-sibling::book',
+        mode="indexed",
+    )
+    assert len(before) == 1
+
+    # ... and through the virtual view's sibling and ordering kernels.
+    # (Virtual node comparison values are serialized subtrees, so we pin
+    # order through whole-axis unions rather than value predicates.)
+    view = 'virtualDoc("book.xml", "title { author { name } }")'
+    order = [
+        item.node.string_value()
+        for item in service.execute(f"{view}//title")
+    ]
+    assert order[1] == "Caret"
+    vfollow = service.execute(f"{view}//title/following-sibling::title")
+    assert [item.node.string_value() for item in vfollow] == order[1:]
+    vprec = service.execute(f"{view}//title/preceding-sibling::title")
+    assert [item.node.string_value() for item in vprec] == order[:-1]
+    # The careted root takes part in the ordering kernels too: names
+    # following the first title include the careted book's author name.
+    names_after = service.execute(f"{view}//title/following::name")
+    assert "Ada" in {item.node.string_value() for item in names_after}
