@@ -1,0 +1,73 @@
+"""E16: scatter-gather over a sharded collection vs the single-shard path.
+
+The sharded and single-shard services hold the same 16-document books
+collection; the benchmarked queries are whole-collection unions (merged
+by ``(doc, PBN)`` keys) and a distributable ``count``.  The speedup on
+one core is algorithmic: the unsharded union re-sorts the accumulated
+item list at every union node, while each shard sorts only its own small
+union and the gather is a key-based heap merge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard import ShardedService
+from repro.workloads.books import books_document
+
+DOCS = 16
+BOOKS = 32
+URIS = [f"doc{i}.xml" for i in range(DOCS)]
+
+UNION_TITLES = " | ".join(f'doc("{u}")//title' for u in URIS)
+UNION_NAMES = " | ".join(f'doc("{u}")//name' for u in URIS)
+COUNT_ALL = "count(" + " | ".join(f'doc("{u}")//*' for u in URIS) + ")"
+
+QUERIES = {
+    "union-titles": UNION_TITLES,
+    "union-names": UNION_NAMES,
+    "count-all": COUNT_ALL,
+}
+
+
+def _collection(shards: int) -> ShardedService:
+    service = ShardedService(shards=shards, pool_size=1)
+    for index, uri in enumerate(URIS):
+        service.load(uri, books_document(books=BOOKS, seed=100 + index, uri=uri))
+    return service
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    service = _collection(4)
+    yield service
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def single():
+    service = _collection(1)
+    yield service
+    service.close()
+
+
+def test_results_byte_identical(sharded, single):
+    for query in QUERIES.values():
+        a = sharded.execute(query)
+        b = single.execute(query)
+        assert a.to_xml() == b.to_xml()
+        assert a.values() == b.values()
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_e16_scatter_four_shards(benchmark, sharded, name):
+    query = QUERIES[name]
+    sharded.execute(query)  # warm caches (plan, specialization, stores)
+    benchmark(lambda: sharded.execute(query))
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_e16_single_shard(benchmark, single, name):
+    query = QUERIES[name]
+    single.execute(query)
+    benchmark(lambda: single.execute(query))

@@ -1,0 +1,82 @@
+"""Scatter-gather gate for the shard subsystem (CI smoke).
+
+Runs the E16 collection (whole-collection queries at 1 / 2 / 4 shards
+over one core), writes the results to ``BENCH_e16.json``, and fails
+when either
+
+* any multi-shard answer is not byte-identical to the single-shard
+  answer — the merge relies on vPBN numbers surviving virtualization
+  unchanged, so a mismatch is a correctness bug, not a tuning issue; or
+* the widest fanout fails to beat single-shard wall-clock on every
+  union query.  The win is algorithmic (per-shard unions sort
+  ``(k/s)^2`` instead of ``k^2`` items; the gather is a key-based heap
+  merge), so losing it means specialization stopped collapsing unions.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_e16.py           # CI smoke
+    PYTHONPATH=src python scripts/run_e16.py --full    # reproduce BENCH_e16.json
+
+The smoke profile keeps CI fast; ``--full`` reproduces the committed
+``BENCH_e16.json`` (24 docs x 32 books, repeat=5).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import collect_e16
+
+#: Queries whose widest-fanout run must beat single-shard wall-clock.
+#: ``count-all`` is gated on identity only: the combiner's answer is one
+#: integer, so its wall-clock is dominated by per-shard scan overhead.
+GATED_QUERIES = ("union-titles", "union-names", "union-virtual")
+
+
+def main(argv: list[str]) -> int:
+    full = "--full" in argv
+    if full:
+        results = collect_e16(docs=24, books=32, shards=(1, 2, 4), repeat=5)
+    else:
+        results = collect_e16(docs=16, books=24, shards=(1, 4), repeat=3)
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_e16.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    failures: list[str] = []
+    for name, entry in results["queries"].items():
+        cells = entry["shards"]
+        widest = str(max(int(count) for count in cells))
+        for count, cell in sorted(cells.items(), key=lambda kv: int(kv[0])):
+            verdict = "ok"
+            if not cell["identical"]:
+                verdict = "FAIL (result differs)"
+                failures.append(f"{name}@{count} shards: not byte-identical")
+            elif (
+                count == widest
+                and name in GATED_QUERIES
+                and cell["speedup"] <= 1.0
+            ):
+                verdict = "FAIL (no speedup)"
+                failures.append(
+                    f"{name}@{count} shards: {cell['speedup']:.2f}x <= 1.0x"
+                )
+            print(
+                f"{name:14s} shards={count:>2s} "
+                f"{cell['seconds'] * 1e3:8.2f} ms  "
+                f"{cell['speedup']:5.2f}x  {verdict}"
+            )
+    if failures:
+        print("scatter-gather gate failed:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("scatter-gather gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1143,3 +1143,120 @@ def e15_columnar() -> list[Table]:
                 )
         tables.append(table)
     return tables
+
+
+# ---------------------------------------------------------------------------
+# E16 — scatter-gather over a sharded collection vs single-shard
+# ---------------------------------------------------------------------------
+
+
+def collect_e16(
+    docs: int = 24,
+    books: int = 32,
+    shards: tuple[int, ...] = (1, 2, 4),
+    repeat: int = 3,
+) -> dict:
+    """Wall-clock for whole-collection queries at each shard count.
+
+    Loads ``docs`` distinct books documents into one
+    :class:`~repro.shard.ShardedService` per shard count and times
+    whole-collection unions plus a distributable ``count``.  The 1-shard
+    service routes every query straight through a plain
+    :class:`~repro.service.QueryService`, so the speedup column isolates
+    exactly the partition/specialize/merge machinery.  Every multi-shard
+    answer is also checked byte-identical against the 1-shard answer:
+    E16 is a correctness experiment as much as a performance one,
+    because the merge relies on vPBN numbers surviving virtualization
+    unchanged.
+
+    The speedup on a single core is algorithmic, not parallel: the
+    unsharded k-document union re-sorts the accumulated item list at
+    every union node (``document_order`` runs a Python-comparator sort
+    over O(k*n) items per level), while each shard sorts only its own
+    small union and the gather is a key-based ``heapq.merge``.
+    """
+    from repro.shard import ShardedService
+
+    uris = [f"doc{i}.xml" for i in range(docs)]
+    spec = Q.BOOKS_INVERT.spec
+    queries = {
+        "union-titles": " | ".join(f'doc("{u}")//title' for u in uris),
+        "union-names": " | ".join(f'doc("{u}")//name' for u in uris),
+        "union-virtual": " | ".join(
+            f'virtualDoc("{u}", "{spec}")//title' for u in uris
+        ),
+        "count-all": "count("
+        + " | ".join(f'doc("{u}")//*' for u in uris)
+        + ")",
+    }
+    results: dict = {"docs": docs, "books": books, "queries": {}}
+    services: dict = {}
+    try:
+        for count in shards:
+            service = ShardedService(shards=count, pool_size=1)
+            for index, uri in enumerate(uris):
+                service.load(
+                    uri, books_document(books=books, seed=100 + index, uri=uri)
+                )
+            services[count] = service
+        baseline = str(min(shards))
+        for name, query in queries.items():
+            cells: dict = {}
+            reference = None
+            items = 0
+            for count in shards:
+                service = services[count]
+                answer = service.execute(query)
+                payload = answer.to_xml()
+                if reference is None:
+                    reference = payload
+                    items = len(answer)
+
+                def run(service=service, query=query):
+                    service.execute(query)
+
+                cells[str(count)] = {
+                    "seconds": best_of(run, repeat),
+                    "identical": payload == reference,
+                }
+            for cell in cells.values():
+                cell["speedup"] = cells[baseline]["seconds"] / cell["seconds"]
+            results["queries"][name] = {"items": items, "shards": cells}
+    finally:
+        for service in services.values():
+            service.close()
+    return results
+
+
+@experiment("e16")
+def e16_sharding() -> list[Table]:
+    """Scatter-gather over a sharded collection vs the single-shard path."""
+    results = collect_e16()
+    table = Table(
+        "e16-scatter",
+        f"scatter-gather vs single shard ({results['docs']} docs x "
+        f"{results['books']} books, merged by (doc, PBN))",
+        ["query", "shards", "wall ms", "speedup", "identical"],
+        notes=[
+            "expected shape: speedup > 1 for multi-shard runs even on one "
+            "core — the single-shard union re-sorts the whole accumulated "
+            "item list at every union node, while shards sort small "
+            "per-shard unions and the gather is a key-based k-way heap "
+            "merge; the merge key is free because vPBN numbers never "
+            "change under virtualization",
+        ],
+    )
+    for name, entry in results["queries"].items():
+        for count, cell in sorted(
+            entry["shards"].items(), key=lambda kv: int(kv[0])
+        ):
+            table.rows.append(
+                [
+                    name,
+                    int(count),
+                    seconds(cell["seconds"] * 1e3),
+                    seconds(cell["speedup"]),
+                    "yes" if cell["identical"] else "NO",
+                ]
+            )
+    return [table]

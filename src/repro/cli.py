@@ -49,6 +49,12 @@ Commands
     Opening the directory replays any WAL tail (crash recovery); minted
     numbers are printed after each operation.
 
+    ``--doc URI`` treats the directory as a sharded *collection root*
+    and operates on the per-document store ``DIR/<slug(URI)>`` — the
+    layout a sharded server consumes one document at a time::
+
+        python -m repro update ./collection --doc doc7.xml --init d7.xml
+
 ``serve``
     Start the HTTP front end (``POST /query``, ``POST /update``,
     ``GET /metrics``, ``GET /healthz``) over a query service::
@@ -62,6 +68,13 @@ Commands
     ``--trace-sample`` / ``--slow-query-ms`` / ``--trace-buffer``
     configure end-to-end tracing (``GET /debug/traces``; slow requests
     are logged with their span tree).
+
+    ``--shards N`` partitions the loaded documents across N shards
+    (:mod:`repro.shard`) and scatter-gathers multi-document queries;
+    ``--shard-workers process`` gives every shard its own worker
+    process (read-only serving)::
+
+        python -m repro serve --shards 4 -d a.xml=a.xml -d b.xml=b.xml
 
 ``traces``
     Fetch and render a running server's trace ring buffer::
@@ -161,6 +174,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="create the directory from an XML file first")
     update.add_argument("--uri", help="document uri recorded at --init "
                                       "(default: the file name)")
+    update.add_argument("--doc", metavar="URI",
+                        help="treat DIRECTORY as a sharded collection root "
+                             "and operate on its per-document store "
+                             "DIRECTORY/<slug(URI)> (the layout `serve "
+                             "--shards` consumes)")
     update.add_argument("--insert", nargs=2, metavar=("PARENT", "FRAGMENT"),
                         help="insert FRAGMENT as a child of the node PARENT")
     update.add_argument("--before", metavar="SIBLING",
@@ -184,7 +202,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--mode", choices=["indexed", "tree"], default="indexed")
     serve.add_argument("--threads", type=int, default=4,
-                       help="engine pool size / max concurrent queries")
+                       help="engine pool size / max concurrent queries "
+                            "(split across shards when --shards > 1)")
+    serve.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="partition the documents across N shards and "
+                            "scatter-gather multi-document queries")
+    serve.add_argument("--shard-workers", choices=["thread", "process"],
+                       default="thread",
+                       help="evaluate shards on a thread pool (default) or "
+                            "in one worker process per shard (read-only: "
+                            "no durable stores, images, or updates)")
     serve.add_argument("--trace-sample", type=float, default=0.01,
                        metavar="RATE",
                        help="fraction of requests traced end to end "
@@ -290,15 +317,29 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.service import QueryService
         from repro.service.server import serve_forever
 
-        service = QueryService(
-            pool_size=args.threads,
-            mode=args.mode,
-            trace_sample=args.trace_sample,
-            trace_buffer=args.trace_buffer,
-            slow_query_s=(
-                args.slow_query_ms / 1e3 if args.slow_query_ms > 0 else None
-            ),
-        )
+        slow_query_s = args.slow_query_ms / 1e3 if args.slow_query_ms > 0 else None
+        if args.shards > 1:
+            from repro.shard import ShardedService
+
+            service = ShardedService(
+                shards=args.shards,
+                pool_size=max(1, args.threads // args.shards),
+                mode=args.mode,
+                workers=args.shard_workers,
+                trace_sample=args.trace_sample,
+                trace_buffer=args.trace_buffer,
+                slow_query_s=slow_query_s,
+            )
+            print(f"sharding across {args.shards} shards "
+                  f"({args.shard_workers} workers)", file=sys.stderr)
+        else:
+            service = QueryService(
+                pool_size=args.threads,
+                mode=args.mode,
+                trace_sample=args.trace_sample,
+                trace_buffer=args.trace_buffer,
+                slow_query_s=slow_query_s,
+            )
         uris = _load_documents(service, args)
         for spec in args.durable:
             if "=" in spec:
@@ -416,16 +457,24 @@ def _run_update(args: argparse.Namespace) -> int:
     from repro.updates.durable import DurableStore
     from repro.updates.ops import DeleteSubtree, InsertSubtree, ReplaceText
 
+    directory = args.directory
+    if args.doc is not None:
+        from repro.shard.catalog import doc_slug
+
+        directory = os.path.join(args.directory, doc_slug(args.doc))
+
     if args.init is not None:
         from repro.xmlmodel.parser import parse_document
 
         with open(args.init, "r", encoding="utf-8") as handle:
             text = handle.read()
-        uri = args.uri if args.uri is not None else os.path.basename(args.init)
-        durable = DurableStore.create(args.directory, parse_document(text, uri))
-        print(f"created durable store for {uri!r} in {args.directory}")
+        uri = args.uri if args.uri is not None else (
+            args.doc if args.doc is not None else os.path.basename(args.init)
+        )
+        durable = DurableStore.create(directory, parse_document(text, uri))
+        print(f"created durable store for {uri!r} in {directory}")
     else:
-        durable = DurableStore.open(args.directory)
+        durable = DurableStore.open(directory)
         report = durable.recovery
         if report.replayed or report.torn_tail_discarded:
             tail = ", discarded a torn WAL tail" if report.torn_tail_discarded else ""

@@ -293,6 +293,13 @@ class Engine:
 
     def _execute(self, query, mode, variables, context_item) -> Result:
         started = time.perf_counter()
+        # Cross-container result order is decided by first appearance
+        # *within this query* (see Evaluator.document_order).  Reset the
+        # index so the order cannot depend on which queries ran earlier
+        # on this engine — a history-dependent order would differ between
+        # pooled engines and could never be reproduced by a sharded merge.
+        self._containers.clear()
+        self._container_refs.clear()
         strategy = None
         if isinstance(query, str):
             strategy = "virtual" if "virtualDoc" in query else (mode or self.mode)
@@ -351,20 +358,25 @@ class Engine:
 
     def explain_analyze(
         self,
-        query: str,
+        query: Union[str, ast.Expr],
         mode: Optional[str] = None,
         variables: Optional[dict[str, list]] = None,
+        detail: Optional[str] = None,
     ):
         """Run ``query`` under a forced trace and return
         ``(result, trace)`` — the trace feeds
         :func:`repro.obs.profile.build_profile` for the per-operator
         EXPLAIN ANALYZE rendering.  Uses the engine's tracer when one is
-        attached, a throwaway otherwise."""
+        attached, a throwaway otherwise.  Accepts an already-parsed
+        expression (the sharded scatter path profiles its per-shard plan
+        specializations); pass ``detail`` to label the trace then."""
         from repro.obs.trace import Tracer
 
+        if detail is None:
+            detail = _preview(query) if isinstance(query, str) else ""
         tracer = self.tracer if self.tracer is not None else Tracer()
         handle = tracer.start(
-            "query", detail=_preview(query), stats=self.stats, force=True
+            "query", detail=detail, stats=self.stats, force=True
         )
         with handle:
             result = self.execute(query, mode=mode, variables=variables)

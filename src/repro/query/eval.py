@@ -445,7 +445,14 @@ class Evaluator:
         """
         unique: dict[Any, Any] = {}
         for item in items:
-            unique.setdefault(_identity(item), item)
+            if _identity(item) not in unique:
+                unique[_identity(item)] = item
+                # Pin first-sight container indexes to appearance order:
+                # sorted() invokes the comparator in timsort's order, so
+                # without this pass the *relative order of containers*
+                # would depend on which comparison runs first — an
+                # artifact no distributed merge could reproduce.
+                self._container_key(item)
         return sorted(unique.values(), key=cmp_to_key(self._order_cmp))
 
     def _order_cmp(self, a: Any, b: Any) -> int:

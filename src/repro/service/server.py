@@ -89,9 +89,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 },
             )
         elif path == "/healthz":
-            self._respond_json(
-                200, {"status": "ok", "documents": self.server.service.uris()}
-            )
+            report = {"status": "ok", "documents": self.server.service.uris()}
+            catalog = getattr(self.server.service, "catalog", None)
+            if catalog is not None:  # sharded: expose the topology
+                report["shards"] = catalog.summary()
+            self._respond_json(200, report)
         else:
             self._respond_json(404, {"error": f"unknown path {path!r}"})
 

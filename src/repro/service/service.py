@@ -94,6 +94,13 @@ class QueryService:
     :param page_size / buffer_capacity / index_order: storage knobs
         forwarded to document loading.
     :param metrics: share an external metrics block; fresh when omitted.
+    :param stats: share an external :class:`StorageStats` block (the
+        sharded service hands every shard the same one); fresh when
+        omitted.
+    :param plan_cache / view_cache: share externally owned caches — the
+        sharded service parses once through one :class:`PlanCache` and
+        shares one :class:`ViewCache` across shards (uris are disjoint,
+        so entries never collide); fresh per-service caches when omitted.
     :param trace_sample: fraction of requests traced end to end
         (deterministic every-Nth; ``0`` disables tracing entirely).
     :param trace_buffer: ring-buffer capacity for recent / slow traces.
@@ -117,6 +124,9 @@ class QueryService:
         trace_buffer: int = 64,
         slow_query_s: Optional[float] = None,
         tracer: Optional[Tracer] = None,
+        stats: Optional[StorageStats] = None,
+        plan_cache: Optional[PlanCache] = None,
+        view_cache: Optional[ViewCache] = None,
     ) -> None:
         if pool_size < 1:
             raise ValueError("service needs pool_size >= 1")
@@ -131,9 +141,17 @@ class QueryService:
             sample_rate=trace_sample,
             slow_threshold_s=slow_query_s,
         )
-        self.stats = StorageStats()
-        self.plan_cache = PlanCache(plan_cache_capacity, self.metrics)
-        self.view_cache = ViewCache(view_cache_capacity, self.metrics)
+        self.stats = stats if stats is not None else StorageStats()
+        self.plan_cache = (
+            plan_cache
+            if plan_cache is not None
+            else PlanCache(plan_cache_capacity, self.metrics)
+        )
+        self.view_cache = (
+            view_cache
+            if view_cache is not None
+            else ViewCache(view_cache_capacity, self.metrics)
+        )
         self._stores: dict[str, DocumentStore] = {}
         self._durables: dict[str, "DurableStore"] = {}
         self._topology_lock = threading.Lock()
@@ -215,6 +233,11 @@ class QueryService:
             durable = DurableStore.open(
                 directory, page_size=self.page_size, buffer_capacity=self.buffer_capacity
             )
+        return self.adopt_durable(durable, uri=uri)
+
+    def adopt_durable(self, durable: "DurableStore", uri: Optional[str] = None) -> "DurableStore":
+        """Attach an already-opened :class:`DurableStore` pool-wide (the
+        sharded service opens first, then routes to the owning shard)."""
         store = durable.store
         store.stats = self.stats
         store.page_manager.stats = self.stats
@@ -332,6 +355,14 @@ class QueryService:
         with self._engine() as engine:
             engine.virtual(uri, spec)
 
+    def resolve_view(self, uri: str, spec: str):
+        """The resolved :class:`~repro.core.virtual_document.VirtualDocument`
+        for ``(uri, spec)`` — the instance queries navigate, so the
+        scatter-gather merge can attribute result items to their source
+        container by identity."""
+        with self._engine() as engine:
+            return engine.virtual(uri, spec)
+
     # -- execution ---------------------------------------------------------------
 
     def _checkout(self) -> Engine:
@@ -385,6 +416,28 @@ class QueryService:
             root.set("items", len(result))
             return result
 
+    def execute_plan(
+        self,
+        expr,
+        mode: Optional[str] = None,
+        variables: Optional[dict[str, list]] = None,
+        detail: str = "",
+    ) -> Result:
+        """Evaluate an already-parsed expression on the next idle engine.
+
+        The scatter-gather executor parses once through the shared
+        :attr:`plan_cache`, *specializes* the plan per shard, and hands
+        each shard its expression here — re-parsing (or cache-keying) the
+        specialized plans would defeat the single parse.
+        """
+        self.metrics.incr("service.queries")
+        handle = self.tracer.start("query", detail=detail, stats=self.stats)
+        with handle as root:
+            with self._engine() as engine:
+                result = engine.execute(expr, mode=mode, variables=variables)
+            root.set("items", len(result))
+            return result
+
     def batch(
         self,
         queries: list[str],
@@ -410,6 +463,18 @@ class QueryService:
             with ThreadPoolExecutor(max_workers=worker_count) as executor:
                 outcomes = list(executor.map(run, queries))
         return BatchResult(outcomes, time.perf_counter() - started)
+
+    def explain_plan(self, expr, mode: Optional[str] = None, detail: str = ""):
+        """Run an already-parsed plan under a forced trace on a pooled
+        engine; returns ``(result, trace)`` (the sharded EXPLAIN ANALYZE
+        path, one call per involved shard)."""
+        with self._engine() as engine:
+            return engine.explain_analyze(expr, mode=mode, detail=detail)
+
+    def explain_text(self, query: str) -> str:
+        """The static planner rendering of ``query`` (no execution)."""
+        with self._engine() as engine:
+            return engine.explain(query)
 
     def explain(self, query: str, mode: Optional[str] = None) -> dict:
         """EXPLAIN ANALYZE: run ``query`` under a forced trace and return

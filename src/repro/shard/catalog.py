@@ -1,0 +1,151 @@
+"""The document-collection catalog: which shard owns which document.
+
+A :class:`ShardCatalog` partitions a collection of documents across a
+fixed number of shards.  Placement is *deterministic hashing* by default
+(CRC-32 of the uri, so the mapping is stable across processes and Python
+``PYTHONHASHSEED`` values) with explicit per-uri overrides for operators
+who want locality (e.g. keeping one tenant's documents on one shard).
+
+The catalog is deliberately dumb: it knows uris and shard ids, nothing
+about stores or engines.  The paper's core property makes this cheap —
+every node keeps its extant PBN and per-type level arrays
+(:mod:`repro.core`), so a document can live on any shard and its query
+results merge back into global document order by plain ``(doc, PBN)``
+comparison.  Nothing is renumbered when a document is placed, moved, or
+queried through a different shard count (PAPER.md; the same argument
+Section 5 makes against renumbering on transformation).
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from typing import Iterable, Optional
+
+from repro.errors import ReproError
+
+
+class ShardError(ReproError):
+    """A sharding-layer failure (placement, routing, or merging)."""
+
+
+def stable_shard(uri: str, shards: int) -> int:
+    """Deterministic hash placement: mixed CRC-32 of the uri modulo
+    ``shards``.
+
+    Python's builtin ``hash`` is salted per process, so it cannot place
+    documents consistently between a writer and a later reader; CRC-32
+    is stable everywhere and cheap.  The raw CRC is *linear* though —
+    uris differing in one character often share their low bits exactly
+    (``doc0.xml`` … ``doc7.xml`` all land together under a plain
+    ``% shards``) — so a Fibonacci multiply-shift mixes every input bit
+    into the bits the modulus looks at.
+    """
+    digest = zlib.crc32(uri.encode("utf-8"))
+    mixed = (digest * 2654435761) & 0xFFFFFFFF  # 2^32 / golden ratio
+    return (mixed >> 15) % shards
+
+
+def doc_slug(uri: str) -> str:
+    """A filesystem-safe directory name for a document uri (used by the
+    durable collection layout: ``<collection>/<slug>/`` per document)."""
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", uri).strip("._") or "doc"
+    return slug
+
+
+class ShardCatalog:
+    """Maps document uris onto ``shards`` shard ids.
+
+    :param shards: number of shards (>= 1).
+    :param placement: explicit ``uri -> shard id`` overrides; uris not
+        listed fall back to :func:`stable_shard`.
+
+    Registration order is remembered (:meth:`ordinal`) so callers can
+    reproduce a stable collection-wide ordering of documents independent
+    of which shard holds them.
+    """
+
+    def __init__(
+        self, shards: int, placement: Optional[dict[str, int]] = None
+    ) -> None:
+        if shards < 1:
+            raise ShardError(f"a catalog needs shards >= 1, got {shards}")
+        self.shards = shards
+        self._placement: dict[str, int] = {}
+        self._registered: dict[str, int] = {}  # uri -> shard id
+        self._ordinals: dict[str, int] = {}  # uri -> registration order
+        for uri, shard in (placement or {}).items():
+            self._check_shard(uri, shard)
+            self._placement[uri] = shard
+
+    def _check_shard(self, uri: str, shard: int) -> None:
+        if not 0 <= shard < self.shards:
+            raise ShardError(
+                f"placement of {uri!r} names shard {shard}, but the catalog "
+                f"has shards 0..{self.shards - 1}"
+            )
+
+    def place(self, uri: str, shard: Optional[int] = None) -> int:
+        """The shard that should own ``uri`` (explicit placement, else
+        the stable hash); does not register the uri."""
+        if shard is not None:
+            self._check_shard(uri, shard)
+            return shard
+        if uri in self._registered:
+            return self._registered[uri]
+        if uri in self._placement:
+            return self._placement[uri]
+        return stable_shard(uri, self.shards)
+
+    def register(self, uri: str, shard: Optional[int] = None) -> int:
+        """Record that ``uri`` now lives on its placed shard and return
+        the shard id.  Re-registering an existing uri keeps its shard
+        (a reload is not a move) and its ordinal."""
+        if uri in self._registered:
+            return self._registered[uri]
+        owner = self.place(uri, shard)
+        self._registered[uri] = owner
+        self._ordinals[uri] = len(self._ordinals)
+        return owner
+
+    def shard_of(self, uri: str) -> int:
+        """The shard registered for ``uri``.
+
+        :raises ShardError: if the uri was never registered.
+        """
+        shard = self._registered.get(uri)
+        if shard is None:
+            raise ShardError(f"no document registered under {uri!r}")
+        return shard
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._registered
+
+    def ordinal(self, uri: str) -> int:
+        """Stable collection-wide ordinal of ``uri`` (registration order)."""
+        ordinal = self._ordinals.get(uri)
+        if ordinal is None:
+            raise ShardError(f"no document registered under {uri!r}")
+        return ordinal
+
+    def uris(self, shard: Optional[int] = None) -> list[str]:
+        """All registered uris (registration order), optionally only the
+        ones living on ``shard``."""
+        uris = sorted(self._registered, key=self._ordinals.__getitem__)
+        if shard is None:
+            return uris
+        return [uri for uri in uris if self._registered[uri] == shard]
+
+    def shards_of(self, uris: Iterable[str]) -> list[int]:
+        """Distinct owning shards of ``uris``, ascending."""
+        return sorted({self.shard_of(uri) for uri in uris})
+
+    def summary(self) -> dict:
+        """Topology snapshot: per-shard document lists."""
+        return {
+            "shards": self.shards,
+            "documents": len(self._registered),
+            "by_shard": {
+                str(shard): self.uris(shard) for shard in range(self.shards)
+            },
+        }

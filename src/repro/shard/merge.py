@@ -1,0 +1,96 @@
+"""K-way merge of per-shard result streams into global document order.
+
+Each shard evaluates its specialization of the plan and returns its items
+already in (virtual) document order — the per-shard evaluator guarantees
+that.  Because a document lives on exactly one shard, two items from
+different shards never share a container, so the global order is decided
+entirely by the *source ordinal* (the first-appearance order of the
+item's ``doc``/``virtualDoc`` source in the plan — the same order in
+which the unsharded engine first sees each container) with the shard's
+own stream order breaking ties inside a container.
+
+Keys are ``(source ordinal, PBN components | stream position)``: stored
+nodes carry their extant prefix-based number — the paper's point is that
+it never changes, so it is directly comparable across any re-sharding —
+and items without one (virtual positions under a non-PBN virtual order,
+document nodes) fall back to their position in the shard's stream, which
+inside one container is already document order.  The merge *verifies*
+monotonicity instead of assuming it: a plan whose result order is
+deliberately not document order (``for $i in (2,1) ...``) fails loudly
+rather than interleaving wrongly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Optional
+
+from repro.shard.catalog import ShardError
+
+
+class ShardMergeError(ShardError):
+    """The per-shard streams cannot be merged into a global order."""
+
+
+#: A keyed stream entry: (key, payload).  Keys compare across shards.
+Entry = tuple[tuple, object]
+
+
+def keyed_stream(
+    items: Iterable,
+    ordinal_of: Callable[[object], Optional[int]],
+    pbn_of: Callable[[object], Optional[tuple]],
+) -> list[Entry]:
+    """Key one shard's result stream for the global merge.
+
+    :param ordinal_of: maps an item to its source ordinal, or ``None``
+        when the item cannot be attributed to a plan source (constructed
+        nodes, atomics) — those cannot be merged across shards.
+    :param pbn_of: maps an item to its PBN component tuple, or ``None``.
+    :raises ShardMergeError: for unattributable items, and for streams
+        that are not sorted by their own keys.
+    """
+    entries: list[Entry] = []
+    last_ordinal = -1
+    last_pbn: Optional[tuple] = None
+    for position, item in enumerate(items):
+        ordinal = ordinal_of(item)
+        if ordinal is None:
+            raise ShardMergeError(
+                "a scatter result item cannot be attributed to a document "
+                "source (constructed nodes and atomic values do not merge "
+                "across shards); aggregate with count()/sum()/exists(), "
+                "construct on the client, or route to a single shard"
+            )
+        pbn = pbn_of(item)
+        if ordinal < last_ordinal:
+            raise ShardMergeError(
+                "a shard stream leaves and re-enters a document: the plan's "
+                "result order is not document order, so a global merge "
+                "would reorder it; run the query per document instead"
+            )
+        if ordinal > last_ordinal:
+            last_pbn = None
+        if pbn is not None and last_pbn is not None and pbn < last_pbn:
+            raise ShardMergeError(
+                "a shard stream is not in PBN (document) order; the plan's "
+                "result order is not document order, so a global merge "
+                "would reorder it; run the query per document instead"
+            )
+        last_ordinal = ordinal
+        if pbn is not None:
+            last_pbn = pbn
+        # The comparable key never mixes PBN tuples with positions: the
+        # second component only breaks ties *within* one container, and a
+        # container's items all come from this stream in this order.
+        entries.append(((ordinal, position), item))
+    return entries
+
+
+def merge_streams(streams: list[list[Entry]]) -> list:
+    """Heap-merge keyed per-shard streams into one globally ordered list."""
+    nonempty = [stream for stream in streams if stream]
+    if len(nonempty) <= 1:
+        return [item for _, item in (nonempty[0] if nonempty else [])]
+    merged = heapq.merge(*nonempty, key=lambda entry: entry[0])
+    return [item for _, item in merged]

@@ -1,0 +1,648 @@
+"""Scatter-gather query execution over a sharded document collection.
+
+A :class:`ShardedService` partitions a collection across N shards, each
+backed by its own :class:`~repro.service.service.QueryService` (engine
+pool + stores; optionally durable).  One parse, one metrics block, one
+tracer, one plan cache, and one view cache are shared across shards —
+uris are disjoint, so cache entries never collide — and a query flows:
+
+1. **Parse once** through the shared plan cache, then analyse the plan's
+   ``doc``/``virtualDoc`` sources (:mod:`repro.shard.plan`).
+2. **Route.** A plan whose sources live on one shard executes there
+   directly — the result object is exactly what the unsharded service
+   would return.  This is the common case for per-document traffic.
+3. **Scatter.** A plan spanning shards is *specialized* per shard (each
+   shard sees its own documents; foreign sources become the empty
+   sequence) and fanned out on a thread pool, one task per shard; each
+   shard evaluates with the existing virtual / indexed / columnar paths.
+4. **Gather.** Per-shard streams — each already in document order —
+   merge into global document order by ``(source ordinal, PBN)`` keys
+   with a k-way heap merge (:mod:`repro.shard.merge`), or recombine
+   through a distributive aggregate (``count``/``sum``/``exists``).
+
+This is cheap *because of the paper*: every node keeps its extant PBN
+and level arrays per type, so shards never renumber and the gather is a
+pure comparison merge — the "don't renumber" argument of Section 5
+applied across a collection instead of across a transformation.
+
+Even on one core the scatter wins on multi-document unions: the
+unsharded evaluator re-sorts the accumulated union at every ``|`` with
+Python-level comparisons (O(k·n) comparator calls for a k-document
+union), while each shard only folds its own slice and the global merge
+compares precomputed keys (experiment E16).  On multi-core hardware the
+per-shard work also overlaps; ``workers="process"`` (the CLI's
+``--shard-workers process``) moves each shard into its own process for
+read-mostly collections — see :mod:`repro.shard.worker`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.core.virtual_document import VNode
+from repro.obs.trace import Tracer
+from repro.query.engine import _preview
+from repro.query.items import VirtualDocItem, is_node
+from repro.service.cache import PlanCache, ViewCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.service import BatchResult, QueryService
+from repro.storage.stats import StorageStats
+from repro.xmlmodel.nodes import Document, Node
+from repro.xmlmodel.serializer import serialize
+
+from repro.shard.catalog import ShardCatalog, ShardError
+from repro.shard.merge import keyed_stream, merge_streams
+from repro.shard.worker import RemoteItem
+from repro.shard.plan import (
+    COMBINERS,
+    check_scatterable,
+    combiner_of,
+    referenced_sources,
+    specialize,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.storage.store import DocumentStore
+    from repro.updates.durable import DurableStore
+    from repro.updates.mutations import MutationResult
+    from repro.updates.ops import UpdateOp
+    from repro.xmlmodel.nodes import Document as DocumentNode
+
+
+class ShardResult:
+    """A gathered scatter result, shaped like an engine ``Result``.
+
+    :ivar items: merged items in global document order (or the single
+        combined aggregate value).
+    :ivar elapsed_seconds: scatter wall-clock (fan-out to last gather).
+    :ivar shards: shard ids that evaluated a specialization.
+    """
+
+    def __init__(self, entries: list, elapsed_seconds: float, shards: list[int]) -> None:
+        #: (item, owning QueryService | None) per merged item.
+        self._entries = entries
+        self.elapsed_seconds = elapsed_seconds
+        self.shards = shards
+
+    @property
+    def items(self) -> list:
+        return [item for item, _ in self._entries]
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index: int):
+        return self._entries[index][0]
+
+    def values(self) -> list[str]:
+        from repro.query.items import string_value
+
+        return [
+            item.value if isinstance(item, RemoteItem) else string_value(item)
+            for item, _ in self._entries
+        ]
+
+    def to_xml(self) -> str:
+        """Serialize like ``Result.to_xml``, borrowing an engine from each
+        item's owning shard for virtual-node materialization (process-mode
+        items arrive pre-serialized)."""
+        from repro.query.functions import format_atomic
+
+        parts: list[str] = []
+        with ExitStack() as stack:
+            engines: dict[int, object] = {}
+            for item, service in self._entries:
+                if isinstance(item, RemoteItem):
+                    parts.append(item.xml)
+                elif isinstance(item, Node):
+                    parts.append(serialize(item))
+                elif is_node(item):
+                    engine = engines.get(id(service))
+                    if engine is None:
+                        engine = stack.enter_context(service._engine())
+                        engines[id(service)] = engine
+                    parts.append(serialize(engine.copy_item(item)))
+                else:
+                    parts.append(format_atomic(item))
+        return "".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardResult({len(self._entries)} items over shards {self.shards})"
+
+
+class ShardedService:
+    """A collection-level facade over per-shard :class:`QueryService`\\ s.
+
+    :param shards: number of shards.
+    :param pool_size: engines *per shard*.
+    :param placement: explicit ``uri -> shard`` placement overrides
+        (hash placement otherwise; see :class:`ShardCatalog`).
+    :param workers: ``"thread"`` (scatter on a thread pool, the default)
+        or ``"process"`` (each shard in its own worker process; query
+        and load only — see :mod:`repro.shard.worker`).
+    :param scatter_workers: max concurrent shard fan-out tasks
+        (default: one per shard).
+
+    The remaining knobs mirror :class:`QueryService` and apply to every
+    shard; metrics, storage stats, tracer, plan cache, and view cache
+    are shared across the whole collection, so ``/metrics`` aggregates
+    all shards in one scrape.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        pool_size: int = 2,
+        mode: str = "indexed",
+        placement: Optional[dict[str, int]] = None,
+        workers: str = "thread",
+        scatter_workers: Optional[int] = None,
+        plan_cache_capacity: int = 256,
+        view_cache_capacity: int = 64,
+        page_size: int = 4096,
+        buffer_capacity: int = 256,
+        index_order: int = 64,
+        metrics: Optional[ServiceMetrics] = None,
+        trace_sample: float = 0.0,
+        trace_buffer: int = 64,
+        slow_query_s: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if workers not in ("thread", "process"):
+            raise ShardError(f"workers must be 'thread' or 'process', got {workers!r}")
+        self.workers = workers
+        self.mode = mode
+        self.catalog = ShardCatalog(shards, placement)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.stats = StorageStats()
+        self.tracer = tracer if tracer is not None else Tracer(
+            capacity=trace_buffer,
+            sample_rate=trace_sample,
+            slow_threshold_s=slow_query_s,
+        )
+        self.plan_cache = PlanCache(plan_cache_capacity, self.metrics)
+        self.view_cache = ViewCache(view_cache_capacity, self.metrics)
+        self.services: list[QueryService] = [
+            QueryService(
+                pool_size=pool_size,
+                mode=mode,
+                page_size=page_size,
+                buffer_capacity=buffer_capacity,
+                index_order=index_order,
+                metrics=self.metrics,
+                tracer=self.tracer,
+                stats=self.stats,
+                plan_cache=self.plan_cache,
+                view_cache=self.view_cache,
+            )
+            for _ in range(shards)
+        ]
+        self._pool = ThreadPoolExecutor(
+            max_workers=scatter_workers or max(shards, 1),
+            thread_name_prefix="shard-scatter",
+        )
+        # query text -> {shard: specialized plan}.  Specialization is pure
+        # AST work but costs O(plan size) per shard per query; repeated
+        # scatters of the same text (the common case behind the service
+        # layer) reuse it.  Safe to key by text alone: a document's shard
+        # never changes once registered (re-register keeps the shard).
+        self._specialized: OrderedDict[str, dict[int, object]] = OrderedDict()
+        self._process_pool = None
+        if workers == "process":
+            from repro.shard.worker import ProcessShardPool
+
+            self._process_pool = ProcessShardPool(
+                shards, mode=mode, pool_size=pool_size
+            )
+
+    # -- topology ----------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return self.catalog.shards
+
+    def shard_service(self, shard: int) -> QueryService:
+        return self.services[shard]
+
+    def service_for(self, uri: str) -> QueryService:
+        """The :class:`QueryService` owning ``uri``."""
+        return self.services[self.catalog.shard_of(uri)]
+
+    # -- documents ---------------------------------------------------------------
+
+    def load(
+        self, uri: str, source: Union[str, "DocumentNode"], shard: Optional[int] = None
+    ) -> "DocumentStore":
+        """Load a document onto its placed shard (``shard`` overrides the
+        hash placement for this uri)."""
+        owner = self.catalog.register(uri, shard)
+        self.metrics.incr("shard.documents", labels={"shard": str(owner)})
+        if self._process_pool is not None:
+            text = source if isinstance(source, str) else serialize(source)
+            self._process_pool.load(owner, uri, text)
+            return None  # the store lives in the worker process
+        return self.services[owner].load(uri, source)
+
+    def open_image(
+        self, path: str, uri: Optional[str] = None, shard: Optional[int] = None
+    ) -> "DocumentStore":
+        """Load a persisted store image onto the owning shard."""
+        self._require_thread_workers("open_image")
+        if uri is None:
+            from repro.storage.persist import peek_uri
+
+            uri = peek_uri(path)
+        owner = self.catalog.register(uri, shard)
+        self.metrics.incr("shard.documents", labels={"shard": str(owner)})
+        return self.services[owner].open_image(path, uri=uri)
+
+    open = open_image
+
+    def open_durable(
+        self, directory: str, uri: Optional[str] = None, shard: Optional[int] = None
+    ) -> "DurableStore":
+        """Open a durable store directory and attach it to the owning
+        shard; ``update`` calls for its uri go through that shard's WAL."""
+        self._require_thread_workers("open_durable")
+        from repro.updates.durable import DurableStore
+
+        knobs = self.services[0]
+        with self.tracer.start(
+            "recovery", detail=directory, stats=self.stats, force=True
+        ):
+            durable = DurableStore.open(
+                directory,
+                page_size=knobs.page_size,
+                buffer_capacity=knobs.buffer_capacity,
+            )
+        key = uri if uri is not None else durable.store.document.uri
+        owner = self.catalog.register(key, shard)
+        self.metrics.incr("shard.documents", labels={"shard": str(owner)})
+        return self.services[owner].adopt_durable(durable, uri=key)
+
+    def store(self, uri: str) -> "DocumentStore":
+        self._require_thread_workers("store")
+        return self.service_for(uri).store(uri)
+
+    def uris(self) -> list[str]:
+        return self.catalog.uris()
+
+    def warm(self, uri: str, spec: str) -> None:
+        self._require_thread_workers("warm")
+        self.service_for(uri).warm(uri, spec)
+
+    def _require_thread_workers(self, what: str) -> None:
+        if self._process_pool is not None:
+            raise ShardError(
+                f"{what} is not available with process workers; process "
+                "shards support load and query only"
+            )
+
+    # -- updates -----------------------------------------------------------------
+
+    def update(self, uri: str, op: "UpdateOp") -> "MutationResult":
+        """Route one update to the shard owning ``uri``; the shard's own
+        write path (WAL, snapshot publish, view revalidation) applies."""
+        self._require_thread_workers("update")
+        self.metrics.incr(
+            "shard.updates", labels={"shard": str(self.catalog.shard_of(uri))}
+        )
+        return self.service_for(uri).update(uri, op)
+
+    def checkpoint(self, uri: str) -> int:
+        self._require_thread_workers("checkpoint")
+        return self.service_for(uri).checkpoint(uri)
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(
+        self,
+        query: str,
+        mode: Optional[str] = None,
+        variables: Optional[dict[str, list]] = None,
+    ):
+        """Evaluate ``query`` against the collection.
+
+        Single-shard plans route directly (identical behaviour to the
+        unsharded service); multi-shard plans scatter-gather.  Returns a
+        ``Result`` (routed) or :class:`ShardResult` (scattered) — both
+        expose ``items`` / ``values()`` / ``to_xml()`` / ``len``.
+        """
+        expr = self.plan_cache.get_or_parse(query)
+        analysis = referenced_sources(expr)
+        if self.catalog.shards == 1:
+            return self._routed(0, query, mode, variables)
+        if analysis.dynamic:
+            raise ShardError(
+                "cannot route a doc()/virtualDoc() call with a computed uri "
+                "across shards; use literal uris (or a 1-shard collection)"
+            )
+        involved = {uri: self.catalog.place(uri) for uri in analysis.uris}
+        shard_set = sorted(set(involved.values()))
+        if len(shard_set) <= 1:
+            owner = shard_set[0] if shard_set else 0
+            return self._routed(owner, query, mode, variables)
+        check_scatterable(analysis, involved)
+        self._check_variables(variables)
+        return self._scatter(expr, analysis, involved, query, mode, variables)
+
+    def _routed(self, shard: int, query: str, mode, variables):
+        self.metrics.incr("shard.routed_single")
+        if self._process_pool is not None:
+            self._check_variables(variables)  # nodes cannot cross the pipe
+            return self._process_pool.execute_routed(shard, query, mode, variables)
+        return self.services[shard].execute(query, mode=mode, variables=variables)
+
+    def _check_variables(self, variables) -> None:
+        for value in (variables or {}).values():
+            items = value if isinstance(value, list) else [value]
+            if any(is_node(item) for item in items):
+                raise ShardError(
+                    "node-valued variables cannot be broadcast across "
+                    "shards; route the query to the shard owning the nodes"
+                )
+
+    def _scatter(self, expr, analysis, involved, query, mode, variables):
+        started = time.perf_counter()
+        self.metrics.incr("shard.scatter_queries")
+        combine = combiner_of(expr)
+        shard_uris: dict[int, set[str]] = {}
+        for uri, shard in involved.items():
+            shard_uris.setdefault(shard, set()).add(uri)
+        handle = self.tracer.start(
+            "scatter", detail=_preview(query), stats=self.stats
+        )
+        with handle as root:
+            plans = self._specialized.get(query)
+            if plans is None:
+                plans = {
+                    shard: specialize(expr, uris)
+                    for shard, uris in shard_uris.items()
+                }
+                self._specialized[query] = plans
+                if len(self._specialized) > 128:
+                    self._specialized.popitem(last=False)
+            else:
+                self._specialized.move_to_end(query)
+            if self._process_pool is not None:
+                outcome = self._gather_process(plans, analysis, involved, mode, combine)
+            else:
+                outcome = self._gather_threads(
+                    plans, analysis, involved, mode, variables, combine, query
+                )
+            elapsed = time.perf_counter() - started
+            outcome.elapsed_seconds = elapsed
+            if root is not None:
+                root.set("shards", len(plans))
+                root.set("items", len(outcome))
+                if combine:
+                    root.set("combiner", combine)
+        self.metrics.observe("shard.scatter_seconds", elapsed)
+        self.metrics.incr("shard.scatter_fanout", len(plans))
+        return outcome
+
+    def _gather_threads(
+        self, plans, analysis, involved, mode, variables, combine, query
+    ) -> ShardResult:
+        detail = _preview(query)
+        futures = {
+            shard: self._pool.submit(
+                self.services[shard].execute_plan,
+                plan,
+                mode,
+                variables,
+                f"shard={shard} {detail}",
+            )
+            for shard, plan in sorted(plans.items())
+        }
+        results = {shard: future.result() for shard, future in futures.items()}
+        shard_ids = sorted(results)
+        if combine:
+            combined = COMBINERS[combine](
+                results[shard].items[0] for shard in shard_ids
+            )
+            return ShardResult([(combined, None)], 0.0, shard_ids)
+        streams = []
+        for shard in shard_ids:
+            service = self.services[shard]
+            ordinal_by_container = self._container_ordinals(
+                service, analysis, involved, shard
+            )
+            entries = keyed_stream(
+                results[shard].items,
+                lambda item, _m=ordinal_by_container: _m.get(_container_id(item)),
+                _pbn_components,
+            )
+            streams.append([(key, (item, service)) for key, item in entries])
+        merged = merge_streams(streams)
+        return ShardResult(merged, 0.0, shard_ids)
+
+    def _container_ordinals(self, service, analysis, involved, shard) -> dict[int, int]:
+        """``id(container) -> plan-source ordinal`` for the sources this
+        shard owns (resolved through the shared view cache, so the map
+        hits the very instances the query navigated)."""
+        ordinals: dict[int, int] = {}
+        for ordinal, source in enumerate(analysis.sources):
+            if involved.get(source.uri) != shard:
+                continue
+            if source.kind == "doc":
+                ordinals[id(service.store(source.uri).document)] = ordinal
+            else:
+                vdoc = service.resolve_view(source.uri, source.spec)
+                ordinals[id(vdoc)] = ordinal
+        return ordinals
+
+    def _gather_process(self, plans, analysis, involved, mode, combine) -> ShardResult:
+        shard_ids = sorted(plans)
+        owned: dict[int, list] = {shard: [] for shard in shard_ids}
+        for ordinal, source in enumerate(analysis.sources):
+            owner = involved.get(source.uri)
+            if owner in owned:
+                owned[owner].append((ordinal, source.kind, source.uri, source.spec))
+        futures = {
+            shard: self._pool.submit(
+                self._process_pool.execute_plan,
+                shard,
+                plans[shard],
+                mode,
+                owned[shard],
+                combine,
+            )
+            for shard in shard_ids
+        }
+        streams = {shard: future.result() for shard, future in futures.items()}
+        if combine:
+            combined = COMBINERS[combine](
+                streams[shard][0][1] for shard in shard_ids
+            )
+            return ShardResult([(combined, None)], 0.0, shard_ids)
+        merged = merge_streams(
+            [
+                [(key, (item, None)) for key, item in streams[shard]]
+                for shard in shard_ids
+            ]
+        )
+        return ShardResult(merged, 0.0, shard_ids)
+
+    def batch(
+        self,
+        queries: list[str],
+        mode: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> BatchResult:
+        """Evaluate many queries concurrently (each individually routed
+        or scattered), outcomes in submission order."""
+        self.metrics.incr("service.batches")
+        started = time.perf_counter()
+        worker_count = min(
+            workers or self.catalog.shards * 2, max(len(queries), 1)
+        )
+
+        def run(text: str):
+            try:
+                return self.execute(text, mode=mode)
+            except Exception as error:  # per-query fault isolation
+                return error
+
+        if worker_count <= 1 or len(queries) <= 1:
+            outcomes = [run(text) for text in queries]
+        else:
+            with ThreadPoolExecutor(max_workers=worker_count) as executor:
+                outcomes = list(executor.map(run, queries))
+        return BatchResult(outcomes, time.perf_counter() - started)
+
+    # -- explain -----------------------------------------------------------------
+
+    def explain(self, query: str, mode: Optional[str] = None) -> dict:
+        """Sharded EXPLAIN ANALYZE: each involved shard profiles its plan
+        specialization under a forced trace; every operator row carries a
+        ``shard`` attribute, and the per-shard renderings concatenate
+        into one report."""
+        from repro.obs.profile import build_profile, operators, render_profile
+
+        self._require_thread_workers("explain")
+        self.metrics.incr("service.explains")
+        expr = self.plan_cache.get_or_parse(query)
+        analysis = referenced_sources(expr)
+        if analysis.dynamic and self.catalog.shards > 1:
+            raise ShardError(
+                "cannot route a doc()/virtualDoc() call with a computed uri "
+                "across shards; use literal uris (or a 1-shard collection)"
+            )
+        involved = {uri: self.catalog.place(uri) for uri in analysis.uris}
+        shard_set = sorted(set(involved.values())) or [0]
+        if len(shard_set) > 1:
+            check_scatterable(analysis, involved)
+        shard_uris = {
+            shard: {u for u, s in involved.items() if s == shard}
+            for shard in shard_set
+        }
+        plan_text = self.services[shard_set[0]].explain_text(query)
+        shards_report: dict[str, dict] = {}
+        rendered_parts: list[str] = []
+        total_items = 0
+        total_ms = 0.0
+        for shard in shard_set:
+            plan = (
+                specialize(expr, shard_uris[shard])
+                if len(shard_set) > 1
+                else expr
+            )
+            result, trace = self.services[shard].explain_plan(
+                plan, mode=mode, detail=f"shard={shard} {_preview(query)}"
+            )
+            profile = build_profile(trace)
+            for node in profile.walk():
+                node.attrs["shard"] = shard
+            shards_report[str(shard)] = {
+                "profile": profile.to_dict(),
+                "operators": [node.label for node in operators(profile)],
+                "items": len(result),
+            }
+            total_items += len(result)
+            total_ms += result.elapsed_seconds * 1e3
+            rendered_parts.append(render_profile(profile))
+        return {
+            "plan": plan_text,
+            "shards": shards_report,
+            "rendered": "\n\n".join(rendered_parts),
+            "summary": {
+                "items": total_items,
+                "elapsed_ms": round(total_ms, 4),
+                "fanout": len(shard_set),
+            },
+        }
+
+    # -- reporting ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One collection-wide report: the shared metrics/storage/cache
+        counters plus the shard topology and per-shard durable state."""
+        report = self.metrics.snapshot()
+        report["storage"] = self.stats.snapshot()
+        report["caches"] = {
+            "plan": {
+                "entries": len(self.plan_cache),
+                "capacity": self.plan_cache.capacity,
+                "hit_rate": self.metrics.hit_rate("plan"),
+            },
+            "view": {
+                "entries": len(self.view_cache),
+                "capacity": self.view_cache.capacity,
+                "hit_rate": self.metrics.hit_rate("view"),
+            },
+        }
+        report["shards"] = self.catalog.summary()
+        durables: dict[str, dict] = {}
+        for service in self.services:
+            with service._write_lock:
+                for uri, durable in service._durables.items():
+                    durables[uri] = {
+                        "seq": durable.seq,
+                        "wal_bytes": durable.wal_size,
+                    }
+        if durables:
+            report["durable"] = durables
+        return report
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.metrics.reset()
+
+    def close(self) -> None:
+        """Shut down the scatter pool (and worker processes, if any)."""
+        self._pool.shutdown(wait=False)
+        if self._process_pool is not None:
+            self._process_pool.close()
+
+
+def _container_id(item) -> Optional[int]:
+    """Identity of the container an item belongs to, or ``None`` for
+    constructed / atomic items (which cannot merge across shards)."""
+    if isinstance(item, VNode):
+        vdoc = item._vdoc
+        return id(vdoc) if vdoc is not None else None
+    if isinstance(item, VirtualDocItem):
+        return id(item.vdoc)
+    if isinstance(item, Node):
+        node = item
+        while node.parent is not None:
+            node = node.parent
+        return id(node) if isinstance(node, Document) else None
+    return None
+
+
+def _pbn_components(item) -> Optional[tuple]:
+    """The extant PBN component tuple of a stored item, for the merge's
+    document-order verification; ``None`` when the item has no number or
+    its container uses a virtual order."""
+    if isinstance(item, Node) and item.pbn is not None:
+        return item.pbn.components
+    return None

@@ -1,0 +1,236 @@
+"""Process-based shard workers (`serve --shard-workers process`).
+
+Thread scatter shares one address space, so merged items are live nodes
+and ``to_xml`` can borrow the owning shard's engine.  Process scatter
+(:class:`ProcessShardPool`) instead gives every shard its own worker
+process — its own interpreter, engine pool, and stores — which sidesteps
+the GIL for CPU-bound shard evaluation on multi-core machines, at the
+price of a narrower contract:
+
+* documents are loaded by shipping their XML text to the worker
+  (``load``); images, durable stores, warmup, and updates stay
+  thread-mode features — the pool is for read-mostly serving;
+* result items come back *materialized*: each node crosses the pipe as
+  its serialized XML plus its XPath string value
+  (:class:`RemoteItem`), not as a live object;
+* per-shard trace spans stay in the worker process and are not stitched
+  into the coordinator's traces.
+
+The merge contract is unchanged: workers key their streams with the same
+``(source ordinal, position)`` keys (verified against extant PBNs by
+:func:`repro.shard.merge.keyed_stream`), so the coordinator heap-merges
+pipe payloads exactly as it merges live streams.
+
+The protocol is one request / one reply per pipe, requests are tuples
+(picklable plans — the AST is frozen dataclasses — ship directly), and
+any worker-side exception comes back as ``("error", kind, message)`` and
+re-raises in the coordinator as a :class:`ShardError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Optional
+
+from repro.shard.catalog import ShardError
+
+
+class RemoteItem:
+    """A node materialized in a worker process, shipped as bytes."""
+
+    __slots__ = ("xml", "value")
+
+    def __init__(self, xml: str, value: str) -> None:
+        self.xml = xml
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteItem({self.xml[:40]!r})"
+
+
+class RemoteResult:
+    """A routed query's outcome from a worker process, shaped like a
+    ``Result``: ``items`` are atomics and :class:`RemoteItem` nodes."""
+
+    def __init__(self, items: list, elapsed_seconds: float) -> None:
+        self.items = items
+        self.elapsed_seconds = elapsed_seconds
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index: int):
+        return self.items[index]
+
+    def values(self) -> list[str]:
+        return [
+            item.value if isinstance(item, RemoteItem) else _format(item)
+            for item in self.items
+        ]
+
+    def to_xml(self) -> str:
+        return "".join(
+            item.xml if isinstance(item, RemoteItem) else _format(item)
+            for item in self.items
+        )
+
+
+def _format(item) -> str:
+    from repro.query.functions import format_atomic
+
+    return format_atomic(item)
+
+
+def _materialize(engine, items: list) -> list:
+    """Each item as a pipe payload: ``("node", xml, value)`` or
+    ``("atomic", value)``."""
+    from repro.query.items import is_node, string_value
+    from repro.xmlmodel.serializer import serialize
+
+    payloads = []
+    for item in items:
+        if is_node(item):
+            payloads.append(
+                ("node", serialize(engine.copy_item(item)), string_value(item))
+            )
+        else:
+            payloads.append(("atomic", item))
+    return payloads
+
+
+def _revive(payload):
+    kind = payload[0]
+    if kind == "node":
+        return RemoteItem(payload[1], payload[2])
+    return payload[1]
+
+
+def worker_main(conn, mode: str, pool_size: int) -> None:
+    """The worker process loop: one :class:`QueryService` per shard,
+    commands in, picklable payloads out.  Runs until ``close`` or EOF."""
+    from repro.service.service import QueryService
+    from repro.shard.merge import keyed_stream
+
+    service = QueryService(pool_size=pool_size, mode=mode)
+    while True:
+        try:
+            request = conn.recv()
+        except EOFError:  # coordinator died; exit quietly
+            return
+        try:
+            command = request[0]
+            if command == "close":
+                conn.send(("ok", None))
+                return
+            if command == "load":
+                _, uri, text = request
+                service.load(uri, text)
+                conn.send(("ok", None))
+            elif command == "query":
+                _, text, mode_override, variables = request
+                result = service.execute(text, mode=mode_override, variables=variables)
+                with service._engine() as engine:
+                    payloads = _materialize(engine, result.items)
+                conn.send(("ok", (payloads, result.elapsed_seconds)))
+            elif command == "plan":
+                _, expr, mode_override, owned, combine = request
+                result = service.execute_plan(expr, mode_override, None)
+                if combine:
+                    conn.send(("ok", [(None, ("atomic", result.items[0]))]))
+                    continue
+                ordinals: dict[int, int] = {}
+                for ordinal, kind, uri, spec in owned:
+                    if kind == "doc":
+                        ordinals[id(service.store(uri).document)] = ordinal
+                    else:
+                        ordinals[id(service.resolve_view(uri, spec))] = ordinal
+                from repro.shard.service import _container_id, _pbn_components
+
+                entries = keyed_stream(
+                    result.items,
+                    lambda item: ordinals.get(_container_id(item)),
+                    _pbn_components,
+                )
+                with service._engine() as engine:
+                    shipped = [
+                        (key, _materialize(engine, [item])[0])
+                        for key, item in entries
+                    ]
+                conn.send(("ok", shipped))
+            else:
+                conn.send(("error", "ShardError", f"unknown command {command!r}"))
+        except Exception as error:  # ship the failure, keep serving
+            conn.send(("error", type(error).__name__, str(error)))
+
+
+class ProcessShardPool:
+    """One worker process per shard, lazily spawned, pipe per worker."""
+
+    def __init__(self, shards: int, mode: str = "indexed", pool_size: int = 1) -> None:
+        self.shards = shards
+        self.mode = mode
+        self.pool_size = pool_size
+        self._context = multiprocessing.get_context("fork")
+        self._workers: dict[int, tuple] = {}
+
+    def _connection(self, shard: int):
+        worker = self._workers.get(shard)
+        if worker is None:
+            parent, child = self._context.Pipe()
+            process = self._context.Process(
+                target=worker_main,
+                args=(child, self.mode, self.pool_size),
+                daemon=True,
+                name=f"shard-worker-{shard}",
+            )
+            process.start()
+            child.close()
+            worker = (process, parent)
+            self._workers[shard] = worker
+        return worker[1]
+
+    def _call(self, shard: int, request: tuple):
+        conn = self._connection(shard)
+        conn.send(request)
+        reply = conn.recv()
+        if reply[0] == "ok":
+            return reply[1]
+        raise ShardError(f"shard {shard} worker {reply[1]}: {reply[2]}")
+
+    def load(self, shard: int, uri: str, text: str) -> None:
+        self._call(shard, ("load", uri, text))
+
+    def execute_routed(
+        self, shard: int, query: str, mode: Optional[str], variables=None
+    ) -> RemoteResult:
+        payloads, elapsed = self._call(shard, ("query", query, mode, variables))
+        return RemoteResult([_revive(p) for p in payloads], elapsed)
+
+    def execute_plan(
+        self,
+        shard: int,
+        expr,
+        mode: Optional[str],
+        owned: list,
+        combine: Optional[str] = None,
+    ):
+        """Keyed, materialized entries for the global merge (one keyless
+        entry holding the per-shard aggregate under ``combine``)."""
+        shipped = self._call(shard, ("plan", expr, mode, owned, combine))
+        return [(key, _revive(payload)) for key, payload in shipped]
+
+    def close(self) -> None:
+        for shard, (process, conn) in self._workers.items():
+            try:
+                conn.send(("close",))
+                conn.recv()
+            except (OSError, EOFError):
+                pass
+            conn.close()
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+        self._workers.clear()

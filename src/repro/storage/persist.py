@@ -186,6 +186,24 @@ def parse_store_ex(
     raise StorageError(f"unsupported store image version {version}")
 
 
+def peek_uri(path: str) -> str:
+    """The document uri of the image at ``path``, without rebuilding the
+    store — the sharded catalog routes an image to its owning shard
+    before paying the load.
+
+    :raises StorageError: on bad magic, version, or (v2) meta checksum.
+    """
+    with open(path, "rb") as handle:
+        if _read_exact(handle, 4) != _MAGIC:
+            raise StorageError("not a vPBN store image (bad magic)")
+        (version,) = struct.unpack("<H", _read_exact(handle, 2))
+        if version == 1:
+            return _read_str(handle)
+        if version == 2:
+            return _read_str(io.BytesIO(_read_section(handle, "meta")))
+        raise StorageError(f"unsupported store image version {version}")
+
+
 def load_store(
     path: str, page_size: int = 4096, buffer_capacity: int = 64
 ) -> DocumentStore:

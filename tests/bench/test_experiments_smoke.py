@@ -13,7 +13,7 @@ from repro.bench.report import Table
 def test_registry_complete():
     assert set(EXPERIMENTS) == {
         "e1", "e2", "e3", "e4", "e5", "e6",
-        "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+        "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16",
     }
 
 
@@ -62,3 +62,17 @@ def test_e9_io_shape():
     assert virtual_row[1] == 0  # virtual writes nothing
     assert materialize_row[1] > 0  # materialization writes a new heap
     assert materialize_row[4] > 0  # and rebuilds indexes
+
+
+def test_e16_sharded_answers_are_identical():
+    from repro.bench.experiments import collect_e16
+
+    # Tiny scale: no timing assertions (1-core CI noise), only the part
+    # of E16 that is a hard invariant — every multi-shard answer must be
+    # byte-identical to the single-shard answer.
+    results = collect_e16(docs=6, books=6, shards=(1, 2), repeat=1)
+    assert set(results["queries"]) == {
+        "union-titles", "union-names", "union-virtual", "count-all"
+    }
+    for entry in results["queries"].values():
+        assert all(cell["identical"] for cell in entry["shards"].values())

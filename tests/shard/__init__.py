@@ -1,0 +1,1 @@
+"""Sharded-collection tests: catalog, scatter-gather, differential."""

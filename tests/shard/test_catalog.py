@@ -1,0 +1,91 @@
+"""Catalog unit tests: placement, registration, ordinals, slugs."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.shard import ShardCatalog, ShardError, doc_slug, stable_shard
+
+
+def test_stable_shard_is_deterministic_and_spread():
+    uris = [f"doc{i}.xml" for i in range(64)]
+    first = [stable_shard(uri, 4) for uri in uris]
+    assert first == [stable_shard(uri, 4) for uri in uris]
+    spread = Counter(first)
+    # Sequentially named uris must not collapse onto one shard (the raw
+    # CRC's low bits do exactly that; the mixer exists to prevent it).
+    assert len(spread) == 4
+    assert max(spread.values()) < len(uris)
+
+
+def test_stable_shard_respects_shard_count():
+    for shards in (1, 2, 3, 7):
+        assert all(
+            0 <= stable_shard(f"u{i}", shards) < shards for i in range(32)
+        )
+
+
+def test_doc_slug_is_filesystem_safe():
+    assert doc_slug("doc1.xml") == "doc1.xml"
+    assert doc_slug("tenant/a/catalog.xml") == "tenant_a_catalog.xml"
+    assert doc_slug("weird: uri?!") == "weird_uri"
+    assert doc_slug("...") == "doc"
+    assert "/" not in doc_slug("a/b/c")
+
+
+def test_register_and_shard_of():
+    catalog = ShardCatalog(4)
+    owner = catalog.register("a.xml")
+    assert catalog.shard_of("a.xml") == owner
+    assert "a.xml" in catalog
+    assert "b.xml" not in catalog
+    with pytest.raises(ShardError):
+        catalog.shard_of("b.xml")
+
+
+def test_reregistering_keeps_shard_and_ordinal():
+    catalog = ShardCatalog(4)
+    catalog.register("a.xml", shard=2)
+    catalog.register("b.xml")
+    assert catalog.register("a.xml", shard=0) == 2  # a reload is not a move
+    assert catalog.ordinal("a.xml") == 0
+    assert catalog.ordinal("b.xml") == 1
+
+
+def test_explicit_placement_overrides_hash():
+    catalog = ShardCatalog(4, placement={"a.xml": 3})
+    assert catalog.place("a.xml") == 3
+    assert catalog.register("a.xml") == 3
+
+
+def test_placement_validates_shard_range():
+    with pytest.raises(ShardError):
+        ShardCatalog(2, placement={"a.xml": 5})
+    catalog = ShardCatalog(2)
+    with pytest.raises(ShardError):
+        catalog.register("a.xml", shard=2)
+    with pytest.raises(ShardError):
+        ShardCatalog(0)
+
+
+def test_uris_in_registration_order_and_per_shard():
+    catalog = ShardCatalog(2)
+    catalog.register("c.xml", shard=0)
+    catalog.register("a.xml", shard=1)
+    catalog.register("b.xml", shard=0)
+    assert catalog.uris() == ["c.xml", "a.xml", "b.xml"]
+    assert catalog.uris(shard=0) == ["c.xml", "b.xml"]
+    assert catalog.uris(shard=1) == ["a.xml"]
+    assert catalog.shards_of(["b.xml", "a.xml"]) == [0, 1]
+
+
+def test_summary_shape():
+    catalog = ShardCatalog(2)
+    catalog.register("a.xml", shard=1)
+    summary = catalog.summary()
+    assert summary["shards"] == 2
+    assert summary["documents"] == 1
+    assert summary["by_shard"]["1"] == ["a.xml"]
+    assert summary["by_shard"]["0"] == []

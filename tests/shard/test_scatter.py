@@ -1,0 +1,237 @@
+"""Scatter-gather behaviour: routing, merging, combiners, guards,
+sharded EXPLAIN ANALYZE, update routing, and process workers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pbn.number import Pbn
+from repro.query.engine import Result
+from repro.shard import ShardedService, ShardError, ShardResult
+from repro.shard.merge import ShardMergeError
+from repro.updates.ops import InsertSubtree
+
+DOCS = 8
+SPEC = "title { chapter }"
+
+
+def _xml(i: int) -> str:
+    return (
+        f"<book id='{i}'><title>T{i}</title>"
+        f"<chapter><p>body {i}</p></chapter></book>"
+    )
+
+
+def _load(service) -> list[str]:
+    uris = []
+    for i in range(DOCS):
+        uri = f"doc{i}.xml"
+        service.load(uri, _xml(i))
+        uris.append(uri)
+    return uris
+
+
+@pytest.fixture(scope="module")
+def pair():
+    sharded = ShardedService(shards=4, pool_size=1)
+    single = ShardedService(shards=1, pool_size=1)
+    uris = _load(sharded)
+    _load(single)
+    yield sharded, single, uris
+    sharded.close()
+    single.close()
+
+
+def _union(uris, suffix="//title"):
+    return " | ".join(f'doc("{u}"){suffix}' for u in uris)
+
+
+def test_multiple_shards_used(pair):
+    sharded, _, uris = pair
+    assert len({sharded.catalog.shard_of(u) for u in uris}) > 1
+
+
+def test_single_document_query_routes_without_scatter(pair):
+    sharded, single, uris = pair
+    result = sharded.execute(f'doc("{uris[0]}")//p/text()')
+    assert isinstance(result, Result)  # the unsharded result type
+    assert result.values() == ["body 0"]
+    before = sharded.metrics.counter("shard.scatter_queries")
+    sharded.execute(f'doc("{uris[3]}")//title')
+    assert sharded.metrics.counter("shard.scatter_queries") == before
+
+
+def test_scatter_merges_in_document_order(pair):
+    sharded, single, uris = pair
+    result = sharded.execute(_union(uris))
+    assert isinstance(result, ShardResult)
+    assert len(result.shards) > 1
+    assert result.values() == [f"T{i}" for i in range(DOCS)]
+    assert result.to_xml() == single.execute(_union(uris)).to_xml()
+
+
+def test_scatter_matches_unsharded_for_reversed_sources(pair):
+    sharded, single, uris = pair
+    query = f'doc("{uris[5]}")//title | doc("{uris[0]}")//title'
+    assert sharded.execute(query).to_xml() == single.execute(query).to_xml()
+
+
+def test_scatter_matches_on_text_and_wildcard(pair):
+    sharded, single, uris = pair
+    for suffix in ("//p/text()", "//*", "//chapter"):
+        query = _union(uris, suffix)
+        assert sharded.execute(query).to_xml() == single.execute(query).to_xml()
+
+
+def test_count_combiner_distributes(pair):
+    sharded, single, uris = pair
+    query = f"count({_union(uris, '//*')})"
+    assert sharded.execute(query).items == single.execute(query).items
+    assert sharded.execute(query).items == [4 * DOCS]
+
+
+def test_exists_combiner(pair):
+    sharded, _, uris = pair
+    assert sharded.execute(f"exists({_union(uris, '//p')})").items == [True]
+    assert sharded.execute(f"exists({_union(uris, '//nope')})").items == [False]
+
+
+def test_virtual_doc_scatter(pair):
+    sharded, single, uris = pair
+    query = " | ".join(
+        f'virtualDoc("{u}", "{SPEC}")//chapter' for u in uris
+    )
+    assert sharded.execute(query).to_xml() == single.execute(query).to_xml()
+
+
+def test_guarded_cross_shard_source_is_refused(pair):
+    sharded, _, uris = pair
+    with pytest.raises(ShardError, match="predicate or condition"):
+        sharded.execute(
+            f'doc("{uris[0]}")//p[count(doc("{uris[5]}")//p) > 0]'
+        )
+
+
+def test_dynamic_uri_is_refused(pair):
+    sharded, _, uris = pair
+    with pytest.raises(ShardError, match="computed uri"):
+        sharded.execute(
+            f'for $u in ("x") return doc($u)//p | doc("{uris[5]}")//p'
+        )
+
+
+def test_node_variables_are_refused_for_scatter(pair):
+    sharded, single, uris = pair
+    node = single.execute(f'doc("{uris[0]}")//p').items[0]
+    with pytest.raises(ShardError, match="variables"):
+        sharded.execute(_union(uris), variables={"n": [node]})
+
+
+def test_constructed_results_cannot_merge(pair):
+    sharded, _, uris = pair
+    query = " | ".join(f'doc("{u}")//missing' for u in uris)
+    # All-empty streams merge fine...
+    assert len(sharded.execute(query)) == 0
+    # ...but multi-shard constructed/atomic items do not.
+    flwr = (
+        "for $t in " + _union(uris) + " return <got>{$t/text()}</got>"
+    )
+    with pytest.raises(ShardMergeError, match="attributed"):
+        sharded.execute(flwr)
+
+
+def test_explain_carries_shard_attribute(pair):
+    sharded, _, uris = pair
+    report = sharded.explain(_union(uris))
+    assert report["summary"]["fanout"] > 1
+    assert set(report["shards"]) == {
+        str(s) for s in sharded.catalog.shards_of(uris)
+    }
+    for shard, entry in report["shards"].items():
+        assert f"shard={shard}" in report["rendered"]
+        assert entry["profile"]["attrs"]["shard"] == int(shard)
+
+
+def test_update_routes_to_owning_shard(pair):
+    sharded, single, uris = pair
+    target = uris[3]
+    chapter = single.execute(f'doc("{target}")/book/chapter').items[0]
+    op = InsertSubtree(parent=chapter.pbn, fragment="<note>routed</note>")
+    sharded.update(target, op)
+    single.update(target, op)
+    query = _union(uris, "//note")
+    assert sharded.execute(query).to_xml() == single.execute(query).to_xml()
+    assert sharded.execute(query).values() == ["routed"]
+
+
+def test_snapshot_reports_topology_and_scatter_metrics(pair):
+    sharded, _, uris = pair
+    snapshot = sharded.snapshot()
+    assert snapshot["shards"]["documents"] == DOCS
+    assert snapshot["counters"]["shard.scatter_queries"] >= 1
+    assert "shard.scatter_seconds" in snapshot["histograms"]
+
+
+def test_batch_mixes_routed_and_scattered(pair):
+    sharded, single, uris = pair
+    queries = [f'doc("{uris[0]}")//title', _union(uris), "count(" + _union(uris) + ")"]
+    outcome = sharded.batch(queries)
+    expected = [single.execute(q) for q in queries]
+    assert [o.values() for o in outcome.outcomes] == [
+        e.values() for e in expected
+    ]
+
+
+def test_explicit_placement_and_load_override():
+    service = ShardedService(shards=2, placement={"a.xml": 1})
+    try:
+        service.load("a.xml", "<r/>")
+        service.load("b.xml", "<r/>", shard=0)
+        assert service.catalog.shard_of("a.xml") == 1
+        assert service.catalog.shard_of("b.xml") == 0
+    finally:
+        service.close()
+
+
+def test_workers_argument_is_validated():
+    with pytest.raises(ShardError, match="workers"):
+        ShardedService(shards=2, workers="fibers")
+
+
+class TestProcessWorkers:
+    @pytest.fixture(scope="class")
+    def procs(self):
+        sharded = ShardedService(shards=4, pool_size=1, workers="process")
+        single = ShardedService(shards=1, pool_size=1)
+        uris = _load(sharded)
+        _load(single)
+        yield sharded, single, uris
+        sharded.close()
+        single.close()
+
+    def test_scatter_matches_thread_mode(self, procs):
+        sharded, single, uris = procs
+        query = _union(uris)
+        assert sharded.execute(query).to_xml() == single.execute(query).to_xml()
+        assert sharded.execute(query).values() == [f"T{i}" for i in range(DOCS)]
+
+    def test_routed_and_combined(self, procs):
+        sharded, single, uris = procs
+        routed = sharded.execute(f'doc("{uris[0]}")//p/text()')
+        assert routed.values() == ["body 0"]
+        agg = f"count({_union(uris, '//*')})"
+        assert sharded.execute(agg).items == single.execute(agg).items
+
+    def test_writes_are_refused(self, procs):
+        sharded, _, uris = procs
+        with pytest.raises(ShardError, match="process workers"):
+            sharded.update(uris[0], InsertSubtree(parent=Pbn(1), fragment="<x/>"))
+        with pytest.raises(ShardError, match="process workers"):
+            sharded.store(uris[0])
+
+    def test_worker_errors_surface(self, procs):
+        sharded, _, uris = procs
+        # Parses fine, fails at evaluation inside the worker process:
+        # the failure crosses the pipe and re-raises as a ShardError.
+        with pytest.raises(ShardError, match="worker"):
+            sharded.execute('doc("never-loaded.xml")//p')

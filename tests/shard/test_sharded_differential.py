@@ -1,0 +1,126 @@
+"""Differential safety net for sharding: on randomized documents, a
+sharded collection must answer every query in the differential suite
+*byte-identically* to the unsharded service — per document (routing) and
+across documents (scatter-gather) — for all three evaluation strategies:
+tree-walk, PBN-indexed, and virtual (vPBN).
+
+The unsharded baseline is a 1-shard :class:`ShardedService`, which routes
+every query straight through a plain :class:`QueryService` — so the
+comparison isolates exactly the partition/specialize/merge machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataguide.build import build_dataguide
+from repro.shard import ShardedService
+from repro.workloads.treegen import random_document, random_spec
+
+SEEDS = range(12)
+SHARDS = 4
+
+PER_DOC_TEMPLATES = [
+    "{source}//{name}",
+    "{source}//{name}/text()",
+    "{source}//{name}/*",
+    "count({source}//{name})",
+]
+
+CROSS_DOC_TEMPLATES = [
+    "{a} | {b}",
+    "{b} | {a}",
+    "count({a} | {b})",
+]
+
+
+class Case:
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self.uri = f"doc{seed}.xml"
+        self.document = random_document(seed, max_depth=4, max_children=3)
+        guide = build_dataguide(self.document)
+        self.spec = random_spec(
+            guide, seed, max_roots=2, max_children=2, max_depth=3
+        )
+        names = sorted(
+            {
+                vtype.dotted().split(".")[-1]
+                for vtype in guide.iter_types()
+                if "#" not in vtype.dotted() and "@" not in vtype.dotted()
+            }
+        )
+        self.name = names[len(names) // 2] if names else "missing"
+
+    def source(self, strategy: str) -> str:
+        if strategy == "virtual":
+            return f'virtualDoc("{self.uri}", "{self.spec}")'
+        return f'doc("{self.uri}")'
+
+
+@pytest.fixture(scope="module")
+def services():
+    sharded = ShardedService(shards=SHARDS, pool_size=1)
+    single = ShardedService(shards=1, pool_size=1)
+    cases = [Case(seed) for seed in SEEDS]
+    for case in cases:
+        for service in (sharded, single):
+            service.load(case.uri, random_document(case.seed, max_depth=4, max_children=3))
+    yield sharded, single, cases
+    sharded.close()
+    single.close()
+
+
+def _mode(strategy):
+    return None if strategy == "virtual" else strategy
+
+
+STRATEGIES = ["tree", "indexed", "virtual"]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_per_document_routing_is_byte_identical(services, strategy):
+    sharded, single, cases = services
+    problems = []
+    for case in cases:
+        for template in PER_DOC_TEMPLATES:
+            query = template.format(source=case.source(strategy), name=case.name)
+            a = sharded.execute(query, mode=_mode(strategy))
+            b = single.execute(query, mode=_mode(strategy))
+            if a.to_xml() != b.to_xml() or a.values() != b.values():
+                problems.append(f"seed={case.seed} {strategy} {query!r}")
+    assert not problems, "\n".join(problems[:10])
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_cross_document_scatter_is_byte_identical(services, strategy):
+    sharded, single, cases = services
+    problems = []
+    checked = 0
+    for left, right in zip(cases, cases[1:]):
+        if sharded.catalog.shard_of(left.uri) == sharded.catalog.shard_of(right.uri):
+            continue  # only cross-shard pairs exercise the merge
+        for template in CROSS_DOC_TEMPLATES:
+            query = template.format(
+                a=f"{left.source(strategy)}//{left.name}",
+                b=f"{right.source(strategy)}//{right.name}",
+            )
+            a = sharded.execute(query, mode=_mode(strategy))
+            b = single.execute(query, mode=_mode(strategy))
+            checked += 1
+            if a.to_xml() != b.to_xml() or a.values() != b.values():
+                problems.append(f"seeds={left.seed},{right.seed} {strategy} {query!r}")
+    assert not problems, "\n".join(problems[:10])
+    assert checked >= 6, f"only {checked} cross-shard pairs exercised"
+
+
+def test_whole_collection_union_is_byte_identical(services):
+    sharded, single, cases = services
+    for strategy in STRATEGIES:
+        query = " | ".join(
+            f"{case.source(strategy)}//{case.name}" for case in cases
+        )
+        a = sharded.execute(query, mode=_mode(strategy))
+        b = single.execute(query, mode=_mode(strategy))
+        assert a.to_xml() == b.to_xml(), f"collection union differs ({strategy})"
+        assert a.values() == b.values()
