@@ -24,7 +24,7 @@ import sys
 from pathlib import Path
 
 from repro.bench.experiments import collect_e15
-from repro.bench.harness import per_op_ns
+from repro.bench.harness import per_op_ns, require_key
 from repro.pbn import axes as pbn_axes
 from repro.workloads.books import books_document
 from repro.storage.store import DocumentStore
@@ -68,14 +68,28 @@ def main(argv: list[str]) -> int:
     print(f"wrote {out}")
 
     failures: list[str] = []
-    for mode_name, per_axis in results["modes"].items():
+    for mode_name, per_axis in require_key(
+        results, "modes", "BENCH_e15.json"
+    ).items():
         for axis in GATE_AXES:
-            sizes = per_axis[axis]
+            sizes = require_key(
+                per_axis, axis, f"BENCH_e15.json modes/{mode_name}"
+            )
             largest = sizes[max(sizes, key=int)]
-            limit = GATE_FACTOR * results["pbn_predicate_ns"][axis]
-            verdict = "ok" if largest["batch_ns_per_pair"] <= limit else "FAIL"
+            baseline = require_key(
+                results, "pbn_predicate_ns", "BENCH_e15.json"
+            )
+            limit = GATE_FACTOR * require_key(
+                baseline, axis, "BENCH_e15.json pbn_predicate_ns"
+            )
+            per_pair = require_key(
+                largest,
+                "batch_ns_per_pair",
+                f"BENCH_e15.json modes/{mode_name}/{axis}",
+            )
+            verdict = "ok" if per_pair <= limit else "FAIL"
             print(
-                f"{mode_name:8s} {axis:18s} batch {largest['batch_ns_per_pair']:8.1f}"
+                f"{mode_name:8s} {axis:18s} batch {per_pair:8.1f}"
                 f" ns/pair vs {GATE_FACTOR:.0f}x PBN {limit:8.1f} ns  {verdict}"
             )
             if verdict == "FAIL":
@@ -84,6 +98,23 @@ def main(argv: list[str]) -> int:
         print(f"bench regression: batch overhead above {GATE_FACTOR}x PBN "
               f"for {', '.join(failures)}")
         return 1
+
+    # The committed E17 results ride the same gate: the sql backend's
+    # identical flags must all read true (scripts/run_e17.py refreshes
+    # the file and applies the same check at collection time).
+    e17_path = Path(__file__).resolve().parent.parent / "BENCH_e17.json"
+    if not e17_path.exists():
+        print("BENCH_e17.json missing; run scripts/run_e17.py to create it")
+        return 1
+    from run_e17 import check as check_e17
+
+    e17_failures = check_e17(json.loads(e17_path.read_text()))
+    if e17_failures:
+        print("BENCH_e17.json records non-identical sql answers:")
+        for failure in e17_failures:
+            print(f"  {failure}")
+        return 1
+    print("BENCH_e17.json identity flags ok")
     print("bench regression gate passed")
     return 0
 

@@ -28,6 +28,7 @@ import sys
 from pathlib import Path
 
 from repro.bench.experiments import collect_e16
+from repro.bench.harness import require_key
 
 #: Queries whose widest-fanout run must beat single-shard wall-clock.
 #: ``count-all`` is gated on identity only: the combiner's answer is one
@@ -47,27 +48,33 @@ def main(argv: list[str]) -> int:
     print(f"wrote {out}")
 
     failures: list[str] = []
-    for name, entry in results["queries"].items():
-        cells = entry["shards"]
+    for name, entry in require_key(
+        results, "queries", "BENCH_e16.json"
+    ).items():
+        cells = require_key(entry, "shards", f"BENCH_e16.json queries/{name}")
         widest = str(max(int(count) for count in cells))
         for count, cell in sorted(cells.items(), key=lambda kv: int(kv[0])):
+            context = f"BENCH_e16.json queries/{name}/shards/{count}"
+            identical = require_key(cell, "identical", context)
+            speedup = require_key(cell, "speedup", context)
+            seconds = require_key(cell, "seconds", context)
             verdict = "ok"
-            if not cell["identical"]:
+            if not identical:
                 verdict = "FAIL (result differs)"
                 failures.append(f"{name}@{count} shards: not byte-identical")
             elif (
                 count == widest
                 and name in GATED_QUERIES
-                and cell["speedup"] <= 1.0
+                and speedup <= 1.0
             ):
                 verdict = "FAIL (no speedup)"
                 failures.append(
-                    f"{name}@{count} shards: {cell['speedup']:.2f}x <= 1.0x"
+                    f"{name}@{count} shards: {speedup:.2f}x <= 1.0x"
                 )
             print(
                 f"{name:14s} shards={count:>2s} "
-                f"{cell['seconds'] * 1e3:8.2f} ms  "
-                f"{cell['speedup']:5.2f}x  {verdict}"
+                f"{seconds * 1e3:8.2f} ms  "
+                f"{speedup:5.2f}x  {verdict}"
             )
     if failures:
         print("scatter-gather gate failed:")

@@ -1,0 +1,83 @@
+"""Relational-backend gate for ``strategy=sql`` (CI smoke).
+
+Runs the E17 collection (sql vs tree/indexed on the stored books
+workload, sql vs the virtual navigator on the Figure 6 view), writes the
+results to ``BENCH_e17.json``, and fails when any strategy's answer is
+not byte-identical to its baseline — byte equality is the backend's
+contract, so a mismatch is a correctness bug regardless of the timings.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_e17.py           # CI smoke
+    PYTHONPATH=src python scripts/run_e17.py --full    # reproduce BENCH_e17.json
+
+The smoke profile keeps CI fast; ``--full`` reproduces the committed
+``BENCH_e17.json`` (books=256, repeat=3).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import collect_e17
+from repro.bench.harness import require_key
+
+
+def check(results: dict) -> list[str]:
+    """Identity failures in an E17 result dict (shared with the
+    bench-regression gate, which re-checks the committed file)."""
+    failures: list[str] = []
+    for section in ("stored", "virtual"):
+        queries = require_key(results, section, "BENCH_e17.json")
+        for name, entry in queries.items():
+            strategies = require_key(
+                entry, "strategies", f"BENCH_e17.json {section}/{name}"
+            )
+            for strategy, cell in strategies.items():
+                identical = require_key(
+                    cell,
+                    "identical",
+                    f"BENCH_e17.json {section}/{name}/{strategy}",
+                )
+                if not identical:
+                    failures.append(
+                        f"{section}/{name}: strategy={strategy} not "
+                        f"byte-identical to its baseline"
+                    )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    full = "--full" in argv
+    if full:
+        results = collect_e17(books=256, repeat=3)
+    else:
+        results = collect_e17(books=64, repeat=2)
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_e17.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    failures = check(results)
+    for section in ("stored", "virtual"):
+        for name, entry in results[section].items():
+            for strategy, cell in entry["strategies"].items():
+                verdict = "ok" if cell["identical"] else "FAIL (result differs)"
+                print(
+                    f"{name:14s} {strategy:8s} "
+                    f"{cell['seconds'] * 1e3:8.2f} ms  "
+                    f"{cell['speedup']:5.2f}x  {verdict}"
+                )
+    if failures:
+        print("sql-backend gate failed:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("sql-backend gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

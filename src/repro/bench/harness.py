@@ -38,6 +38,24 @@ def per_op_ns(fn: Callable[[], object], inner_loops: int, repeat: int = 3) -> fl
     return best_of(fn, repeat) / inner_loops * 1e9
 
 
+def require_key(mapping, key, context: str):
+    """``mapping[key]``, but a missing key exits with a message naming the
+    BENCH file/section instead of a bare ``KeyError`` — the CI gates read
+    collected result dicts and must say *which* expected cell is absent
+    (stale BENCH_*.json, or a collect_* shape change)."""
+    try:
+        return mapping[key]
+    except (KeyError, TypeError, IndexError):
+        available = ", ".join(sorted(map(str, mapping))) if isinstance(
+            mapping, dict
+        ) else repr(mapping)
+        raise SystemExit(
+            f"bench results missing key {key!r} in {context}"
+            f" (have: {available}); regenerate the BENCH file with the"
+            f" matching scripts/run_*.py or scripts/check_bench_regression.py"
+        )
+
+
 def cache_cold_warm(
     service, query: str, repeat: int = 3
 ) -> tuple[float, float]:

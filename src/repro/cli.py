@@ -123,7 +123,7 @@ def _build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser("query", help="evaluate a query")
     add_documents(query)
     query.add_argument("text", help="the query")
-    query.add_argument("--mode", choices=["indexed", "tree"], default="indexed")
+    query.add_argument("--mode", choices=["indexed", "tree", "sql"], default="indexed")
     query.add_argument("--values", action="store_true",
                        help="print string values, one per line, instead of XML")
     query.add_argument("--stats", action="store_true",
@@ -156,7 +156,7 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("queries", nargs="*", help="query texts (else --queries/stdin)")
     batch.add_argument("--queries", dest="queries_file", metavar="FILE",
                        help="file with one query per line ('-' for stdin)")
-    batch.add_argument("--mode", choices=["indexed", "tree"], default="indexed")
+    batch.add_argument("--mode", choices=["indexed", "tree", "sql"], default="indexed")
     batch.add_argument("--threads", type=int, default=4,
                        help="engine pool size / max concurrent queries")
     batch.add_argument("--repeat", type=int, default=1, metavar="N",
@@ -200,7 +200,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(repeatable); its POST /update is WAL-logged")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
-    serve.add_argument("--mode", choices=["indexed", "tree"], default="indexed")
+    serve.add_argument("--mode", choices=["indexed", "tree", "sql"], default="indexed")
     serve.add_argument("--threads", type=int, default=4,
                        help="engine pool size / max concurrent queries "
                             "(split across shards when --shards > 1)")

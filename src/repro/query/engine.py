@@ -93,8 +93,9 @@ class Engine:
     """Query engine over a set of loaded documents.
 
     :param mode: default navigation for stored documents — ``"indexed"``
-        (PBN indexes; the realistic XML DBMS configuration) or ``"tree"``
-        (pointer navigation baseline).  Per-query override via
+        (PBN indexes; the realistic XML DBMS configuration), ``"tree"``
+        (pointer navigation baseline), or ``"sql"`` (relational
+        evaluation over SQLite accel tables).  Per-query override via
         ``execute(..., mode=...)``.
     :param page_size: heap page size for loaded documents.
     :param buffer_capacity: buffer pool pages per document.
@@ -139,6 +140,12 @@ class Engine:
         self._store_by_document: dict[int, DocumentStore] = {}
         self._virtuals: dict[tuple[str, str], VirtualDocument] = {}
         self._navigators: dict[int, IndexedNavigator] = {}
+        # strategy=sql accel tables, built lazily and cached like the
+        # level arrays.  Keyed by object id; each entry keeps a reference
+        # to its key object so a recycled id can never alias a new store
+        # or view to a stale accel.
+        self._sql_accels: dict[int, tuple] = {}
+        self._sql_virtual_accels: dict[int, tuple] = {}
         self._containers: dict[int, int] = {}
         self._container_refs: list = []  # keeps ids stable/alive
         self._constructed = 0
@@ -188,6 +195,15 @@ class Engine:
         if previous is not None and previous is not store:
             self._store_by_document.pop(id(previous.document), None)
             self._navigators.pop(id(previous), None)
+            # Copy-on-write invalidation for strategy=sql: a durable
+            # update publishes a *new* store object, so dropping the
+            # previous store's accel here is the entire story — the next
+            # sql query over the uri builds a fresh table.  (Touched
+            # views get new vdoc objects from revalidation and miss the
+            # virtual-accel cache the same way.)
+            stale = self._sql_accels.pop(id(previous), None)
+            if stale is not None:
+                stale[1].close()
         self._stores[uri] = store
         self._store_by_document[id(store.document)] = store
         # Invalidate cached virtual views of a replaced uri.
@@ -259,6 +275,44 @@ class Engine:
             self._navigators[id(store)] = navigator
         return navigator
 
+    #: Accel tables cached per engine before the oldest is evicted (and
+    #: its sqlite connection closed) — a small bound; rebuilding is one
+    #: linear pass.
+    SQL_ACCEL_CAPACITY = 16
+
+    def _evict_accels(self, cache: dict) -> None:
+        while len(cache) >= self.SQL_ACCEL_CAPACITY:
+            _, entry = cache.pop(next(iter(cache)))
+            if entry is not None:
+                entry.close()
+
+    def sql_accel(self, store: DocumentStore):
+        """The ``strategy=sql`` accel table for ``store``'s document
+        (lazy; cached until the store is replaced or evicted)."""
+        from repro.query.sqlbackend import DocumentAccel
+
+        cached = self._sql_accels.get(id(store))
+        if cached is not None and cached[0] is store:
+            return cached[1]
+        self._evict_accels(self._sql_accels)
+        accel = DocumentAccel(store.document, metrics=self.metrics)
+        self._sql_accels[id(store)] = (store, accel)
+        return accel
+
+    def sql_virtual_accel(self, vdoc: VirtualDocument):
+        """The ``strategy=sql`` accel for a virtual document, or ``None``
+        when the view fails the linearizability gate (the evaluator then
+        falls back to the virtual navigator).  The miss is cached too."""
+        from repro.query.sqlbackend import VirtualAccel
+
+        cached = self._sql_virtual_accels.get(id(vdoc))
+        if cached is not None and cached[0] is vdoc:
+            return cached[1]
+        self._evict_accels(self._sql_virtual_accels)
+        accel = VirtualAccel.build(vdoc, metrics=self.metrics)
+        self._sql_virtual_accels[id(vdoc)] = (vdoc, accel)
+        return accel
+
     # -- execution ---------------------------------------------------------------
 
     def execute(
@@ -272,8 +326,8 @@ class Engine:
 
         :param query: query text, or an already-parsed expression tree
             (as cached by a :class:`~repro.service.cache.PlanCache`).
-        :param mode: override the engine's navigation mode for stored
-            documents (``"indexed"`` or ``"tree"``).
+        :param mode: override the engine's navigation mode
+            (``"indexed"``, ``"tree"``, or ``"sql"``).
         :param variables: external ``$var`` bindings (values are wrapped
             into singleton sequences unless already lists).
         :param context_item: initial context item, if the query is a
@@ -302,7 +356,13 @@ class Engine:
         self._container_refs.clear()
         strategy = None
         if isinstance(query, str):
-            strategy = "virtual" if "virtualDoc" in query else (mode or self.mode)
+            effective = mode or self.mode
+            # strategy=sql owns the label even for virtualDoc queries:
+            # the sql backend compiles virtual axes itself.
+            if effective == "sql":
+                strategy = "sql"
+            else:
+                strategy = "virtual" if "virtualDoc" in query else effective
             root_span = current_span()
             if root_span is None:
                 expr = self._resolve_plan(query)

@@ -39,9 +39,11 @@ class Evaluator:
     """Evaluates parsed expressions against an engine.
 
     :param engine: document registry, stores, stats.
-    :param mode: ``"indexed"`` (PBN indexes for stored documents) or
-        ``"tree"`` (pointer navigation everywhere).  Virtual navigation is
-        selected by the item kind, not the mode.
+    :param mode: ``"indexed"`` (PBN indexes for stored documents),
+        ``"tree"`` (pointer navigation everywhere), or ``"sql"``
+        (relational evaluation over SQLite accel tables).  Virtual
+        navigation is selected by the item kind, not the mode — though
+        the ``sql`` backend compiles virtual axes too.
     """
 
     #: Columnar batch kernels evaluate predicate-free steps over whole
@@ -50,8 +52,9 @@ class Evaluator:
     use_batch_kernels = True
 
     def __init__(self, engine, mode: str = "indexed") -> None:
-        if mode not in ("indexed", "tree"):
-            raise QueryEvaluationError(f"unknown evaluation mode {mode!r}")
+        from repro.query.backends import resolve_backend
+
+        self.backend = resolve_backend(mode)  # raises on unknown modes
         self.engine = engine
         self.mode = mode
         self._tree_nav = TreeNavigator()
@@ -152,6 +155,15 @@ class Evaluator:
     def _apply_step_inner(
         self, items: list, step: ast.Step, context: Context
     ) -> list:
+        if items:
+            # The backend gets first crack at the whole step (axis, test,
+            # and predicates); its result is already the step's final
+            # form.  Declining (None) falls through to the kernels and
+            # the per-item loop, which define the semantics.
+            handled = self.backend.apply_step(self, items, step, context)
+            if handled is not None:
+                self._last_kernel = self.backend.kernel
+                return handled
         if self.use_batch_kernels and items and not step.predicates:
             batched = self._step_many(items, step.axis, step.test)
             if batched is not None:
@@ -215,11 +227,13 @@ class Evaluator:
 
     def _step(self, item: Any, axis: str, test: ast.NodeTest) -> list:
         if isinstance(item, (VNode, VirtualDocItem)):
+            stepped = self.backend.virtual_step(self, item, axis, test)
+            if stepped is not None:
+                return stepped
             return self._virtual_nav.step(item, axis, test)
-        if self.mode == "indexed" and isinstance(item, Node):
-            store = self.engine.store_of(item)
-            if store is not None:
-                return self.engine.indexed_navigator(store).step(item, axis, test)
+        stepped = self.backend.step(self, item, axis, test)
+        if stepped is not None:
+            return stepped
         return self._tree_nav.step(item, axis, test)
 
     def _filter(self, items: list, predicate: ast.Expr, context: Context) -> list:

@@ -1,0 +1,229 @@
+"""Relational accel table for one stored document.
+
+One row per node (the document node included) with its preorder and
+postorder ranks — the classical interval encoding every XPath axis is a
+range predicate over:
+
+========================  ==================================================
+axis                      candidate ``n`` given context ``c``
+========================  ==================================================
+``self``                  ``n.ord = c.o``
+``child``                 ``n.parent = c.o``
+``attribute``             ``n.parent = c.o`` (+ ``kind = 'attribute'``)
+``parent``                ``n.ord = c.r``
+``ancestor``              ``n.ord < c.o AND n.post > c.p``
+``descendant``            ``n.ord > c.o AND n.post < c.p``
+``following``             ``n.ord > c.o AND n.post > c.p``
+``preceding``             ``n.ord < c.o AND n.post < c.p``
+``following-sibling``     ``n.parent = c.r AND n.ord > c.o`` (non-attribute c)
+``preceding-sibling``     ``n.parent = c.r AND n.ord < c.o`` (non-attribute c)
+========================  ==================================================
+
+Node tests fold into the WHERE clause; because ``matches_test`` excludes
+attribute candidates on every axis but ``attribute``, the interval
+formulas above are exact for attribute contexts too (an attribute's
+earlier sibling attributes fail the test, which is precisely the set the
+tree navigator's climb skips).
+
+The string comparator is *not* reimplemented in SQL: a registered UDF
+``xp_pair(a, op, b)`` calls the evaluator's ``_compare_pair``, so
+numeric-vs-string coercion in compiled predicates is byte-identical to
+the Python paths by construction.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Optional
+
+from repro.xmlmodel.nodes import Document, Node, NodeKind
+
+#: axis -> (SQL condition over candidate n / context c, is_reverse_axis).
+AXIS_SQL = {
+    "self": ("n.ord = c.o", False),
+    "child": ("n.parent = c.o", False),
+    "attribute": ("n.parent = c.o", False),
+    "parent": ("n.ord = c.r", True),
+    "ancestor": ("n.ord < c.o AND n.post > c.p", True),
+    "ancestor-or-self": ("((n.ord < c.o AND n.post > c.p) OR n.ord = c.o)", True),
+    "descendant": ("n.ord > c.o AND n.post < c.p", False),
+    "descendant-or-self": ("((n.ord > c.o AND n.post < c.p) OR n.ord = c.o)", False),
+    "following": ("n.ord > c.o AND n.post > c.p", False),
+    "preceding": ("n.ord < c.o AND n.post < c.p", True),
+    "following-sibling": (
+        "n.parent = c.r AND n.ord > c.o AND c.k != 'attribute'", False
+    ),
+    "preceding-sibling": (
+        "n.parent = c.r AND n.ord < c.o AND c.k != 'attribute'", True
+    ),
+}
+
+
+def _xp_pair(a, op, b) -> int:
+    from repro.query.eval import _compare_pair
+
+    return 1 if _compare_pair(op, a, b) else 0
+
+
+def test_condition(test, axis: str) -> tuple[str, list]:
+    """WHERE fragment over candidate alias ``n`` mirroring
+    :func:`repro.query.eval_tree.matches_test` exactly."""
+    if axis == "attribute":
+        if test.kind in ("node", "wildcard"):
+            return "n.kind = 'attribute'", []
+        if test.kind == "name":
+            return "n.kind = 'attribute' AND n.name = ?", ["@" + test.name]
+        return "0 = 1", []  # text() never matches on the attribute axis
+    if test.kind == "node":
+        return "n.kind != 'attribute'", []
+    if test.kind == "text":
+        return "n.kind = 'text'", []
+    if test.kind == "wildcard":
+        return "n.kind = 'element'", []
+    return "n.kind = 'element' AND n.name = ?", [test.name]
+
+
+class DocumentAccel:
+    """The SQLite accel for one :class:`DocumentStore`'s document.
+
+    Built eagerly on first ``strategy=sql`` touch of the store and cached
+    by the engine; a durable update publishes a *new* store (copy-on-
+    write), whose first sql query builds a fresh accel — the old one is
+    dropped with its store in ``Engine.attach``.
+    """
+
+    def __init__(self, document: Document, metrics=None) -> None:
+        self.document = document
+        self.metrics = metrics
+        self.nodes: list[Node] = []
+        self.ords: dict[int, int] = {}
+        rows: list[tuple] = []
+        svals: dict[int, str] = {}
+        post = 0
+        stack: list[tuple[Node, Optional[int], bool]] = [(document, None, False)]
+        while stack:
+            node, parent_ord, visited = stack.pop()
+            if visited:
+                ord_ = self.ords[id(node)]
+                kind = node.kind
+                if kind in (NodeKind.TEXT, NodeKind.ATTRIBUTE):
+                    sval = node.value or ""
+                else:
+                    sval = "".join(
+                        svals[self.ords[id(child)]] for child in node.children
+                    )
+                svals[ord_] = sval
+                rows.append(
+                    (
+                        ord_,
+                        post,
+                        parent_ord,
+                        kind.value,
+                        getattr(node, "name", "") or "",
+                        sval,
+                    )
+                )
+                post += 1
+                continue
+            ord_ = len(self.nodes)
+            self.nodes.append(node)
+            self.ords[id(node)] = ord_
+            stack.append((node, parent_ord, True))
+            for child in reversed(node.children):
+                stack.append((child, ord_, False))
+        # Pooled engines migrate between service threads; each accel is
+        # used serially under the pool checkout, so cross-thread access
+        # is safe to allow.
+        self.conn = sqlite3.connect(":memory:", check_same_thread=False)
+        self.conn.create_function("xp_pair", 3, _xp_pair, deterministic=True)
+        cur = self.conn.cursor()
+        cur.execute(
+            "CREATE TABLE nodes ("
+            " ord INTEGER PRIMARY KEY, post INTEGER NOT NULL, parent INTEGER,"
+            " kind TEXT NOT NULL, name TEXT NOT NULL, sval TEXT NOT NULL)"
+        )
+        cur.execute("CREATE INDEX nodes_parent ON nodes(parent)")
+        cur.execute("CREATE TEMP TABLE ctx (i INTEGER, o INTEGER, p INTEGER, r INTEGER, k TEXT)")
+        cur.executemany("INSERT INTO nodes VALUES (?, ?, ?, ?, ?, ?)", rows)
+        self.conn.commit()
+        if metrics is not None:
+            metrics.incr("sql.accel.builds")
+
+    def close(self) -> None:
+        self.conn.close()
+
+    # -- stepping ---------------------------------------------------------------
+
+    def step(self, item: Node, axis: str, test) -> Optional[list]:
+        """Single-context axis step, candidates in *axis* order (reverse
+        axes run context-outward) — the contract of ``Navigator.step``."""
+        entry = AXIS_SQL.get(axis)
+        if entry is None:
+            return None
+        ord_ = self.ords.get(id(item))
+        if ord_ is None:
+            return None
+        if self.metrics is not None:
+            self.metrics.incr("navigator.sql.steps")
+        axis_sql, reverse = entry
+        test_sql, params = test_condition(test, axis)
+        direction = "DESC" if reverse else "ASC"
+        sql = (
+            "SELECT n.ord FROM nodes n JOIN "
+            "(SELECT ord AS o, post AS p, parent AS r, kind AS k"
+            " FROM nodes WHERE ord = ?) c "
+            f"WHERE ({axis_sql}) AND ({test_sql}) ORDER BY n.ord {direction}"
+        )
+        cur = self.conn.execute(sql, [ord_, *params])
+        return [self.nodes[row[0]] for row in cur.fetchall()]
+
+    def apply_step(self, items: list, step) -> Optional[list]:
+        """The whole step — axis, test, and *all* predicates — over a
+        context set, in one SQL statement.  Returns the step's final form
+        (deduplicated, document order) or ``None`` when a predicate does
+        not compile."""
+        from repro.query.sqlbackend.predicates import compile_predicates
+
+        entry = AXIS_SQL.get(step.axis)
+        if entry is None:
+            return None
+        axis_sql, reverse = entry
+        compiled = compile_predicates(step.predicates)
+        if compiled is None:
+            return None
+        test_sql, params = test_condition(step.test, step.axis)
+        ctx_rows = []
+        for index, item in enumerate(items):
+            ord_ = self.ords.get(id(item))
+            if ord_ is None:
+                return None
+            ctx_rows.append(ord_)
+        if self.metrics is not None:
+            self.metrics.incr("navigator.sql.steps", len(items))
+        cur = self.conn.cursor()
+        cur.execute("DELETE FROM ctx")
+        cur.executemany(
+            "INSERT INTO ctx SELECT ?, ord, post, parent, kind FROM nodes WHERE ord = ?",
+            [(index, ord_) for index, ord_ in enumerate(ctx_rows)],
+        )
+        direction = "DESC" if reverse else "ASC"
+        stages = [
+            "s0 AS (SELECT c.i AS cid, n.ord AS ord, n.post AS post, n.sval AS sval"
+            f" FROM ctx c JOIN nodes n ON ({axis_sql}) WHERE ({test_sql}))"
+        ]
+        all_params = list(params)
+        for number, (pred_sql, pred_params) in enumerate(compiled, start=1):
+            stages.append(
+                f"s{number} AS (SELECT cid, ord, post, sval FROM ("
+                "SELECT s.cid AS cid, s.ord AS ord, s.post AS post, s.sval AS sval,"
+                f" ROW_NUMBER() OVER (PARTITION BY s.cid ORDER BY s.ord {direction}) AS pos,"
+                " COUNT(*) OVER (PARTITION BY s.cid) AS sz"
+                f" FROM s{number - 1} s) q WHERE ({pred_sql}))"
+            )
+            all_params.extend(pred_params)
+        sql = (
+            "WITH " + ", ".join(stages)
+            + f" SELECT DISTINCT ord FROM s{len(compiled)} ORDER BY ord"
+        )
+        cur.execute(sql, all_params)
+        return [self.nodes[row[0]] for row in cur.fetchall()]

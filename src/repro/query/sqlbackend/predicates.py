@@ -1,0 +1,216 @@
+"""Compiling step predicates to WHERE clauses.
+
+A compiled predicate is a boolean SQL fragment over the stage alias
+``q`` with columns ``ord``, ``post``, ``sval`` (the candidate), ``pos``
+(its 1-based position in axis order within its context partition, from
+``ROW_NUMBER()``), and ``sz`` (the partition size, from a windowed
+``COUNT(*)``).  The XPath rule "a numeric predicate value is a position
+test" compiles to ``(expr) = q.pos``; everything value-typed funnels
+through the ``xp_pair`` UDF so coercion agrees with the Python
+evaluator exactly.
+
+Anything outside the compilable subset (``sum()``, ``div``, variables,
+multi-step relative paths, ...) returns ``None`` and the whole step
+falls back to the per-item loop — still on SQL axis scans, with
+predicates in Python.  Falling back is always correct; compiling is the
+optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.query import ast
+
+_FLIP = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+_COMPARISONS = frozenset(_FLIP)
+
+
+def compile_predicates(predicates) -> Optional[list[tuple[str, list]]]:
+    """All predicates compiled, in order — or ``None`` if any resists."""
+    compiled: list[tuple[str, list]] = []
+    for predicate in predicates:
+        one = _compile_predicate(predicate)
+        if one is None:
+            return None
+        compiled.append(one)
+    return compiled
+
+
+def _compile_predicate(expr: ast.Expr) -> Optional[tuple[str, list]]:
+    numeric = _numeric(expr)
+    if numeric is not None:
+        sql, params = numeric
+        return f"({sql}) = q.pos", params
+    boolean = _boolean(expr)
+    if boolean is not None:
+        return boolean
+    path = _relpath(expr, "v")
+    if path is not None:
+        sql, params = path
+        return f"EXISTS(SELECT 1 FROM nodes v WHERE {sql})", params
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, str):
+        return ("1 = 1" if expr.value else "0 = 1"), []
+    return None
+
+
+# -- boolean fragments ---------------------------------------------------------
+
+
+def _boolean(expr: ast.Expr) -> Optional[tuple[str, list]]:
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op in ("and", "or"):
+            left = _operand_boolean(expr.left)
+            right = _operand_boolean(expr.right)
+            if left is None or right is None:
+                return None
+            glue = "AND" if expr.op == "and" else "OR"
+            return f"({left[0]}) {glue} ({right[0]})", [*left[1], *right[1]]
+        if expr.op in _COMPARISONS:
+            return _compare(expr.op, expr.left, expr.right)
+        return None
+    if isinstance(expr, ast.FuncCall) and expr.name == "not" and len(expr.args) == 1:
+        inner = _operand_boolean(expr.args[0])
+        if inner is None:
+            return None
+        return f"NOT ({inner[0]})", inner[1]
+    return None
+
+
+def _operand_boolean(expr: ast.Expr) -> Optional[tuple[str, list]]:
+    """``and``/``or``/``not`` take the *effective boolean* of each
+    operand: comparisons stay boolean, a relative path means existence.
+    Numeric operands (truthiness = non-zero, NaN-aware) are left to the
+    fallback path."""
+    boolean = _boolean(expr)
+    if boolean is not None:
+        return boolean
+    path = _relpath(expr, "v")
+    if path is not None:
+        sql, params = path
+        return f"EXISTS(SELECT 1 FROM nodes v WHERE {sql})", params
+    return None
+
+
+def _compare(op: str, left: ast.Expr, right: ast.Expr) -> Optional[tuple[str, list]]:
+    left_path = _relpath(left, "v")
+    right_path = _relpath(right, "w")
+    if left_path is not None and right_path is not None:
+        return (
+            "EXISTS(SELECT 1 FROM nodes v, nodes w "
+            f"WHERE ({left_path[0]}) AND ({right_path[0]}) "
+            f"AND xp_pair(v.sval, '{op}', w.sval))",
+            [*left_path[1], *right_path[1]],
+        )
+    if left_path is not None:
+        atom = _atom(right)
+        if atom is None:
+            return None
+        return (
+            f"EXISTS(SELECT 1 FROM nodes v WHERE ({left_path[0]}) "
+            f"AND xp_pair(v.sval, '{op}', {atom[0]}))",
+            [*left_path[1], *atom[1]],
+        )
+    if right_path is not None:
+        atom = _atom(left)
+        if atom is None:
+            return None
+        flipped = _FLIP[op]
+        return (
+            f"EXISTS(SELECT 1 FROM nodes w WHERE ({right_path[0]}) "
+            f"AND xp_pair(w.sval, '{flipped}', {atom[0]}))",
+            [*right_path[1], *atom[1]],
+        )
+    left_atom = _atom(left)
+    right_atom = _atom(right)
+    if left_atom is None or right_atom is None:
+        return None
+    return (
+        f"xp_pair({left_atom[0]}, '{op}', {right_atom[0]})",
+        [*left_atom[1], *right_atom[1]],
+    )
+
+
+# -- atoms and numerics --------------------------------------------------------
+
+
+def _atom(expr: ast.Expr) -> Optional[tuple[str, list]]:
+    """A singleton comparison operand: a numeric expression, a string
+    literal, or the context item's own string value."""
+    numeric = _numeric(expr)
+    if numeric is not None:
+        return numeric
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, str):
+        return "?", [expr.value]
+    if isinstance(expr, ast.ContextItem):
+        return "q.sval", []
+    return None
+
+
+def _numeric(expr: ast.Expr) -> Optional[tuple[str, list]]:
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return "?", [value]
+        return None
+    if isinstance(expr, ast.FuncCall):
+        if expr.name == "position" and not expr.args:
+            return "q.pos", []
+        if expr.name == "last" and not expr.args:
+            return "q.sz", []
+        if expr.name == "count" and len(expr.args) == 1:
+            path = _relpath(expr.args[0], "v")
+            if path is None:
+                return None
+            return f"(SELECT COUNT(*) FROM nodes v WHERE {path[0]})", path[1]
+        return None
+    if isinstance(expr, ast.UnaryOp):
+        operand = _numeric(expr.operand)
+        if operand is None:
+            return None
+        sign = "-" if expr.op == "-" else "+"
+        return f"({sign}({operand[0]}))", operand[1]
+    if isinstance(expr, ast.BinaryOp) and expr.op in ("+", "-", "*"):
+        left = _numeric(expr.left)
+        right = _numeric(expr.right)
+        if left is None or right is None:
+            return None
+        return f"(({left[0]}) {expr.op} ({right[0]}))", [*left[1], *right[1]]
+    return None
+
+
+# -- relative paths ------------------------------------------------------------
+
+
+def _relpath(expr: ast.Expr, alias: str) -> Optional[tuple[str, list]]:
+    """A relative path joinable to the candidate ``q`` in one condition
+    over ``alias``: one ``child``/``attribute``/``descendant`` step, or
+    the unfused ``.//X`` pair — all predicate-free."""
+    from repro.query.sqlbackend.doc_accel import test_condition
+
+    if not isinstance(expr, ast.PathExpr) or expr.start is not None:
+        return None
+    steps = expr.steps
+    if (
+        len(steps) == 2
+        and steps[0].axis == "descendant-or-self"
+        and steps[0].test.kind == "node"
+        and not steps[0].predicates
+        and steps[1].axis == "child"
+        and not steps[1].predicates
+    ):
+        axis, test = "descendant", steps[1].test
+    elif len(steps) == 1 and not steps[0].predicates:
+        axis, test = steps[0].axis, steps[0].test
+    else:
+        return None
+    if axis in ("child", "attribute"):
+        join = f"{alias}.parent = q.ord"
+    elif axis == "descendant":
+        join = f"{alias}.ord > q.ord AND {alias}.post < q.post"
+    else:
+        return None
+    test_sql, params = test_condition(test, axis)
+    test_sql = test_sql.replace("n.", f"{alias}.")
+    return f"({join}) AND ({test_sql})", params

@@ -1,0 +1,405 @@
+"""Relational accel for one virtual document.
+
+The paper's per-*type* level arrays are what make this possible: every
+instance of a virtual type shares one level array, so "x is a virtual
+child of y" is a *prefix equality* between x's PBN components and y's,
+cut at a per-type length (``lcaLength``) — a join between the instance
+table and a tiny per-type table:
+
+``vtypes(id, parent, kind, name, lca, grp, pos)``
+    one row per virtual type: guide parent, node kind, label, the lca
+    prefix length (in encoded characters), the attributes-first group,
+    and the type's position among its parent's children.
+``vnodes(id, vt, row, key)``
+    one row per *reachable* instance: its type, its rank in virtual
+    document order, and its PBN components encoded as a fixed-width
+    order-preserving string (8 hex chars per component, ranks from a
+    per-accel dictionary so ORDPATH ``Fraction`` components sort
+    correctly).
+
+Hierarchical axes are prefix joins (``substr(child.key, 1, t.lca) =
+substr(parent.key, 1, t.lca)``), ``descendant``/``ancestor`` recursive
+CTEs over them.  Ordering axes use the ``row`` rank: under the same
+linearizability gate the columnar kernels use (``_order_key_fn``), a
+candidate of a type *not* chain-related to the context's type follows
+the context iff its row is larger; only chain-related candidates (guide
+ancestors/descendants, where kinship beats row order) are re-checked
+with the exact Section 5 predicate.  Views failing the gate get no
+accel — the evaluator falls back to the virtual navigator, which is the
+definition of correct.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Optional
+
+from repro.core import vpbn
+from repro.core.virtual_document import VirtualDocument, VNode
+from repro.query.ast import NodeTest
+from repro.query.eval_virtual import VirtualNavigator
+from repro.query.items import VirtualDocItem
+
+#: Fixed width (hex chars) of one encoded PBN component.
+_W = 8
+
+#: A private navigator: supplies the memoized order-key gate and the
+#: shared vtype test semantics (no stats side effects beyond the memo).
+_NAV = VirtualNavigator()
+
+
+def _test_sql(test: NodeTest, axis: str) -> tuple[str, list]:
+    """WHERE fragment over the vtypes alias ``t`` mirroring
+    ``VirtualNavigator._vtype_matches``."""
+    if axis == "attribute":
+        if test.kind in ("node", "wildcard"):
+            return "t.kind = 'attribute'", []
+        if test.kind == "name":
+            return "t.kind = 'attribute' AND t.name = ?", ["@" + test.name]
+        return "0 = 1", []
+    if test.kind == "node":
+        return "t.kind != 'attribute'", []
+    if test.kind == "text":
+        return "t.kind = 'text'", []
+    if test.kind == "wildcard":
+        return "t.kind = 'element'", []
+    return "t.kind = 'element' AND t.name = ?", [test.name]
+
+
+class VirtualAccel:
+    """SQLite accel over one :class:`VirtualDocument` (see module doc)."""
+
+    @classmethod
+    def build(cls, vdoc: VirtualDocument, metrics=None) -> Optional["VirtualAccel"]:
+        order_key = _NAV._order_key_fn(vdoc)
+        if order_key is None:
+            return None
+        return cls(vdoc, order_key, metrics=metrics)
+
+    def __init__(self, vdoc: VirtualDocument, order_key, metrics=None) -> None:
+        self.vdoc = vdoc
+        self.metrics = metrics
+        self.vtypes: list = []
+        self.tid_of: dict[int, int] = {}
+        for vtype in vdoc.vguide.iter_vtypes():
+            self.tid_of[id(vtype)] = len(self.vtypes)
+            self.vtypes.append(vtype)
+        # Strict guide-chain kinship: the only types whose instances can
+        # be virtual ancestors/descendants of the context's.
+        self.related: list[frozenset] = []
+        for vtype in self.vtypes:
+            kin = frozenset(
+                self.tid_of[id(other)]
+                for other in self.vtypes
+                if other is not vtype
+                and (
+                    vtype.is_guide_ancestor_of(other)
+                    or other.is_guide_ancestor_of(vtype)
+                )
+            )
+            self.related.append(kin)
+        self.items: list[VNode] = []
+        self.keys: list[str] = []
+        self.id_of: dict[tuple[int, int], int] = {}
+        instances: list[tuple[int, VNode]] = []
+        values: set = set()
+        for tid, vtype in enumerate(self.vtypes):
+            for vnode in vdoc.reachable_instances(vtype):
+                instances.append((tid, vnode))
+                values.update(vnode.node.pbn.components)
+        rank = {value: index for index, value in enumerate(sorted(values))}
+
+        def encode(components: tuple) -> str:
+            return "".join(format(rank[c], f"0{_W}x") for c in components)
+
+        ordered = sorted(instances, key=lambda pair: order_key(pair[1]))
+        vnode_rows = []
+        for row, (tid, vnode) in enumerate(ordered):
+            vid = len(self.items)
+            self.items.append(vnode)
+            key = encode(vnode.node.pbn.components)
+            self.keys.append(key)
+            self.id_of[(id(vnode.vtype), id(vnode.node))] = vid
+            vnode_rows.append((vid, tid, row, key))
+        vtype_rows = []
+        for tid, vtype in enumerate(self.vtypes):
+            if vtype.parent is None:
+                parent_tid = None
+                pos = vdoc.vguide.roots.index(vtype)
+            else:
+                parent_tid = self.tid_of[id(vtype.parent)]
+                pos = vtype.parent.children.index(vtype)
+            if vtype.is_attribute:
+                kind = "attribute"
+            elif vtype.is_text:
+                kind = "text"
+            else:
+                kind = "element"
+            vtype_rows.append(
+                (
+                    tid,
+                    parent_tid,
+                    kind,
+                    vtype.name,
+                    vtype.lca_length * _W,
+                    0 if vtype.is_attribute else 1,
+                    pos,
+                )
+            )
+        self.conn = sqlite3.connect(":memory:", check_same_thread=False)
+        cur = self.conn.cursor()
+        cur.execute(
+            "CREATE TABLE vtypes (id INTEGER PRIMARY KEY, parent INTEGER,"
+            " kind TEXT NOT NULL, name TEXT NOT NULL, lca INTEGER NOT NULL,"
+            " grp INTEGER NOT NULL, pos INTEGER NOT NULL)"
+        )
+        cur.execute(
+            "CREATE TABLE vnodes (id INTEGER PRIMARY KEY, vt INTEGER NOT NULL,"
+            " row INTEGER NOT NULL, key TEXT NOT NULL)"
+        )
+        cur.execute("CREATE INDEX vnodes_vt ON vnodes(vt)")
+        cur.execute("CREATE INDEX vnodes_row ON vnodes(row)")
+        cur.executemany("INSERT INTO vtypes VALUES (?, ?, ?, ?, ?, ?, ?)", vtype_rows)
+        cur.executemany("INSERT INTO vnodes VALUES (?, ?, ?, ?)", vnode_rows)
+        self.conn.commit()
+        if metrics is not None:
+            metrics.incr("sql.accel.virtual_builds")
+
+    def close(self) -> None:
+        self.conn.close()
+
+    # -- stepping ---------------------------------------------------------------
+
+    def step(self, item, axis: str, test: NodeTest) -> Optional[list]:
+        """Axis step with the virtual navigator's exact contract
+        (axis order; reverse axes context-outward), or ``None`` when this
+        accel cannot answer (unknown context or axis)."""
+        if self.metrics is not None:
+            self.metrics.incr("navigator.sql.steps")
+        if isinstance(item, VirtualDocItem):
+            return self._document_step(axis, test)
+        vid = self.id_of.get((id(item.vtype), id(item.node)))
+        if vid is None:
+            return None
+        handler = getattr(self, "_axis_" + axis.replace("-", "_"), None)
+        if handler is None:
+            return None
+        return handler(item, vid, test)
+
+    def _document_step(self, axis: str, test: NodeTest) -> list:
+        if axis == "child":
+            sql, params = self._select(
+                "t.parent IS NULL", test, axis, order="t.pos, v.key"
+            )
+            return self._fetch(sql, params)
+        if axis in ("descendant", "descendant-or-self"):
+            sql, params = self._select("1 = 1", test, axis, order="v.row")
+            found = self._fetch(sql, params)
+            if axis == "descendant-or-self" and test.kind == "node":
+                return [VirtualDocItem(self.vdoc), *found]
+            return found
+        if axis == "self" and test.kind == "node":
+            return [VirtualDocItem(self.vdoc)]
+        return []
+
+    def _select(
+        self, condition: str, test: NodeTest, axis: str, order: str
+    ) -> tuple[str, list]:
+        test_sql, test_params = _test_sql(test, axis)
+        sql = (
+            "SELECT v.id FROM vnodes v JOIN vtypes t ON v.vt = t.id "
+            f"WHERE ({condition}) AND ({test_sql}) ORDER BY {order}"
+        )
+        return sql, test_params
+
+    def _fetch(self, sql: str, params: list) -> list:
+        cur = self.conn.execute(sql, params)
+        return [self.items[row[0]] for row in cur.fetchall()]
+
+    # -- axes --------------------------------------------------------------------
+
+    def _axis_self(self, item: VNode, vid: int, test: NodeTest) -> list:
+        if _NAV._vtype_matches(item.vtype, test, "self"):
+            return [item]
+        return []
+
+    def _child_like(self, item: VNode, vid: int, test: NodeTest, axis: str) -> list:
+        test_sql, test_params = _test_sql(test, axis)
+        sql = (
+            "SELECT v.id FROM vnodes v JOIN vtypes t ON v.vt = t.id "
+            "WHERE t.parent = ? AND substr(v.key, 1, t.lca) = substr(?, 1, t.lca) "
+            f"AND ({test_sql}) ORDER BY t.grp, v.key, t.pos"
+        )
+        tid = self.tid_of[id(item.vtype)]
+        return self._fetch(sql, [tid, self.keys[vid], *test_params])
+
+    def _axis_child(self, item, vid, test):
+        return self._child_like(item, vid, test, "child")
+
+    def _axis_attribute(self, item, vid, test):
+        return self._child_like(item, vid, test, "attribute")
+
+    def _axis_parent(self, item: VNode, vid: int, test: NodeTest) -> list:
+        parent_vtype = item.vtype.parent
+        if parent_vtype is None:
+            return []  # the virtual-root case is handled by the backend
+        if not _NAV._vtype_matches(parent_vtype, test, "parent"):
+            return []
+        clca = item.vtype.lca_length * _W
+        sql = (
+            "SELECT v.id FROM vnodes v "
+            "WHERE v.vt = ? AND substr(v.key, 1, ?) = substr(?, 1, ?) "
+            "ORDER BY v.key DESC"
+        )
+        return self._fetch(
+            sql, [self.tid_of[id(parent_vtype)], clca, self.keys[vid], clca]
+        )
+
+    def _ancestors_sql(self, item: VNode, vid: int) -> tuple[str, list]:
+        clca = item.vtype.lca_length * _W
+        ptid = self.tid_of[id(item.vtype.parent)]
+        sql = (
+            "WITH RECURSIVE anc(id) AS ("
+            " SELECT v.id FROM vnodes v"
+            "  WHERE v.vt = ? AND substr(v.key, 1, ?) = substr(?, 1, ?)"
+            " UNION"
+            " SELECT p.id FROM anc a"
+            "  JOIN vnodes c ON c.id = a.id"
+            "  JOIN vtypes ct ON ct.id = c.vt"
+            "  JOIN vnodes p ON p.vt = ct.parent"
+            "   AND substr(p.key, 1, ct.lca) = substr(c.key, 1, ct.lca)"
+            ") "
+        )
+        return sql, [ptid, clca, self.keys[vid], clca]
+
+    def _axis_ancestor(self, item: VNode, vid: int, test: NodeTest) -> list:
+        if item.vtype.parent is None:
+            return []
+        head, params = self._ancestors_sql(item, vid)
+        test_sql, test_params = _test_sql(test, "ancestor")
+        sql = head + (
+            "SELECT v.id FROM anc a JOIN vnodes v ON v.id = a.id "
+            f"JOIN vtypes t ON t.id = v.vt WHERE ({test_sql}) ORDER BY v.row DESC"
+        )
+        return self._fetch(sql, [*params, *test_params])
+
+    def _axis_ancestor_or_self(self, item: VNode, vid: int, test: NodeTest) -> list:
+        head = (
+            [item] if _NAV._vtype_matches(item.vtype, test, "ancestor-or-self") else []
+        )
+        return head + self._axis_ancestor(item, vid, test)
+
+    def _descendants_sql(self, vid: int, tid: int) -> tuple[str, list]:
+        sql = (
+            "WITH RECURSIVE des(id) AS ("
+            " SELECT v.id FROM vnodes v JOIN vtypes t ON v.vt = t.id"
+            "  WHERE t.parent = ? AND t.kind != 'attribute'"
+            "   AND substr(v.key, 1, t.lca) = substr(?, 1, t.lca)"
+            " UNION"
+            " SELECT v.id FROM des d"
+            "  JOIN vnodes c ON c.id = d.id"
+            "  JOIN vnodes v JOIN vtypes t ON v.vt = t.id"
+            "  WHERE t.parent = c.vt AND t.kind != 'attribute'"
+            "   AND substr(v.key, 1, t.lca) = substr(c.key, 1, t.lca)"
+            ") "
+        )
+        return sql, [tid, self.keys[vid]]
+
+    def _axis_descendant(self, item: VNode, vid: int, test: NodeTest) -> list:
+        head, params = self._descendants_sql(vid, self.tid_of[id(item.vtype)])
+        test_sql, test_params = _test_sql(test, "descendant")
+        sql = head + (
+            "SELECT v.id FROM des d JOIN vnodes v ON v.id = d.id "
+            f"JOIN vtypes t ON t.id = v.vt WHERE ({test_sql}) ORDER BY v.row"
+        )
+        return self._fetch(sql, [*params, *test_params])
+
+    def _axis_descendant_or_self(self, item: VNode, vid: int, test: NodeTest) -> list:
+        found = self._axis_descendant(item, vid, test)
+        if _NAV._vtype_matches(item.vtype, test, "descendant-or-self"):
+            return [item, *found]
+        return found
+
+    # -- ordering axes -----------------------------------------------------------
+
+    def _row_of(self, vid: int) -> int:
+        cur = self.conn.execute("SELECT row FROM vnodes WHERE id = ?", [vid])
+        return cur.fetchone()[0]
+
+    def _ordering(self, item: VNode, vid: int, test: NodeTest, axis: str) -> list:
+        test_sql, test_params = _test_sql(test, axis)
+        tid = self.tid_of[id(item.vtype)]
+        kin = self.related[tid]
+        kin_sql = (
+            f"OR v.vt IN ({', '.join(str(t) for t in sorted(kin))})" if kin else ""
+        )
+        forward = axis == "following"
+        band = "v.row > ?" if forward else "v.row < ?"
+        direction = "" if forward else " DESC"
+        sql = (
+            "SELECT v.id, v.vt FROM vnodes v JOIN vtypes t ON v.vt = t.id "
+            f"WHERE ({test_sql}) AND v.id != ? AND (({band}) {kin_sql}) "
+            f"ORDER BY v.row{direction}"
+        )
+        cur = self.conn.execute(
+            sql, [*test_params, vid, self._row_of(vid)]
+        )
+        reference = item.vpbn
+        predicate = vpbn.v_following if forward else vpbn.v_preceding
+        out = []
+        for cand_id, cand_vt in cur.fetchall():
+            candidate = self.items[cand_id]
+            if cand_vt in kin:
+                if not predicate(candidate.vpbn, reference):
+                    continue
+            out.append(candidate)
+        return out
+
+    def _axis_following(self, item, vid, test):
+        return self._ordering(item, vid, test, "following")
+
+    def _axis_preceding(self, item, vid, test):
+        return self._ordering(item, vid, test, "preceding")
+
+    # -- sibling axes ------------------------------------------------------------
+
+    def _siblings(self, item: VNode, vid: int, test: NodeTest, axis: str) -> list:
+        if item.vtype.is_attribute:
+            return []
+        test_sql, test_params = _test_sql(test, axis)
+        parent_vtype = item.vtype.parent
+        if parent_vtype is None:
+            sql = (
+                "SELECT v.id FROM vnodes v JOIN vtypes t ON v.vt = t.id "
+                f"WHERE t.parent IS NULL AND ({test_sql})"
+            )
+            params: list = [*test_params]
+        else:
+            ptid = self.tid_of[id(parent_vtype)]
+            clca = item.vtype.lca_length * _W
+            sql = (
+                "SELECT DISTINCT v.id FROM vnodes v JOIN vtypes t ON v.vt = t.id"
+                " JOIN vnodes p ON p.vt = ?"
+                "  AND substr(p.key, 1, ?) = substr(?, 1, ?)"
+                " WHERE t.parent = ?"
+                "  AND substr(v.key, 1, t.lca) = substr(p.key, 1, t.lca)"
+                f"  AND ({test_sql})"
+            )
+            params = [ptid, clca, self.keys[vid], clca, ptid, *test_params]
+        forward = axis == "following-sibling"
+        order = " ORDER BY v.row" + ("" if forward else " DESC")
+        cur = self.conn.execute(sql + order, params)
+        reference = item.vpbn
+        predicate = vpbn.v_following_sibling if forward else vpbn.v_preceding_sibling
+        out = []
+        for (cand_id,) in cur.fetchall():
+            candidate = self.items[cand_id]
+            if predicate(candidate.vpbn, reference):
+                out.append(candidate)
+        return out
+
+    def _axis_following_sibling(self, item, vid, test):
+        return self._siblings(item, vid, test, "following-sibling")
+
+    def _axis_preceding_sibling(self, item, vid, test):
+        return self._siblings(item, vid, test, "preceding-sibling")

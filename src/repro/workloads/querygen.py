@@ -1,0 +1,148 @@
+"""Seeded random XPath query generator for the differential suites.
+
+:func:`random_query` is a pure function of its ``random.Random`` (or
+seed), so any failing query is reproducible from the printed seed.  The
+generator deliberately emits both the constructs the ``strategy=sql``
+backend compiles to SQL — positional predicates (``[2]``, ``[last()]``,
+``[position() <= k]``), nested ``and``/``or`` predicates, ``count()`` in
+filters — and the ones every backend must fall back to Python for
+(``sum()`` in filters), so the differential suites exercise the compiled
+and declined paths alike.
+
+Each query is wrapped in a :class:`GeneratedQuery` carrying the two flags
+the comparison discipline needs (see ``tests/conftest.py``):
+
+* ``order_sensitive`` — the answer depends on global document order
+  (positional predicates, sibling/ordering axes).  Exact strategies over
+  one document are always byte-comparable; *virtual versus materialized*
+  comparisons of such queries are only meaningful when the view is
+  duplication-free and chain-exact.
+* ``counting`` — the query is a ``count()`` wrapper, whose virtual and
+  materialized answers legitimately differ on duplicating views (copies
+  versus entities, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+_WORDS = ["red", "green", "blue", "ochre", "teal", "plum"]
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """A query template with the flags its comparison discipline needs."""
+
+    template: str
+    order_sensitive: bool = False
+    counting: bool = False
+
+    def text(self, source: str) -> str:
+        """Fill the ``{source}`` hole."""
+        return self.template.replace("{source}", source)
+
+
+def random_query(
+    rng_or_seed: Union[random.Random, int],
+    names: Sequence[str],
+    max_steps: int = 2,
+) -> GeneratedQuery:
+    """One random query over element ``names`` (tags known to occur in the
+    target document — or not; missing names make legal empty steps)."""
+    rng = (
+        rng_or_seed
+        if isinstance(rng_or_seed, random.Random)
+        else random.Random(rng_or_seed)
+    )
+    pool = list(names) or ["missing"]
+    order_sensitive = False
+
+    def name() -> str:
+        return rng.choice(pool)
+
+    def positional() -> str:
+        nonlocal order_sensitive
+        order_sensitive = True
+        return rng.choice(
+            [
+                f"[{rng.randrange(1, 4)}]",
+                "[last()]",
+                "[last() - 1]",
+                f"[position() <= {rng.randrange(1, 4)}]",
+                "[position() > 1]",
+            ]
+        )
+
+    def condition() -> str:
+        """A boolean-valued predicate body (legal as an and/or operand)."""
+        roll = rng.randrange(8)
+        if roll == 0:
+            return f'{name()} = "{rng.choice(_WORDS)}"'
+        if roll == 1:
+            return f"count({name()}) >= {rng.randrange(1, 3)}"
+        if roll == 2:
+            return f"count(*) > {rng.randrange(3)}"
+        if roll == 3:
+            # sum() is not SQL-compilable: forces the fallback path.
+            return f"sum({name()}) <= {rng.randrange(5)}"
+        if roll == 4:
+            return f"not({name()})"
+        if roll == 5:
+            return f".//{name()}"
+        if roll == 6:
+            return rng.choice(["@id", "text()", "*"])
+        return name()
+
+    def predicate() -> str:
+        roll = rng.random()
+        if roll < 0.3:
+            return positional()
+        if roll < 0.75:
+            return f"[{condition()}]"
+        op = rng.choice(["and", "or"])
+        return f"[{condition()} {op} {condition()}]"
+
+    def step(first: bool) -> str:
+        nonlocal order_sensitive
+        roll = rng.random()
+        if roll < 0.55 or first:
+            sep = "//" if first or rng.random() < 0.5 else "/"
+            return f"{sep}{name()}"
+        if roll < 0.7:
+            return rng.choice(["/*", "//*"])
+        if roll < 0.8:
+            return rng.choice(["/..", "/ancestor::*"])
+        order_sensitive = True
+        return rng.choice(
+            ["/following-sibling::*", "/preceding-sibling::*", "/following::*"]
+        )
+
+    parts = []
+    for index in range(rng.randrange(1, max_steps + 1)):
+        parts.append(step(index == 0))
+        if rng.random() < 0.6:
+            parts.append(predicate())
+    if rng.random() < 0.25:
+        parts.append(rng.choice(["/text()", "/@id", "/@*"]))
+    path = "{source}" + "".join(parts)
+
+    counting = rng.random() < 0.2
+    template = f"count({path})" if counting else path
+    return GeneratedQuery(template, order_sensitive, counting)
+
+
+def random_queries(
+    rng_or_seed: Union[random.Random, int],
+    names: Sequence[str],
+    count: int,
+    max_steps: int = 2,
+) -> list[GeneratedQuery]:
+    """``count`` random queries from one reproducible stream."""
+    rng = (
+        rng_or_seed
+        if isinstance(rng_or_seed, random.Random)
+        else random.Random(rng_or_seed)
+    )
+    return [random_query(rng, names, max_steps) for _ in range(count)]

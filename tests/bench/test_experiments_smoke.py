@@ -14,6 +14,7 @@ def test_registry_complete():
     assert set(EXPERIMENTS) == {
         "e1", "e2", "e3", "e4", "e5", "e6",
         "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16",
+        "e17",
     }
 
 
@@ -76,3 +77,15 @@ def test_e16_sharded_answers_are_identical():
     }
     for entry in results["queries"].values():
         assert all(cell["identical"] for cell in entry["shards"].values())
+
+
+def test_e17_strategy_answers_are_identical():
+    from repro.bench.experiments import collect_e17
+
+    # Tiny scale, timings ignored: the hard invariant is that every
+    # strategy answers byte-identically to the section's baseline.
+    results = collect_e17(books=8, repeat=1)
+    for section in ("stored", "virtual"):
+        for name, entry in results[section].items():
+            for strategy, cell in entry["strategies"].items():
+                assert cell["identical"], (section, name, strategy)

@@ -1,12 +1,65 @@
-"""Shared fixtures: the paper's running example and small engines."""
+"""Shared fixtures: the paper's running example, small engines, and the
+cross-strategy agreement helper the differential suites are built on."""
 
 from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
 
 import pytest
 
 from repro.dataguide.build import build_dataguide
 from repro.query.engine import Engine
 from repro.workloads.books import books_document, paper_figure2
+
+#: The strategies that answer over the *same* stored document and must be
+#: byte-identical on every query: tree-walk, PBN-indexed, and relational.
+EXACT_STRATEGIES = ("tree", "indexed", "sql")
+
+#: All four strategies.  ``virtual`` answers over the virtual hierarchy
+#: rather than a materialized copy, so cross-family comparisons follow the
+#: duplication/order discipline (DESIGN.md) instead of byte equality.
+ALL_STRATEGIES = ("tree", "indexed", "sql", "virtual")
+
+
+def assert_strategies_agree(
+    run: Callable[[str], object],
+    strategies: Sequence[str] = EXACT_STRATEGIES,
+    *,
+    context: str = "",
+    problems: Optional[list[str]] = None,
+):
+    """Require ``run(strategy)`` to return an identical payload for every
+    strategy in ``strategies``; returns the baseline payload.
+
+    ``run`` maps a strategy name to whatever the caller wants compared —
+    typically ``(result.to_xml(), result.values())``.  ``context`` should
+    carry the reproduction seed and query so a failure prints everything
+    needed to replay it.  With ``problems`` given, mismatches are appended
+    to the list (one line each) instead of raised, letting a suite report
+    every divergence at once.
+    """
+    baseline_strategy = strategies[0]
+    baseline = run(baseline_strategy)
+    for strategy in strategies[1:]:
+        payload = run(strategy)
+        if payload != baseline:
+            message = (
+                f"strategy={strategy} disagrees with"
+                f" strategy={baseline_strategy}: {context}\n"
+                f"  {baseline_strategy}: {baseline!r:.300}\n"
+                f"  {strategy}: {payload!r:.300}"
+            )
+            if problems is None:
+                raise AssertionError(message)
+            problems.append(message)
+    return baseline
+
+
+@pytest.fixture(scope="session")
+def strategies_agree():
+    """The :func:`assert_strategies_agree` helper, as a fixture so suites
+    outside this package share one implementation."""
+    return assert_strategies_agree
 
 #: Figure 2's XML, used verbatim by many tests.
 FIGURE2_XML = (

@@ -1,0 +1,153 @@
+"""Unit tests for the ``strategy=sql`` backend plumbing: accel caching
+and invalidation, eviction, EXPLAIN ANALYZE / metrics labels, and the
+decline-to-navigator fallbacks.  (Answer correctness is pinned by the
+differential suites — ``tests/query/test_differential.py`` and
+friends.)"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.errors import QueryEvaluationError
+from repro.obs.profile import build_profile, operators
+from repro.query.backends import MODES, resolve_backend
+from repro.query.engine import Engine
+from repro.service.metrics import ServiceMetrics
+from repro.workloads.books import books_document
+from repro.workloads.treegen import random_document, random_spec
+from repro.dataguide.build import build_dataguide
+
+
+def _engine() -> Engine:
+    engine = Engine(metrics=ServiceMetrics())
+    engine.load("book.xml", books_document(12, seed=4))
+    return engine
+
+
+def test_backend_registry_covers_all_modes():
+    assert set(MODES) == {"tree", "indexed", "sql"}
+    for mode in MODES:
+        assert resolve_backend(mode).name == mode
+    with pytest.raises(QueryEvaluationError):
+        resolve_backend("bogus")
+
+
+def test_accel_is_built_lazily_and_cached():
+    engine = _engine()
+    assert engine.metrics.counter("sql.accel.builds") == 0
+    first = engine.execute('doc("book.xml")//title', mode="sql").values()
+    second = engine.execute('doc("book.xml")//author/name', mode="sql").values()
+    assert first and second
+    # Two queries, one table: the accel is cached per store.
+    assert engine.metrics.counter("sql.accel.builds") == 1
+    assert engine.metrics.counter("navigator.sql.steps") > 0
+
+
+def test_reload_invalidates_the_accel():
+    engine = _engine()
+    engine.execute('doc("book.xml")//title', mode="sql")
+    stale = engine.sql_accel(engine.store("book.xml"))
+    engine.load("book.xml", "<data><book><title>Fresh</title></book></data>")
+    values = engine.execute(
+        'doc("book.xml")//title/text()', mode="sql"
+    ).values()
+    assert values == ["Fresh"]
+    assert engine.metrics.counter("sql.accel.builds") == 2
+    # attach() closed the replaced store's connection outright.
+    with pytest.raises(sqlite3.ProgrammingError):
+        stale.conn.execute("SELECT 1")
+
+
+def test_eviction_bounds_the_cache_and_closes_connections(monkeypatch):
+    monkeypatch.setattr(Engine, "SQL_ACCEL_CAPACITY", 2)
+    engine = _engine()
+    accels = []
+    for index in range(3):
+        uri = f"doc{index}.xml"
+        engine.load(uri, books_document(3, seed=index))
+        engine.execute(f'doc("{uri}")//title', mode="sql")
+        accels.append(engine.sql_accel(engine.store(uri)))
+    assert len(engine._sql_accels) <= 2
+    with pytest.raises(sqlite3.ProgrammingError):
+        accels[0].conn.execute("SELECT 1")
+    # The survivors still answer.
+    assert engine.execute('doc("doc2.xml")//title', mode="sql").values()
+
+
+def test_explain_analyze_rows_carry_sql_kernel():
+    engine = _engine()
+    _, trace = engine.explain_analyze(
+        'doc("book.xml")//book/author[name]/name', mode="sql"
+    )
+    rows = operators(build_profile(trace))
+    kernels = {row.detail: row.attrs.get("kernel") for row in rows}
+    assert kernels, "expected step operators in the profile"
+    # Both predicated and predicate-free steps compile: the whole-step
+    # hook runs before the columnar kernels.
+    assert kernels["child::name"] == "sql"
+    assert kernels["child::author"] == "sql"
+
+
+def test_strategy_label_is_sql_even_for_virtual_queries():
+    engine = _engine()
+    engine.execute('doc("book.xml")//title', mode="sql")
+    engine.execute(
+        'virtualDoc("book.xml", "title { author { name } }")//title',
+        mode="sql",
+    )
+    engine.execute('doc("book.xml")//title', mode="indexed")
+    assert (
+        engine.metrics.counter("engine.queries", labels={"strategy": "sql"})
+        == 2
+    )
+    assert (
+        engine.metrics.counter(
+            "engine.queries", labels={"strategy": "indexed"}
+        )
+        == 1
+    )
+
+
+def test_virtual_accel_misses_are_cached():
+    engine = _engine()
+    vdoc = engine.virtual("book.xml", "title { author { name } }")
+    accel = engine.sql_virtual_accel(vdoc)
+    assert accel is not None
+    assert engine.sql_virtual_accel(vdoc) is accel
+    assert engine.metrics.counter("sql.accel.virtual_builds") == 1
+
+
+def test_gate_fallback_still_answers_through_the_navigator():
+    """A view that fails the linearizability gate gets no accel; the sql
+    backend declines and the virtual navigator answers — identically."""
+    found = False
+    for seed in range(40):
+        document = random_document(seed, max_depth=4, max_children=3)
+        engine = Engine()
+        engine.load("r.xml", document)
+        spec = random_spec(
+            build_dataguide(document), seed, max_roots=2, max_children=2,
+            max_depth=3,
+        )
+        vdoc = engine.virtual("r.xml", str(spec))
+        if engine.sql_virtual_accel(vdoc) is not None:
+            continue
+        found = True
+        source = f'virtualDoc("r.xml", "{spec}")'
+        for query in (f"{source}//*", f"{source}//*/..", f"count({source}//*)"):
+            plain = engine.execute(query).values()
+            relational = engine.execute(query, mode="sql").values()
+            assert plain == relational, f"seed={seed} query={query!r}"
+        break
+    assert found, "no gate-declined view in 40 seeds; loosen the scan"
+
+
+def test_non_compilable_predicates_fall_back_and_agree():
+    engine = _engine()
+    query = 'doc("book.xml")//book[sum(price) > 20]/title'
+    assert (
+        engine.execute(query, mode="sql").values()
+        == engine.execute(query, mode="tree").values()
+    )

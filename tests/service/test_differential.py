@@ -1,21 +1,29 @@
-"""Differential safety net: on randomized documents, the three evaluation
-strategies — tree-walk, PBN-indexed, and virtual (vPBN) — must agree when
-reached *through the cached service path*.
+"""Differential safety net: on randomized documents, the four evaluation
+strategies — tree-walk, PBN-indexed, relational (``sql``), and virtual
+(vPBN) — must agree when reached *through the cached service path*.
 
 This extends ``tests/property/test_navigator_equivalence.py`` from single
-axis steps to whole queries served by :class:`QueryService`: for every
-randomized (document, vDataGuide, query) case the virtual answer over the
-original document is compared against tree and indexed evaluation of the
-*materialized* transformation, and the warm (cache-hit) virtual run must
-reproduce the cold one.
+axis steps to whole queries served by :class:`QueryService`.  For every
+randomized (document, vDataGuide, query) case:
 
-Comparison discipline (the duplication caveat, see DESIGN.md): a
-transformation that places one original node at several virtual positions
-makes the materialized baseline return one *copy* per position while
-virtual evaluation returns each entity once — those cases compare value
-*sets*.  Duplication-free cases compare value multisets, and additionally
-exact order when the vguide is chain-exact (the same gate the navigator
-equivalence test uses).
+* the three exact strategies (``tree`` / ``indexed`` / ``sql``) answer the
+  materialized query byte-identically (``to_xml`` and ``values``);
+* virtual evaluation and virtual evaluation *with the sql backend*
+  (``mode="sql"`` on a ``virtualDoc`` query) are byte-identical — same
+  strategy family, same hierarchy, so no discipline applies;
+* the virtual answer is compared against the materialized baseline under
+  the duplication/order discipline (DESIGN.md): duplicating views compare
+  value *sets*, duplication-free views compare multisets, and exact order
+  when the vguide is chain-exact.  Order-sensitive generated queries
+  (positional predicates, sibling axes) only cross families when order is
+  comparable;
+* the warm (cache-hit) virtual run must reproduce the cold one.
+
+Queries come from the fixed templates below plus the seeded random
+generator (:mod:`repro.workloads.querygen`), whose positional, nested
+``and``/``or``, and ``count()``/``sum()`` predicates exercise both the
+SQL-compiled and the declined/fallback paths.  Failures print the seed,
+spec, and query needed to replay them.
 """
 
 from __future__ import annotations
@@ -26,9 +34,13 @@ from repro.core.virtual_document import VirtualDocument
 from repro.dataguide.build import build_dataguide
 from repro.service import QueryService
 from repro.vdataguide.grammar import parse_vdataguide
+from repro.workloads.querygen import random_queries
 from repro.workloads.treegen import random_document, random_spec
 
+from tests.conftest import EXACT_STRATEGIES
+
 SEEDS = range(48)
+GENERATED_PER_CASE = 5
 
 TEMPLATES = [
     "{source}//{name}",
@@ -65,6 +77,7 @@ class Case:
             }
         )
         self.names = names[:3]
+        self.generated = random_queries(seed, names, GENERATED_PER_CASE)
 
 
 @pytest.fixture(scope="module")
@@ -77,14 +90,11 @@ def harness():
     return service, cases
 
 
-def _compare(case: Case, template: str, virtual, indexed, tree) -> list[str]:
+def _cross_family(case: Case, counting: bool, order_sensitive: bool,
+                  virtual, indexed, context: str) -> list[str]:
+    """Virtual versus materialized, under the duplication/order discipline."""
     problems = []
-    context = f"seed={case.seed} spec={case.spec!r} template={template!r}"
-    if indexed != tree:
-        problems.append(f"indexed != tree: {context}")
-    if template.startswith("count("):
-        # Counts over duplicating views legitimately differ (copies vs
-        # entities); the caller filters those out before comparing.
+    if counting:
         if virtual != indexed:
             problems.append(
                 f"virtual count {virtual} != materialized {indexed}: {context}"
@@ -101,36 +111,71 @@ def _compare(case: Case, template: str, virtual, indexed, tree) -> list[str]:
     return problems
 
 
-def test_three_strategies_agree_on_randomized_cases(harness):
+def test_four_strategies_agree_on_randomized_cases(harness, strategies_agree):
     service, cases = harness
     problems: list[str] = []
     pairs = 0
     for case in cases:
-        for name in case.names:
-            for template in TEMPLATES:
-                if template.startswith("count(") and case.duplicating:
-                    continue
-                virtual_query = template.format(
-                    source=f'virtualDoc("{case.uri}", "{case.spec}")', name=name
-                )
-                mat_query = template.format(
-                    source=f'doc("{case.mat_uri}")', name=name
-                )
-                virtual = service.execute(virtual_query).values()
-                indexed = service.execute(mat_query, mode="indexed").values()
-                tree = service.execute(mat_query, mode="tree").values()
-                problems.extend(_compare(case, template, virtual, indexed, tree))
-                # The warm (cache-hit) path reproduces the cold answer.
-                warm = service.execute(virtual_query).values()
-                if warm != virtual:
-                    problems.append(
-                        f"warm != cold: seed={case.seed} {virtual_query!r}"
+        templated = [
+            (template.format(source="{source}", name=name),
+             template.startswith("count("), False)
+            for name in case.names
+            for template in TEMPLATES
+        ]
+        generated = [
+            (query.template, query.counting, query.order_sensitive)
+            for query in case.generated
+        ]
+        for template, counting, order_sensitive in templated + generated:
+            context = f"seed={case.seed} spec={case.spec!r} query={template!r}"
+            virtual_query = template.replace(
+                "{source}", f'virtualDoc("{case.uri}", "{case.spec}")'
+            )
+            mat_query = template.replace("{source}", f'doc("{case.mat_uri}")')
+
+            # 1. The exact trio is byte-identical on the materialized doc.
+            def run_exact(strategy: str):
+                result = service.execute(mat_query, mode=strategy)
+                return (result.to_xml(), result.values())
+
+            exact = strategies_agree(
+                run_exact, EXACT_STRATEGIES, context=context, problems=problems
+            )
+
+            # 2. Virtual and virtual-through-sql are byte-identical.
+            def run_virtual(strategy: str):
+                mode = "sql" if strategy == "sql" else None
+                result = service.execute(virtual_query, mode=mode)
+                return (result.to_xml(), result.values())
+
+            virtual = strategies_agree(
+                run_virtual, ("virtual", "sql"),
+                context=context, problems=problems,
+            )
+
+            # 3. Virtual versus materialized, where the discipline allows.
+            skip_cross = (counting and case.duplicating) or (
+                order_sensitive and not case.order_comparable
+            )
+            if not skip_cross:
+                problems.extend(
+                    _cross_family(
+                        case, counting, order_sensitive,
+                        virtual[1], exact[1], context,
                     )
-                pairs += 1
+                )
+
+            # 4. The warm (cache-hit) path reproduces the cold answer.
+            warm = service.execute(virtual_query).values()
+            if warm != virtual[1]:
+                problems.append(f"warm != cold: {context}")
+            pairs += 1
     assert not problems, "\n".join(problems[:20])
-    # The acceptance bar: at least 200 randomized document/query pairs
-    # went through all three strategies.
-    assert pairs >= 200, f"only {pairs} document/query pairs exercised"
+    # The acceptance bar: at least 300 randomized document/query pairs
+    # went through all four strategies.
+    assert pairs >= 300, f"only {pairs} document/query pairs exercised"
     # And they really rode the caches: every warm repeat was a plan hit.
     assert service.metrics.counter("cache.plan.hits") >= pairs
     assert service.metrics.hit_rate("view") > 0.5
+    # The sql runs actually built relational accel tables.
+    assert service.metrics.counter("sql.accel.builds") > 0

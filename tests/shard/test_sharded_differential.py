@@ -1,12 +1,16 @@
 """Differential safety net for sharding: on randomized documents, a
 sharded collection must answer every query in the differential suite
 *byte-identically* to the unsharded service — per document (routing) and
-across documents (scatter-gather) — for all three evaluation strategies:
-tree-walk, PBN-indexed, and virtual (vPBN).
+across documents (scatter-gather) — for all four evaluation strategies:
+tree-walk, PBN-indexed, relational (``sql``), and virtual (vPBN).
 
 The unsharded baseline is a 1-shard :class:`ShardedService`, which routes
 every query straight through a plain :class:`QueryService` — so the
 comparison isolates exactly the partition/specialize/merge machinery.
+Queries come from fixed templates plus the seeded random generator
+(:mod:`repro.workloads.querygen`); the shared ``strategies_agree`` helper
+additionally pins the three exact strategies to byte-identical answers
+*through the sharded path itself*.
 """
 
 from __future__ import annotations
@@ -15,10 +19,14 @@ import pytest
 
 from repro.dataguide.build import build_dataguide
 from repro.shard import ShardedService
+from repro.workloads.querygen import random_queries
 from repro.workloads.treegen import random_document, random_spec
 
-SEEDS = range(12)
+from tests.conftest import ALL_STRATEGIES, EXACT_STRATEGIES
+
+SEEDS = range(14)
 SHARDS = 4
+GENERATED_PER_CASE = 4
 
 PER_DOC_TEMPLATES = [
     "{source}//{name}",
@@ -51,11 +59,20 @@ class Case:
             }
         )
         self.name = names[len(names) // 2] if names else "missing"
+        self.generated = random_queries(seed, names, GENERATED_PER_CASE)
 
     def source(self, strategy: str) -> str:
         if strategy == "virtual":
             return f'virtualDoc("{self.uri}", "{self.spec}")'
         return f'doc("{self.uri}")'
+
+    def queries(self, strategy: str) -> list[str]:
+        source = self.source(strategy)
+        fixed = [
+            template.format(source=source, name=self.name)
+            for template in PER_DOC_TEMPLATES
+        ]
+        return fixed + [query.text(source) for query in self.generated]
 
 
 @pytest.fixture(scope="module")
@@ -75,20 +92,42 @@ def _mode(strategy):
     return None if strategy == "virtual" else strategy
 
 
-STRATEGIES = ["tree", "indexed", "virtual"]
+STRATEGIES = list(ALL_STRATEGIES)
 
 
 @pytest.mark.parametrize("strategy", STRATEGIES)
 def test_per_document_routing_is_byte_identical(services, strategy):
     sharded, single, cases = services
     problems = []
+    pairs = 0
     for case in cases:
-        for template in PER_DOC_TEMPLATES:
-            query = template.format(source=case.source(strategy), name=case.name)
+        for query in case.queries(strategy):
             a = sharded.execute(query, mode=_mode(strategy))
             b = single.execute(query, mode=_mode(strategy))
+            pairs += 1
             if a.to_xml() != b.to_xml() or a.values() != b.values():
                 problems.append(f"seed={case.seed} {strategy} {query!r}")
+    assert not problems, "\n".join(problems[:10])
+    # Four parametrized runs of this test each cover >= 75 pairs, so the
+    # suite exercises >= 300 sharded-vs-single document/query pairs.
+    assert pairs >= 75, f"only {pairs} document/query pairs exercised"
+
+
+def test_exact_strategies_agree_through_the_sharded_path(
+    services, strategies_agree
+):
+    sharded, _, cases = services
+    problems: list[str] = []
+    for case in cases:
+        for query in case.queries("tree"):
+            strategies_agree(
+                lambda strategy: (
+                    lambda result: (result.to_xml(), result.values())
+                )(sharded.execute(query, mode=strategy)),
+                EXACT_STRATEGIES,
+                context=f"seed={case.seed} query={query!r}",
+                problems=problems,
+            )
     assert not problems, "\n".join(problems[:10])
 
 
