@@ -115,6 +115,24 @@ def main(argv: list[str]) -> int:
             print(f"  {failure}")
         return 1
     print("BENCH_e17.json identity flags ok")
+
+    # The committed E18 results too: replica byte-identity, the 422
+    # budget probe, and the served-SLO/p99 keys must hold in the file
+    # (scripts/run_e18.py refreshes it and applies the same check at
+    # collection time).
+    e18_path = Path(__file__).resolve().parent.parent / "BENCH_e18.json"
+    if not e18_path.exists():
+        print("BENCH_e18.json missing; run scripts/run_e18.py to create it")
+        return 1
+    from run_e18 import check as check_e18
+
+    e18_failures = check_e18(json.loads(e18_path.read_text()))
+    if e18_failures:
+        print("BENCH_e18.json breaks the serving-tier contract:")
+        for failure in e18_failures:
+            print(f"  {failure}")
+        return 1
+    print("BENCH_e18.json serving-tier contract ok")
     print("bench regression gate passed")
     return 0
 

@@ -76,6 +76,16 @@ Commands
 
         python -m repro serve --shards 4 -d a.xml=a.xml -d b.xml=b.xml
 
+    ``--async`` swaps the thread-per-connection front end for the
+    asyncio serving tier (:mod:`repro.serve`): admission control
+    (``--max-inflight`` / ``--admission-queue`` / ``--queue-timeout-ms``,
+    shedding with 429 + ``Retry-After``), WAL-shipped read replicas
+    (``--replicas N``), and per-query cost budgets
+    (``--query-budget``) — see ``docs/SERVING.md``::
+
+        python -m repro serve --async --replicas 2 --max-inflight 32 \\
+            --query-budget 200000 --books 100
+
 ``traces``
     Fetch and render a running server's trace ring buffer::
 
@@ -222,6 +232,33 @@ def _build_parser() -> argparse.ArgumentParser:
                             "log with their span tree (0 disables)")
     serve.add_argument("--trace-buffer", type=int, default=64,
                        help="ring-buffer capacity for recent/slow traces")
+    serve.add_argument("--async", dest="async_tier", action="store_true",
+                       help="asyncio frontend + worker pool instead of a "
+                            "thread per connection (repro.serve): admission "
+                            "control, read replicas, per-query budgets")
+    serve.add_argument("--replicas", type=int, default=0, metavar="N",
+                       help="WAL-shipped read replicas per shard (--async "
+                            "only); reads round-robin the replicas and "
+                            "fall back to the primary when stale")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="concurrent requests executing (--async only); "
+                            "excess requests queue then shed with 429")
+    serve.add_argument("--admission-queue", type=int, default=128,
+                       metavar="N",
+                       help="requests allowed to wait for a slot before "
+                            "arrivals shed immediately (--async only)")
+    serve.add_argument("--queue-timeout-ms", type=float, default=500.0,
+                       metavar="MS",
+                       help="max wait for an execution slot before a queued "
+                            "request sheds (--async only)")
+    serve.add_argument("--query-budget", type=int, default=0, metavar="VISITS",
+                       help="per-query node-visit ceiling enforced by the "
+                            "cost meter (0 = unlimited); clients may tighten "
+                            "it per request with ?max_visits=")
+    serve.add_argument("--drain-deadline-s", type=float, default=10.0,
+                       metavar="S",
+                       help="graceful-shutdown bound: SIGTERM stops accepting "
+                            "and lets in-flight requests finish this long")
 
     traces = sub.add_parser(
         "traces", help="fetch and render a running server's traces"
@@ -355,7 +392,40 @@ def _dispatch(args: argparse.Namespace) -> int:
         if not uris:
             print("note: no documents loaded; doc()/virtualDoc() will fail",
                   file=sys.stderr)
-        serve_forever(service, args.host, args.port)
+        if args.async_tier:
+            import asyncio
+
+            from repro.query.budget import CostBudget
+            from repro.serve import build_serving, serve_async
+
+            budget = (
+                CostBudget(max_node_visits=args.query_budget)
+                if args.query_budget > 0
+                else None
+            )
+            app = build_serving(
+                service,
+                replicas=max(0, args.replicas),
+                max_inflight=args.max_inflight,
+                queue_limit=args.admission_queue,
+                queue_timeout_s=args.queue_timeout_ms / 1e3,
+                max_budget=budget,
+            )
+            if args.replicas > 0:
+                print(f"replicating: {args.replicas} replica(s) per shard",
+                      file=sys.stderr)
+            asyncio.run(
+                serve_async(
+                    app,
+                    args.host,
+                    args.port,
+                    drain_deadline_s=args.drain_deadline_s,
+                )
+            )
+            return 0
+        serve_forever(
+            service, args.host, args.port, drain_deadline_s=args.drain_deadline_s
+        )
         return 0
 
     engine = Engine()

@@ -54,6 +54,44 @@ class QueryEvaluationError(ReproError):
     (unknown function, type error, unbound variable, ...)."""
 
 
+class QueryBudgetExceeded(QueryEvaluationError):
+    """Raised by the cost meter when a query exceeds its per-query cost
+    budget (:mod:`repro.query.budget`).
+
+    This is a *planner-enforced* rejection, not a timeout: the evaluator
+    aborts the plan the moment the metered work crosses the limit, and
+    the error is structured so serving tiers can return it to clients as
+    machine-readable JSON.
+
+    :ivar dimension: which limit was crossed (``"node_visits"`` or
+        ``"step_rows"``).
+    :ivar limit: the configured limit for that dimension.
+    :ivar spent: the metered amount that crossed it.
+    """
+
+    def __init__(self, dimension: str, limit: int, spent: int, budget=None):
+        super().__init__(
+            f"query exceeded its cost budget: {spent} {dimension} > "
+            f"limit {limit} (rejected by the cost meter, not a timeout)"
+        )
+        self.dimension = dimension
+        self.limit = limit
+        self.spent = spent
+        self.budget = budget
+
+    def to_json(self) -> dict:
+        """The structured payload serving tiers return to clients."""
+        report = {
+            "code": "budget_exceeded",
+            "dimension": self.dimension,
+            "limit": self.limit,
+            "spent": self.spent,
+        }
+        if self.budget is not None:
+            report["budget"] = self.budget.to_json()
+        return report
+
+
 class StorageError(ReproError):
     """Raised on misuse of the storage engine (unknown page, full record,
     lookup of a number that was never indexed, ...)."""

@@ -121,6 +121,12 @@ class SqlBackend(Backend):
             accel = evaluator.engine.sql_virtual_accel(vdoc)
             if accel is None:
                 return None
+            if len(items) > 1:
+                # Batched context loading: one prefix join over a scratch
+                # context table answers the whole step in document order.
+                batched = accel.step_many(items, step.axis, step.test)
+                if batched is not None:
+                    return batched
             out: list = []
             for item in items:
                 stepped = self.virtual_step(evaluator, item, step.axis, step.test)

@@ -1,0 +1,136 @@
+"""Per-query cost budgets: planner-enforced safety limits.
+
+Wall-clock timeouts kill a runaway traversal only after it has already
+burned a worker; a *cost budget* stops it inside the evaluator, at the
+step seam every strategy funnels through, as soon as the work performed
+exceeds what the caller signed up for.  The units are the evaluator's
+own: **node visits** (context items consumed plus result items produced
+per axis step — the same quantity EXPLAIN ANALYZE reports as
+``items_in`` / ``items_out``) and **result rows** (items a single step
+may emit).  Both are logical counts, so a budget means the same thing on
+a laptop and a loaded server, and rejection is deterministic — the
+admission tier can tell a client "this query is too expensive" rather
+than "you were unlucky".
+
+The serving tier (:mod:`repro.serve`) attaches a default budget to every
+admitted query and lets clients lower (never raise) it per request; see
+``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import QueryBudgetExceeded
+
+
+def _tighter(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+class CostBudget:
+    """An immutable per-query spending limit.
+
+    :param max_node_visits: total context + result items across all axis
+        steps of the query (``None`` = unlimited).
+    :param max_step_rows: items any single step may produce (``None`` =
+        unlimited) — a guard against one exploding ``descendant`` even
+        when the total budget is generous.
+    """
+
+    __slots__ = ("max_node_visits", "max_step_rows")
+
+    def __init__(
+        self,
+        max_node_visits: Optional[int] = None,
+        max_step_rows: Optional[int] = None,
+    ) -> None:
+        for name, value in (
+            ("max_node_visits", max_node_visits),
+            ("max_step_rows", max_step_rows),
+        ):
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 or None, got {value!r}")
+        self.max_node_visits = max_node_visits
+        self.max_step_rows = max_step_rows
+
+    def meter(self) -> "CostMeter":
+        return CostMeter(self)
+
+    def clamped(self, requested: Optional["CostBudget"]) -> "CostBudget":
+        """The effective budget for a request that asked for
+        ``requested`` under this ceiling: each dimension is the tighter
+        of the two — the serving tier's per-request override (clients
+        may tighten the server's ceiling, never raise it)."""
+        if requested is None:
+            return self
+        return CostBudget(
+            max_node_visits=_tighter(self.max_node_visits, requested.max_node_visits),
+            max_step_rows=_tighter(self.max_step_rows, requested.max_step_rows),
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "max_node_visits": self.max_node_visits,
+            "max_step_rows": self.max_step_rows,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CostBudget(max_node_visits={self.max_node_visits},"
+            f" max_step_rows={self.max_step_rows})"
+        )
+
+
+class CostMeter:
+    """The mutable spend counter one query carries through evaluation.
+
+    Charged by the evaluator at the step seam (every strategy — scalar,
+    columnar, indexed, sql — passes through it); raises
+    :class:`~repro.errors.QueryBudgetExceeded` the moment a limit is
+    crossed, which aborts the plan mid-flight.  Not thread-safe: one
+    meter serves exactly one query on one engine.
+    """
+
+    __slots__ = ("budget", "node_visits", "steps")
+
+    def __init__(self, budget: CostBudget) -> None:
+        self.budget = budget
+        self.node_visits = 0
+        self.steps = 0
+
+    def charge_context(self, count: int) -> None:
+        """Charge a step's incoming context items."""
+        self.steps += 1
+        self._charge(count)
+
+    def charge_rows(self, count: int) -> None:
+        """Charge a step's produced items (also enforces the single-step
+        row guard)."""
+        limit = self.budget.max_step_rows
+        if limit is not None and count > limit:
+            raise QueryBudgetExceeded(
+                dimension="step_rows",
+                limit=limit,
+                spent=count,
+                budget=self.budget,
+            )
+        self._charge(count)
+
+    def _charge(self, count: int) -> None:
+        self.node_visits += count
+        limit = self.budget.max_node_visits
+        if limit is not None and self.node_visits > limit:
+            raise QueryBudgetExceeded(
+                dimension="node_visits",
+                limit=limit,
+                spent=self.node_visits,
+                budget=self.budget,
+            )
+
+    def snapshot(self) -> dict:
+        return {"node_visits": self.node_visits, "steps": self.steps}

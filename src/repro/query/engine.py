@@ -22,7 +22,7 @@ import time
 from typing import Optional, Union
 
 from repro.core.virtual_document import VirtualDocument
-from repro.errors import QueryEvaluationError
+from repro.errors import QueryBudgetExceeded, QueryEvaluationError
 from repro.obs.trace import current_span, span
 from repro.pbn.assign import assign_numbers
 from repro.query import ast
@@ -321,6 +321,7 @@ class Engine:
         mode: Optional[str] = None,
         variables: Optional[dict[str, list]] = None,
         context_item=None,
+        budget=None,
     ) -> Result:
         """Parse (or accept pre-parsed) and evaluate ``query``.
 
@@ -332,6 +333,10 @@ class Engine:
             into singleton sequences unless already lists).
         :param context_item: initial context item, if the query is a
             relative path.
+        :param budget: optional :class:`~repro.query.budget.CostBudget`;
+            evaluation aborts with
+            :class:`~repro.errors.QueryBudgetExceeded` when the metered
+            work crosses a limit (see :mod:`repro.query.budget`).
         """
         if (
             self.tracer is not None
@@ -342,10 +347,10 @@ class Engine:
                 "query", detail=_preview(query), stats=self.stats
             )
             with handle:
-                return self._execute(query, mode, variables, context_item)
-        return self._execute(query, mode, variables, context_item)
+                return self._execute(query, mode, variables, context_item, budget)
+        return self._execute(query, mode, variables, context_item, budget)
 
-    def _execute(self, query, mode, variables, context_item) -> Result:
+    def _execute(self, query, mode, variables, context_item, budget=None) -> Result:
         started = time.perf_counter()
         # Cross-container result order is decided by first appearance
         # *within this query* (see Evaluator.document_order).  Reset the
@@ -379,16 +384,26 @@ class Engine:
                     )
         else:
             expr = query
-        evaluator = Evaluator(self, mode or self.mode)
+        meter = budget.meter() if budget is not None else None
+        evaluator = Evaluator(self, mode or self.mode, meter=meter)
         bindings = {
             name: value if isinstance(value, list) else [value]
             for name, value in (variables or {}).items()
         }
         context = Context(self, bindings, item=context_item)
         with span("eval") as eval_span:
-            items = evaluator.evaluate(expr, context)
+            try:
+                items = evaluator.evaluate(expr, context)
+            except QueryBudgetExceeded as error:
+                if eval_span is not None:
+                    eval_span.set("budget", error.dimension)
+                if self.metrics is not None:
+                    self.metrics.incr("engine.budget_rejections")
+                raise
             if eval_span is not None:
                 eval_span.set("items", len(items))
+                if meter is not None:
+                    eval_span.set("metered_visits", meter.node_visits)
         elapsed = time.perf_counter() - started
         root_span = current_span()
         if root_span is not None:

@@ -51,7 +51,7 @@ class Evaluator:
     #: the scalar per-item path; results are identical either way).
     use_batch_kernels = True
 
-    def __init__(self, engine, mode: str = "indexed") -> None:
+    def __init__(self, engine, mode: str = "indexed", meter=None) -> None:
         from repro.query.backends import resolve_backend
 
         self.backend = resolve_backend(mode)  # raises on unknown modes
@@ -60,6 +60,10 @@ class Evaluator:
         self._tree_nav = TreeNavigator()
         self._virtual_nav = VirtualNavigator(engine.stats, metrics=engine.metrics)
         self._last_kernel = "scalar"
+        #: Optional :class:`~repro.query.budget.CostMeter`; when set, the
+        #: step seam charges context and result items against it and the
+        #: query aborts with ``QueryBudgetExceeded`` past the limit.
+        self.meter = meter
 
     # ------------------------------------------------------------------ dispatch
 
@@ -136,11 +140,22 @@ class Evaluator:
     )
 
     def _apply_step(self, items: list, step: ast.Step, context: Context) -> list:
+        # Cost-meter seam: every strategy (scalar, columnar, indexed,
+        # sql) funnels through this method, so charging context items on
+        # the way in and result items on the way out bounds the whole
+        # traversal regardless of which kernel evaluated it.  The charge
+        # raises QueryBudgetExceeded mid-plan — rejection, not timeout.
+        meter = self.meter
+        if meter is not None:
+            meter.charge_context(len(items))
         # Tracing wrapper: one "step" span per plan-step application, so
         # EXPLAIN ANALYZE can aggregate by operator.  The untraced path
         # pays a thread-local read and a branch.
         if current_span() is None:
-            return self._apply_step_inner(items, step, context)
+            out = self._apply_step_inner(items, step, context)
+            if meter is not None:
+                meter.charge_rows(len(out))
+            return out
         from repro.query.plan import step_label
 
         with span("step", step_label(step)) as step_span:
@@ -150,7 +165,9 @@ class Evaluator:
             step_span.set("kernel", self._last_kernel)
             if step.predicates:
                 step_span.add("predicates", len(step.predicates))
-            return out
+        if meter is not None:
+            meter.charge_rows(len(out))
+        return out
 
     def _apply_step_inner(
         self, items: list, step: ast.Step, context: Context

@@ -17,9 +17,16 @@ table and a tiny per-type table:
     per-accel dictionary so ORDPATH ``Fraction`` components sort
     correctly).
 
-Hierarchical axes are prefix joins (``substr(child.key, 1, t.lca) =
-substr(parent.key, 1, t.lca)``), ``descendant``/``ancestor`` recursive
-CTEs over them.  Ordering axes use the ``row`` rank: under the same
+Hierarchical axes are prefix joins.  Because the encoded keys are
+lowercase hex, a prefix equality ``substr(child.key, 1, t.lca) =
+substr(parent.key, 1, t.lca)`` is rewritten as the half-open range
+``child.key >= prefix AND child.key < prefix || 'g'`` (``'g'`` sorts
+above every hex digit), which the composite ``vnodes(vt, key)`` index
+answers with a seek instead of a full scan of the type's instances;
+``descendant``/``ancestor`` are recursive CTEs over the same ranges.
+Multi-item contexts batch through one query (:meth:`VirtualAccel.
+step_many`): the context set loads into a scratch ``ctx`` table and a
+single prefix join fans out to every context at once.  Ordering axes use the ``row`` rank: under the same
 linearizability gate the columnar kernels use (``_order_key_fn``), a
 candidate of a type *not* chain-related to the context's type follows
 the context iff its row is larger; only chain-related candidates (guide
@@ -46,6 +53,14 @@ _W = 8
 #: A private navigator: supplies the memoized order-key gate and the
 #: shared vtype test semantics (no stats side effects beyond the memo).
 _NAV = VirtualNavigator()
+
+
+def _prefix_range(key_col: str, prefix_expr: str) -> str:
+    """Index-seekable form of ``substr(key_col, 1, lca) = prefix``: keys
+    are lowercase hex, so ``'g'`` upper-bounds every extension of the
+    prefix and the composite ``vnodes(vt, key)`` index can seek the
+    half-open range instead of scanning the type's instances."""
+    return f"{key_col} >= {prefix_expr} AND {key_col} < {prefix_expr} || 'g'"
 
 
 def _test_sql(test: NodeTest, axis: str) -> tuple[str, list]:
@@ -157,8 +172,13 @@ class VirtualAccel:
             "CREATE TABLE vnodes (id INTEGER PRIMARY KEY, vt INTEGER NOT NULL,"
             " row INTEGER NOT NULL, key TEXT NOT NULL)"
         )
-        cur.execute("CREATE INDEX vnodes_vt ON vnodes(vt)")
+        # Composite (vt, key): prefix joins seek on (type, key range)
+        # instead of scanning a type's instances; covers plain vt lookups.
+        cur.execute("CREATE INDEX vnodes_vt_key ON vnodes(vt, key)")
         cur.execute("CREATE INDEX vnodes_row ON vnodes(row)")
+        # Scratch context table for step_many's batched loading; cleared
+        # per batch (engines are checked out exclusively, so no overlap).
+        cur.execute("CREATE TABLE ctx (vid INTEGER, tid INTEGER, key TEXT)")
         cur.executemany("INSERT INTO vtypes VALUES (?, ?, ?, ?, ?, ?, ?)", vtype_rows)
         cur.executemany("INSERT INTO vnodes VALUES (?, ?, ?, ?)", vnode_rows)
         self.conn.commit()
@@ -185,6 +205,69 @@ class VirtualAccel:
         if handler is None:
             return None
         return handler(item, vid, test)
+
+    #: Axes step_many can answer with one batched prefix join.
+    _BATCH_AXES = frozenset({"child", "attribute", "descendant", "descendant-or-self"})
+
+    def step_many(self, items: list, axis: str, test: NodeTest) -> Optional[list]:
+        """One relational query for a whole multi-item context (batched
+        context loading): the context set loads into the scratch ``ctx``
+        table and a single prefix join fans out to every context at once,
+        deduplicating and ordering by ``row`` — the virtual document
+        order the evaluator would otherwise re-establish item by item.
+        Returns ``None`` when the axis is unsupported or a context item
+        is unknown to the accel (caller falls back to per-item steps)."""
+        if axis not in self._BATCH_AXES:
+            return None
+        rows = []
+        for item in items:
+            vid = self.id_of.get((id(item.vtype), id(item.node)))
+            if vid is None:
+                return None
+            rows.append((vid, self.tid_of[id(item.vtype)], self.keys[vid]))
+        if self.metrics is not None:
+            self.metrics.incr("navigator.sql.batch_steps")
+            self.metrics.incr("navigator.sql.batch_contexts", len(rows))
+        cur = self.conn.cursor()
+        cur.execute("DELETE FROM ctx")
+        cur.executemany("INSERT INTO ctx VALUES (?, ?, ?)", rows)
+        test_sql, test_params = _test_sql(test, axis)
+        if axis in ("child", "attribute"):
+            band = _prefix_range("v.key", "substr(c.key, 1, t.lca)")
+            sql = (
+                "SELECT DISTINCT v.id, v.row FROM ctx c"
+                " JOIN vtypes t ON t.parent = c.tid"
+                f" JOIN vnodes v ON v.vt = t.id AND {band}"
+                f" WHERE ({test_sql}) ORDER BY v.row"
+            )
+            return self._fetch(sql, test_params)
+        seed_band = _prefix_range("v.key", "substr(c.key, 1, t.lca)")
+        step_band = _prefix_range("v.key", "substr(ch.key, 1, t.lca)")
+        head = (
+            "WITH RECURSIVE des(id) AS ("
+            " SELECT v.id FROM ctx c"
+            "  JOIN vtypes t ON t.parent = c.tid AND t.kind != 'attribute'"
+            f"  JOIN vnodes v ON v.vt = t.id AND {seed_band}"
+            " UNION"
+            " SELECT v.id FROM des d"
+            "  JOIN vnodes ch ON ch.id = d.id"
+            "  JOIN vtypes t ON t.parent = ch.vt AND t.kind != 'attribute'"
+            f"  JOIN vnodes v ON v.vt = t.id AND {step_band}"
+            ") "
+        )
+        if axis == "descendant-or-self":
+            sql = head + (
+                "SELECT v.id FROM vnodes v JOIN vtypes t ON t.id = v.vt "
+                "WHERE (v.id IN (SELECT id FROM des)"
+                " OR v.id IN (SELECT vid FROM ctx)) "
+                f"AND ({test_sql}) ORDER BY v.row"
+            )
+        else:
+            sql = head + (
+                "SELECT v.id FROM des d JOIN vnodes v ON v.id = d.id "
+                f"JOIN vtypes t ON t.id = v.vt WHERE ({test_sql}) ORDER BY v.row"
+            )
+        return self._fetch(sql, test_params)
 
     def _document_step(self, axis: str, test: NodeTest) -> list:
         if axis == "child":
@@ -225,13 +308,15 @@ class VirtualAccel:
 
     def _child_like(self, item: VNode, vid: int, test: NodeTest, axis: str) -> list:
         test_sql, test_params = _test_sql(test, axis)
+        band = _prefix_range("v.key", "substr(?, 1, t.lca)")
         sql = (
             "SELECT v.id FROM vnodes v JOIN vtypes t ON v.vt = t.id "
-            "WHERE t.parent = ? AND substr(v.key, 1, t.lca) = substr(?, 1, t.lca) "
+            f"WHERE t.parent = ? AND {band} "
             f"AND ({test_sql}) ORDER BY t.grp, v.key, t.pos"
         )
         tid = self.tid_of[id(item.vtype)]
-        return self._fetch(sql, [tid, self.keys[vid], *test_params])
+        key = self.keys[vid]
+        return self._fetch(sql, [tid, key, key, *test_params])
 
     def _axis_child(self, item, vid, test):
         return self._child_like(item, vid, test, "child")
@@ -246,31 +331,31 @@ class VirtualAccel:
         if not _NAV._vtype_matches(parent_vtype, test, "parent"):
             return []
         clca = item.vtype.lca_length * _W
-        sql = (
-            "SELECT v.id FROM vnodes v "
-            "WHERE v.vt = ? AND substr(v.key, 1, ?) = substr(?, 1, ?) "
-            "ORDER BY v.key DESC"
-        )
+        band = _prefix_range("v.key", "substr(?, 1, ?)")
+        sql = f"SELECT v.id FROM vnodes v WHERE v.vt = ? AND {band} ORDER BY v.key DESC"
+        key = self.keys[vid]
         return self._fetch(
-            sql, [self.tid_of[id(parent_vtype)], clca, self.keys[vid], clca]
+            sql, [self.tid_of[id(parent_vtype)], key, clca, key, clca]
         )
 
     def _ancestors_sql(self, item: VNode, vid: int) -> tuple[str, list]:
         clca = item.vtype.lca_length * _W
         ptid = self.tid_of[id(item.vtype.parent)]
+        seed_band = _prefix_range("v.key", "substr(?, 1, ?)")
+        step_band = _prefix_range("p.key", "substr(c.key, 1, ct.lca)")
         sql = (
             "WITH RECURSIVE anc(id) AS ("
             " SELECT v.id FROM vnodes v"
-            "  WHERE v.vt = ? AND substr(v.key, 1, ?) = substr(?, 1, ?)"
+            f"  WHERE v.vt = ? AND {seed_band}"
             " UNION"
             " SELECT p.id FROM anc a"
             "  JOIN vnodes c ON c.id = a.id"
             "  JOIN vtypes ct ON ct.id = c.vt"
-            "  JOIN vnodes p ON p.vt = ct.parent"
-            "   AND substr(p.key, 1, ct.lca) = substr(c.key, 1, ct.lca)"
+            f"  JOIN vnodes p ON p.vt = ct.parent AND {step_band}"
             ") "
         )
-        return sql, [ptid, clca, self.keys[vid], clca]
+        key = self.keys[vid]
+        return sql, [ptid, key, clca, key, clca]
 
     def _axis_ancestor(self, item: VNode, vid: int, test: NodeTest) -> list:
         if item.vtype.parent is None:
@@ -290,20 +375,23 @@ class VirtualAccel:
         return head + self._axis_ancestor(item, vid, test)
 
     def _descendants_sql(self, vid: int, tid: int) -> tuple[str, list]:
+        seed_band = _prefix_range("v.key", "substr(?, 1, t.lca)")
+        step_band = _prefix_range("v.key", "substr(c.key, 1, t.lca)")
         sql = (
             "WITH RECURSIVE des(id) AS ("
             " SELECT v.id FROM vnodes v JOIN vtypes t ON v.vt = t.id"
             "  WHERE t.parent = ? AND t.kind != 'attribute'"
-            "   AND substr(v.key, 1, t.lca) = substr(?, 1, t.lca)"
+            f"   AND {seed_band}"
             " UNION"
             " SELECT v.id FROM des d"
             "  JOIN vnodes c ON c.id = d.id"
             "  JOIN vnodes v JOIN vtypes t ON v.vt = t.id"
             "  WHERE t.parent = c.vt AND t.kind != 'attribute'"
-            "   AND substr(v.key, 1, t.lca) = substr(c.key, 1, t.lca)"
+            f"   AND {step_band}"
             ") "
         )
-        return sql, [tid, self.keys[vid]]
+        key = self.keys[vid]
+        return sql, [tid, key, key]
 
     def _axis_descendant(self, item: VNode, vid: int, test: NodeTest) -> list:
         head, params = self._descendants_sql(vid, self.tid_of[id(item.vtype)])
@@ -377,15 +465,16 @@ class VirtualAccel:
         else:
             ptid = self.tid_of[id(parent_vtype)]
             clca = item.vtype.lca_length * _W
+            parent_band = _prefix_range("p.key", "substr(?, 1, ?)")
+            child_band = _prefix_range("v.key", "substr(p.key, 1, t.lca)")
             sql = (
                 "SELECT DISTINCT v.id FROM vnodes v JOIN vtypes t ON v.vt = t.id"
-                " JOIN vnodes p ON p.vt = ?"
-                "  AND substr(p.key, 1, ?) = substr(?, 1, ?)"
-                " WHERE t.parent = ?"
-                "  AND substr(v.key, 1, t.lca) = substr(p.key, 1, t.lca)"
+                f" JOIN vnodes p ON p.vt = ? AND {parent_band}"
+                f" WHERE t.parent = ? AND {child_band}"
                 f"  AND ({test_sql})"
             )
-            params = [ptid, clca, self.keys[vid], clca, ptid, *test_params]
+            key = self.keys[vid]
+            params = [ptid, key, clca, key, clca, ptid, *test_params]
         forward = axis == "following-sibling"
         order = " ORDER BY v.row" + ("" if forward else " DESC")
         cur = self.conn.execute(sql + order, params)

@@ -1,0 +1,363 @@
+"""Protocol-independent request routing for the async serving tier.
+
+:class:`ServingApp` owns the request path between the asyncio HTTP
+server (:mod:`repro.serve.http`) and the query service: admission
+control, the worker pool that runs blocking engine work off the event
+loop, per-query cost budgets, and read/write splitting across the
+replica tier.  The route surface mirrors the sync server
+(:mod:`repro.service.server`) byte-for-byte on the shared endpoints and
+adds:
+
+``GET /replication``
+    per-shard replica state: ship-log position, per-replica applied
+    sequence and lag, plus the admission controller's counters.
+
+``POST /query?max_visits=N&max_rows=M``
+    per-request cost budget, clamped under the server's ``--query-budget``
+    ceiling (clients can tighten the ceiling, never loosen it).  A query
+    that crosses its budget is aborted *by the cost meter* mid-plan and
+    answered ``422`` with the structured ``budget_exceeded`` payload —
+    distinct from ``429`` (shed before execution) and from timeouts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from repro.errors import QueryBudgetExceeded, ReproError
+from repro.query.budget import CostBudget
+from repro.serve.admission import AdmissionController, NullAdmission, ServiceOverloaded
+from repro.serve.replica import ReplicaSet
+
+
+class Response:
+    """One routed response: status, media type, body, extra headers."""
+
+    __slots__ = ("status", "content_type", "body", "headers")
+
+    def __init__(
+        self,
+        status: int,
+        body: str,
+        content_type: str = "application/json",
+        headers: Optional[dict] = None,
+    ) -> None:
+        self.status = status
+        self.content_type = content_type
+        self.body = body.encode("utf-8")
+        self.headers = headers or {}
+
+
+def _json_response(status: int, document: dict, headers: Optional[dict] = None):
+    return Response(status, json.dumps(document, indent=2), headers=headers)
+
+
+class ServingApp:
+    """Routes requests onto a service through admission + worker pool.
+
+    :param service: a :class:`~repro.service.service.QueryService` or
+        :class:`~repro.shard.service.ShardedService`.
+    :param admission: the :class:`AdmissionController` guarding the
+        work-bearing routes (``/query``, ``/update``, ``/explain``);
+        ``None`` disables admission.
+    :param replica_set: the unsharded replica tier (a sharded service
+        carries its replica sets itself via ``attach_replicas``).
+    :param max_budget: ceiling for per-request budgets; also the default
+        budget when a request names none.
+    :param workers: worker-pool threads for blocking engine work
+        (default: the admission controller's ``max_inflight``).
+    """
+
+    def __init__(
+        self,
+        service,
+        admission: Optional[AdmissionController] = None,
+        replica_set: Optional[ReplicaSet] = None,
+        max_budget: Optional[CostBudget] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        self.service = service
+        self.admission = admission if admission is not None else NullAdmission()
+        self.replica_set = replica_set
+        self.max_budget = max_budget
+        pool = workers or getattr(self.admission, "max_inflight", None) or 8
+        self._executor = ThreadPoolExecutor(
+            max_workers=pool, thread_name_prefix="serve-worker"
+        )
+        self.metrics = service.metrics
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False)
+
+    # -- routing -----------------------------------------------------------------
+
+    async def handle(
+        self, method: str, path: str, params: dict, headers: dict, body: bytes
+    ) -> Response:
+        """Dispatch one parsed request; never raises (errors become
+        structured JSON responses)."""
+        self.metrics.incr("serve.requests")
+        started = time.perf_counter()
+        try:
+            response = await self._route(method, path, params, headers, body)
+        except ServiceOverloaded as error:
+            response = _json_response(
+                429,
+                {"error": str(error), **error.to_json()},
+                headers={"Retry-After": f"{error.retry_after_s:.3f}"},
+            )
+        except QueryBudgetExceeded as error:
+            self.metrics.incr("serve.budget_rejections")
+            response = _json_response(422, {"error": str(error), **error.to_json()})
+        except ReproError as error:
+            response = _json_response(400, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - the server must answer
+            response = _json_response(500, {"error": f"internal error: {error}"})
+        self.metrics.observe(
+            "serve.latency_seconds", time.perf_counter() - started
+        )
+        return response
+
+    async def _route(self, method, path, params, headers, body) -> Response:
+        if method == "GET":
+            if path == "/metrics":
+                return self._do_metrics(params, headers)
+            if path == "/healthz":
+                return self._do_healthz()
+            if path == "/replication":
+                return self._do_replication()
+            if path == "/debug/traces":
+                return self._do_traces()
+            return _json_response(404, {"error": f"unknown path {path!r}"})
+        if method != "POST":
+            return _json_response(405, {"error": f"unsupported method {method}"})
+        if path == "/query":
+            return await self._do_query(params, body)
+        if path == "/update":
+            return await self._do_update(params, body)
+        if path == "/explain":
+            return await self._do_explain(params, body)
+        return _json_response(404, {"error": f"unknown path {path!r}"})
+
+    async def _offload(self, fn, *args):
+        """Run blocking engine work on the worker pool, one admission
+        slot per request."""
+        loop = asyncio.get_running_loop()
+        async with self.admission.slot():
+            return await loop.run_in_executor(self._executor, fn, *args)
+
+    # -- read path ---------------------------------------------------------------
+
+    def _read_service(self):
+        """Read target: a caught-up replica when the unsharded replica
+        tier is attached (a sharded service splits internally)."""
+        if self.replica_set is not None:
+            return self.replica_set.read_service()
+        return self.service
+
+    def _parse_budget(self, params: dict) -> Optional[CostBudget]:
+        max_visits = params.get("max_visits")
+        max_rows = params.get("max_rows")
+        requested = None
+        if max_visits is not None or max_rows is not None:
+            try:
+                requested = CostBudget(
+                    max_node_visits=int(max_visits) if max_visits else None,
+                    max_step_rows=int(max_rows) if max_rows else None,
+                )
+            except ValueError as error:
+                raise ReproError(f"invalid budget parameter: {error}") from None
+        if self.max_budget is not None:
+            return self.max_budget.clamped(requested)
+        return requested
+
+    async def _do_query(self, params: dict, body: bytes) -> Response:
+        text = body.decode("utf-8")
+        if not text.strip():
+            return _json_response(400, {"error": "empty query body"})
+        mode = params.get("mode")
+        as_values = params.get("values") in ("1", "true", "yes")
+        budget = self._parse_budget(params)
+
+        def run():
+            service = self._read_service()
+            return service.execute(text, mode=mode, budget=budget)
+
+        result = await self._offload(run)
+        if as_values:
+            return Response(200, "\n".join(result.values()), "text/plain")
+        return Response(200, result.to_xml(), "application/xml")
+
+    async def _do_explain(self, params: dict, body: bytes) -> Response:
+        text = body.decode("utf-8")
+        if not text.strip():
+            return _json_response(400, {"error": "empty query body"})
+        mode = params.get("mode")
+        report = await self._offload(self.service.explain, text, mode)
+        return _json_response(200, report)
+
+    # -- write path --------------------------------------------------------------
+
+    async def _do_update(self, params: dict, body: bytes) -> Response:
+        from repro.updates.ops import op_from_json
+
+        uri = params.get("uri")
+        if uri is None:
+            uris = self.service.uris()
+            if len(uris) != 1:
+                return _json_response(
+                    400, {"error": "several documents loaded; pass ?uri=..."}
+                )
+            uri = uris[0]
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("update body must be a JSON object")
+        except ValueError as error:
+            return _json_response(400, {"error": f"invalid JSON body: {error}"})
+
+        def run():
+            op = op_from_json(payload)
+            if self.replica_set is not None:
+                return self.replica_set.update(uri, op)
+            return self.service.update(uri, op)
+
+        result = await self._offload(run)
+        return _json_response(
+            200,
+            {
+                "uri": uri,
+                "version": result.store.version,
+                "minted": [str(number) for number in result.minted],
+                "removed": [str(number) for number in result.removed],
+                "touched": sorted(
+                    ".".join(path) for path in result.touched_paths
+                ),
+            },
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    def _replica_sets(self) -> list[ReplicaSet]:
+        if self.replica_set is not None:
+            return [self.replica_set]
+        return list(getattr(self.service, "replica_sets", None) or [])
+
+    def _do_replication(self) -> Response:
+        sets = self._replica_sets()
+        report = {
+            "admission": self.admission.snapshot(),
+            "replica_sets": [replica_set.snapshot() for replica_set in sets],
+            "max_lag": max(
+                (replica_set.lag() for replica_set in sets), default=0
+            ),
+        }
+        return _json_response(200, report)
+
+    def _do_healthz(self) -> Response:
+        report = {"status": "ok", "documents": self.service.uris()}
+        catalog = getattr(self.service, "catalog", None)
+        if catalog is not None:
+            report["shards"] = catalog.summary()
+        if self._replica_sets():
+            report["replicas"] = sum(
+                len(replica_set.replicas) for replica_set in self._replica_sets()
+            )
+        return _json_response(200, report)
+
+    def _do_traces(self) -> Response:
+        tracer = self.service.tracer
+        return _json_response(
+            200,
+            {
+                "recent": [trace.to_dict() for trace in tracer.recent()],
+                "slow": [trace.to_dict() for trace in tracer.slow()],
+                "counts": tracer.counts(),
+            },
+        )
+
+    def _do_metrics(self, params: dict, headers: dict) -> Response:
+        service = self.service
+        accept = headers.get("accept", "")
+        wants_text = (
+            params.get("format") == "prometheus"
+            or "text/plain" in accept
+            or "openmetrics" in accept
+        )
+        if not wants_text:
+            report = service.snapshot()
+            report["admission"] = self.admission.snapshot()
+            sets = self._replica_sets()
+            if sets:
+                report["replication"] = [s.snapshot() for s in sets]
+            return _json_response(200, report)
+        from repro.obs.prometheus import render_prometheus
+
+        gauges = {
+            "cache.plan.entries": len(service.plan_cache),
+            "cache.view.entries": len(service.view_cache),
+        }
+        admission = self.admission.snapshot()
+        for key in ("inflight", "waiting"):
+            if key in admission:
+                gauges[f"serve.{key}"] = admission[key]
+        sets = self._replica_sets()
+        if sets:
+            gauges["serve.replica.lag"] = max(s.lag() for s in sets)
+        body = render_prometheus(
+            service.metrics, storage=service.stats, extra_gauges=gauges
+        )
+        return Response(200, body, "text/plain; version=0.0.4")
+
+
+def build_serving(
+    service,
+    replicas: int = 0,
+    max_lag: int = 0,
+    catchup_batch: Optional[int] = None,
+    max_inflight: int = 64,
+    queue_limit: int = 128,
+    queue_timeout_s: float = 0.5,
+    max_budget: Optional[CostBudget] = None,
+    workers: Optional[int] = None,
+) -> ServingApp:
+    """Assemble the serving tier around ``service``: replica sets (one
+    per shard for a sharded service), an admission controller, and the
+    app that routes through them."""
+    replica_set = None
+    if replicas > 0:
+        if hasattr(service, "attach_replicas"):  # sharded
+            sets = [
+                ReplicaSet(
+                    shard_service,
+                    count=replicas,
+                    max_lag=max_lag,
+                    catchup_batch=catchup_batch,
+                )
+                for shard_service in service.services
+            ]
+            service.attach_replicas(sets)
+        else:
+            replica_set = ReplicaSet(
+                service,
+                count=replicas,
+                max_lag=max_lag,
+                catchup_batch=catchup_batch,
+            )
+    admission = AdmissionController(
+        max_inflight=max_inflight,
+        queue_limit=queue_limit,
+        queue_timeout_s=queue_timeout_s,
+        metrics=service.metrics,
+    )
+    return ServingApp(
+        service,
+        admission=admission,
+        replica_set=replica_set,
+        max_budget=max_budget,
+        workers=workers,
+    )

@@ -1,0 +1,203 @@
+"""The asyncio HTTP/1.1 front end for :class:`~repro.serve.app.ServingApp`.
+
+One event loop accepts connections and parses requests; blocking engine
+work never runs on the loop — the app offloads it to its worker pool —
+so thousands of idle keep-alive connections cost one task each instead
+of one thread each (the sync tier's model).  Connections are HTTP/1.1
+keep-alive by default; ``Connection: close`` and malformed framing end
+the connection.
+
+Graceful drain (:meth:`AsyncHTTPServer.drain`): stop accepting, let
+in-flight requests finish within a bounded deadline, then close every
+lingering connection.  :func:`serve_async` wires SIGTERM/SIGINT to the
+drain, which is the contract the CLI's ``serve --async`` exposes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.serve.app import Response, ServingApp
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Refuse request bodies larger than this (16 MiB).
+_MAX_BODY = 16 * 1024 * 1024
+
+
+class AsyncHTTPServer:
+    """One asyncio server bound to one :class:`ServingApp`."""
+
+    def __init__(
+        self,
+        app: ServingApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.app = app
+        self.host = host
+        self._requested_port = port
+        self.verbose = verbose
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set[asyncio.Task] = set()
+        self._draining = False
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def drain(self, deadline_s: float = 10.0) -> bool:
+        """Graceful shutdown: stop accepting, wait (bounded) for in-flight
+        connections, then force-close stragglers.  Returns ``True`` when
+        everything finished inside the deadline."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [task for task in self._connections if not task.done()]
+        clean = True
+        if pending:
+            done, unfinished = await asyncio.wait(pending, timeout=deadline_s)
+            clean = not unfinished
+            for task in unfinished:
+                task.cancel()
+            if unfinished:
+                await asyncio.gather(*unfinished, return_exceptions=True)
+        self.app.close()
+        return clean
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while not self._draining:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                parsed = urlparse(target)
+                params = {
+                    key: values[0]
+                    for key, values in parse_qs(parsed.query).items()
+                }
+                response = await self.app.handle(
+                    method, parsed.path, params, headers, body
+                )
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                    and not self._draining
+                )
+                await self._write_response(writer, response, keep_alive)
+                if not keep_alive:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader):
+        """Parse one request; ``None`` on clean EOF or malformed framing."""
+        try:
+            line = await reader.readline()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            return None
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return None
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > _MAX_BODY:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    async def _write_response(
+        self, writer, response: Response, keep_alive: bool
+    ) -> None:
+        reason = _REASONS.get(response.status, "Unknown")
+        head = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}; charset=utf-8",
+            f"Content-Length: {len(response.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in response.headers.items():
+            head.append(f"{name}: {value}")
+        writer.write("\r\n".join(head).encode("latin-1") + b"\r\n\r\n")
+        writer.write(response.body)
+        await writer.drain()
+
+
+async def serve_async(
+    app: ServingApp,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    drain_deadline_s: float = 10.0,
+    ready=None,
+) -> None:
+    """Run the async tier until SIGTERM/SIGINT, then drain gracefully
+    (the ``repro serve --async`` entry point).  ``ready`` (if given) is
+    called with the server once it is accepting."""
+    import signal
+
+    server = AsyncHTTPServer(app, host=host, port=port, verbose=True)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    print(
+        f"serving (async) on http://{host}:{server.port}  "
+        "(POST /query, POST /update, POST /explain, GET /metrics, "
+        "GET /replication, GET /debug/traces)",
+        flush=True,
+    )
+    if ready is not None:
+        ready(server)
+    try:
+        await stop.wait()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    print("draining", flush=True)
+    await server.drain(drain_deadline_s)

@@ -45,6 +45,8 @@ tests; it is deliberately dependency-free rather than production-grade.
 from __future__ import annotations
 
 import json
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
@@ -223,16 +225,74 @@ class ServiceServer(ThreadingHTTPServer):
     ) -> None:
         self.service = service
         self.verbose = verbose
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._draining = False
+        self._closed = False
         super().__init__((host, port), ServiceRequestHandler)
 
     @property
     def port(self) -> int:
         return self.server_address[1]
 
+    # -- graceful shutdown -------------------------------------------------------
 
-def serve_forever(service: QueryService, host: str, port: int) -> None:
-    """Run a server until interrupted (the ``repro serve`` entry point)."""
+    def verify_request(self, request, client_address) -> bool:
+        # A draining server refuses new connections instead of resetting
+        # the ones it is still answering.
+        return not self._draining
+
+    def process_request_thread(self, request, client_address) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+            self._idle.clear()
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.set()
+
+    def shutdown_gracefully(self, deadline_s: float = 10.0) -> bool:
+        """Drain-then-stop: refuse new connections, stop the accept
+        loop, wait up to ``deadline_s`` for in-flight requests, then
+        close the socket.  Returns ``True`` when every request finished
+        inside the deadline (idempotent; safe from any thread except the
+        one running :meth:`serve_forever`)."""
+        self._draining = True
+        self.shutdown()
+        drained = self._idle.wait(deadline_s)
+        with self._inflight_lock:
+            if not self._closed:
+                self._closed = True
+                self.server_close()
+        return drained
+
+
+def serve_forever(
+    service: QueryService, host: str, port: int, drain_deadline_s: float = 10.0
+) -> None:
+    """Run a server until interrupted (the ``repro serve`` entry point).
+
+    SIGTERM and Ctrl-C both drain: in-flight requests finish (bounded by
+    ``drain_deadline_s``) before the socket closes, so a supervisor
+    restart no longer resets answers mid-write.
+    """
     server = ServiceServer(service, host=host, port=port, verbose=True)
+
+    def _drain(*_signal_args) -> None:
+        # shutdown() must not run on the serve_forever thread (deadlock),
+        # and a signal handler runs exactly there.
+        threading.Thread(
+            target=server.shutdown_gracefully,
+            args=(drain_deadline_s,),
+            daemon=True,
+        ).start()
+
+    previous = signal.signal(signal.SIGTERM, _drain)
     print(
         f"serving on http://{host}:{server.port}  "
         "(POST /query, POST /update, POST /explain, GET /metrics, "
@@ -241,7 +301,13 @@ def serve_forever(service: QueryService, host: str, port: int) -> None:
     )
     try:
         server.serve_forever()
+        print("drained", flush=True)
     except KeyboardInterrupt:
-        print("\nshutting down")
+        print("\nshutting down", flush=True)
+        server.shutdown_gracefully(drain_deadline_s)
     finally:
-        server.server_close()
+        signal.signal(signal.SIGTERM, previous)
+        with server._inflight_lock:
+            if not server._closed:
+                server._closed = True
+                server.server_close()

@@ -101,6 +101,10 @@ class QueryService:
         sharded service parses once through one :class:`PlanCache` and
         shares one :class:`ViewCache` across shards (uris are disjoint,
         so entries never collide); fresh per-service caches when omitted.
+    :param default_budget: optional
+        :class:`~repro.query.budget.CostBudget` applied to every query
+        that does not carry its own; queries whose metered work exceeds
+        it abort with :class:`~repro.errors.QueryBudgetExceeded`.
     :param trace_sample: fraction of requests traced end to end
         (deterministic every-Nth; ``0`` disables tracing entirely).
     :param trace_buffer: ring-buffer capacity for recent / slow traces.
@@ -127,11 +131,13 @@ class QueryService:
         stats: Optional[StorageStats] = None,
         plan_cache: Optional[PlanCache] = None,
         view_cache: Optional[ViewCache] = None,
+        default_budget=None,
     ) -> None:
         if pool_size < 1:
             raise ValueError("service needs pool_size >= 1")
         self.pool_size = pool_size
         self.mode = mode
+        self.default_budget = default_budget
         self.page_size = page_size
         self.buffer_capacity = buffer_capacity
         self.index_order = index_order
@@ -254,6 +260,17 @@ class QueryService:
             self._durables[key] = durable
             self._attach(key, store)
         return durable
+
+    def adopt_store(self, uri: str, store: DocumentStore) -> DocumentStore:
+        """Attach an externally built (immutable) store pool-wide.
+
+        The replica tier (:mod:`repro.serve.replica`) seeds each replica
+        with the primary's current store object — safe to share because
+        stores are never mutated in place; updates derive copy-on-write
+        versions — and then applies the shipped WAL tail through the
+        replica's own :meth:`update` path."""
+        self._attach(uri, store)
+        return store
 
     def _attach(self, uri: str, store: DocumentStore) -> None:
         """Full (re)load of a uri: swap the store in and blanket-evict its
@@ -400,10 +417,15 @@ class QueryService:
         query: str,
         mode: Optional[str] = None,
         variables: Optional[dict[str, list]] = None,
+        budget=None,
     ) -> Result:
         """Evaluate ``query`` on the next idle engine (blocking while the
         whole pool is busy).  Plan and view caches are consulted inside
         the engine; see the metric names in :mod:`repro.service.metrics`.
+
+        ``budget`` overrides the service's :attr:`default_budget` for
+        this query (pass one built with ``clamped`` to let callers
+        tighten but not loosen the default).
 
         When the request is sampled (:attr:`tracer`), the trace opens
         here at admission — pool checkout, parsing, view resolution, and
@@ -412,7 +434,12 @@ class QueryService:
         handle = self.tracer.start("query", detail=_preview(query), stats=self.stats)
         with handle as root:
             with self._engine() as engine:
-                result = engine.execute(query, mode=mode, variables=variables)
+                result = engine.execute(
+                    query,
+                    mode=mode,
+                    variables=variables,
+                    budget=budget if budget is not None else self.default_budget,
+                )
             root.set("items", len(result))
             return result
 
@@ -422,6 +449,7 @@ class QueryService:
         mode: Optional[str] = None,
         variables: Optional[dict[str, list]] = None,
         detail: str = "",
+        budget=None,
     ) -> Result:
         """Evaluate an already-parsed expression on the next idle engine.
 
@@ -434,7 +462,12 @@ class QueryService:
         handle = self.tracer.start("query", detail=detail, stats=self.stats)
         with handle as root:
             with self._engine() as engine:
-                result = engine.execute(expr, mode=mode, variables=variables)
+                result = engine.execute(
+                    expr,
+                    mode=mode,
+                    variables=variables,
+                    budget=budget if budget is not None else self.default_budget,
+                )
             root.set("items", len(result))
             return result
 

@@ -174,11 +174,13 @@ class ShardedService:
         trace_buffer: int = 64,
         slow_query_s: Optional[float] = None,
         tracer: Optional[Tracer] = None,
+        default_budget=None,
     ) -> None:
         if workers not in ("thread", "process"):
             raise ShardError(f"workers must be 'thread' or 'process', got {workers!r}")
         self.workers = workers
         self.mode = mode
+        self.default_budget = default_budget
         self.catalog = ShardCatalog(shards, placement)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.stats = StorageStats()
@@ -201,9 +203,14 @@ class ShardedService:
                 stats=self.stats,
                 plan_cache=self.plan_cache,
                 view_cache=self.view_cache,
+                default_budget=default_budget,
             )
             for _ in range(shards)
         ]
+        #: per-shard :class:`~repro.serve.replica.ReplicaSet`\ s, attached
+        #: by the serving tier (:meth:`attach_replicas`); ``None`` routes
+        #: every read to the shard primaries.
+        self.replica_sets = None
         self._pool = ThreadPoolExecutor(
             max_workers=scatter_workers or max(shards, 1),
             thread_name_prefix="shard-scatter",
@@ -235,6 +242,33 @@ class ShardedService:
         """The :class:`QueryService` owning ``uri``."""
         return self.services[self.catalog.shard_of(uri)]
 
+    def attach_replicas(self, replica_sets) -> None:
+        """Attach one :class:`~repro.serve.replica.ReplicaSet` per shard.
+
+        Once attached, reads route through ``read_service()`` (a caught-up
+        replica, or the primary as fallback) and writes route through the
+        set so every applied op is shipped to the replicas.
+        """
+        self._require_thread_workers("attach_replicas")
+        if len(replica_sets) != self.catalog.shards:
+            raise ShardError(
+                f"need one replica set per shard: got {len(replica_sets)} "
+                f"for {self.catalog.shards} shards"
+            )
+        for shard, replica_set in enumerate(replica_sets):
+            if replica_set.primary is not self.services[shard]:
+                raise ShardError(
+                    f"replica set {shard} does not wrap that shard's primary"
+                )
+        self.replica_sets = list(replica_sets)
+
+    def _read_service(self, shard: int) -> QueryService:
+        """Where shard ``shard``'s next read executes: a caught-up replica
+        when a replica set is attached, the primary otherwise."""
+        if self.replica_sets is not None:
+            return self.replica_sets[shard].read_service()
+        return self.services[shard]
+
     # -- documents ---------------------------------------------------------------
 
     def load(
@@ -248,7 +282,10 @@ class ShardedService:
             text = source if isinstance(source, str) else serialize(source)
             self._process_pool.load(owner, uri, text)
             return None  # the store lives in the worker process
-        return self.services[owner].load(uri, source)
+        store = self.services[owner].load(uri, source)
+        if self.replica_sets is not None:
+            self.replica_sets[owner].seed(uri, store)
+        return store
 
     def open_image(
         self, path: str, uri: Optional[str] = None, shard: Optional[int] = None
@@ -261,7 +298,10 @@ class ShardedService:
             uri = peek_uri(path)
         owner = self.catalog.register(uri, shard)
         self.metrics.incr("shard.documents", labels={"shard": str(owner)})
-        return self.services[owner].open_image(path, uri=uri)
+        store = self.services[owner].open_image(path, uri=uri)
+        if self.replica_sets is not None:
+            self.replica_sets[owner].seed(uri, store)
+        return store
 
     open = open_image
 
@@ -285,7 +325,10 @@ class ShardedService:
         key = uri if uri is not None else durable.store.document.uri
         owner = self.catalog.register(key, shard)
         self.metrics.incr("shard.documents", labels={"shard": str(owner)})
-        return self.services[owner].adopt_durable(durable, uri=key)
+        adopted = self.services[owner].adopt_durable(durable, uri=key)
+        if self.replica_sets is not None:
+            self.replica_sets[owner].seed(key, self.services[owner].store(key))
+        return adopted
 
     def store(self, uri: str) -> "DocumentStore":
         self._require_thread_workers("store")
@@ -311,9 +354,10 @@ class ShardedService:
         """Route one update to the shard owning ``uri``; the shard's own
         write path (WAL, snapshot publish, view revalidation) applies."""
         self._require_thread_workers("update")
-        self.metrics.incr(
-            "shard.updates", labels={"shard": str(self.catalog.shard_of(uri))}
-        )
+        shard = self.catalog.shard_of(uri)
+        self.metrics.incr("shard.updates", labels={"shard": str(shard)})
+        if self.replica_sets is not None:
+            return self.replica_sets[shard].update(uri, op)
         return self.service_for(uri).update(uri, op)
 
     def checkpoint(self, uri: str) -> int:
@@ -327,6 +371,7 @@ class ShardedService:
         query: str,
         mode: Optional[str] = None,
         variables: Optional[dict[str, list]] = None,
+        budget=None,
     ):
         """Evaluate ``query`` against the collection.
 
@@ -334,11 +379,16 @@ class ShardedService:
         unsharded service); multi-shard plans scatter-gather.  Returns a
         ``Result`` (routed) or :class:`ShardResult` (scattered) — both
         expose ``items`` / ``values()`` / ``to_xml()`` / ``len``.
+
+        ``budget`` caps this query's metered cost *per shard* (each
+        specialization gets its own meter over the shared limit).
         """
+        if budget is not None:
+            self._require_thread_workers("per-query budgets")
         expr = self.plan_cache.get_or_parse(query)
         analysis = referenced_sources(expr)
         if self.catalog.shards == 1:
-            return self._routed(0, query, mode, variables)
+            return self._routed(0, query, mode, variables, budget)
         if analysis.dynamic:
             raise ShardError(
                 "cannot route a doc()/virtualDoc() call with a computed uri "
@@ -348,17 +398,19 @@ class ShardedService:
         shard_set = sorted(set(involved.values()))
         if len(shard_set) <= 1:
             owner = shard_set[0] if shard_set else 0
-            return self._routed(owner, query, mode, variables)
+            return self._routed(owner, query, mode, variables, budget)
         check_scatterable(analysis, involved)
         self._check_variables(variables)
-        return self._scatter(expr, analysis, involved, query, mode, variables)
+        return self._scatter(expr, analysis, involved, query, mode, variables, budget)
 
-    def _routed(self, shard: int, query: str, mode, variables):
+    def _routed(self, shard: int, query: str, mode, variables, budget=None):
         self.metrics.incr("shard.routed_single")
         if self._process_pool is not None:
             self._check_variables(variables)  # nodes cannot cross the pipe
             return self._process_pool.execute_routed(shard, query, mode, variables)
-        return self.services[shard].execute(query, mode=mode, variables=variables)
+        return self._read_service(shard).execute(
+            query, mode=mode, variables=variables, budget=budget
+        )
 
     def _check_variables(self, variables) -> None:
         for value in (variables or {}).values():
@@ -369,7 +421,7 @@ class ShardedService:
                     "shards; route the query to the shard owning the nodes"
                 )
 
-    def _scatter(self, expr, analysis, involved, query, mode, variables):
+    def _scatter(self, expr, analysis, involved, query, mode, variables, budget=None):
         started = time.perf_counter()
         self.metrics.incr("shard.scatter_queries")
         combine = combiner_of(expr)
@@ -395,7 +447,7 @@ class ShardedService:
                 outcome = self._gather_process(plans, analysis, involved, mode, combine)
             else:
                 outcome = self._gather_threads(
-                    plans, analysis, involved, mode, variables, combine, query
+                    plans, analysis, involved, mode, variables, combine, query, budget
                 )
             elapsed = time.perf_counter() - started
             outcome.elapsed_seconds = elapsed
@@ -409,16 +461,21 @@ class ShardedService:
         return outcome
 
     def _gather_threads(
-        self, plans, analysis, involved, mode, variables, combine, query
+        self, plans, analysis, involved, mode, variables, combine, query, budget=None
     ) -> ShardResult:
         detail = _preview(query)
+        # Pin each shard's read target once per query so merge attribution
+        # (container ordinals) resolves against the very service — primary
+        # or replica — that evaluated the specialization.
+        executors = {shard: self._read_service(shard) for shard in plans}
         futures = {
             shard: self._pool.submit(
-                self.services[shard].execute_plan,
+                executors[shard].execute_plan,
                 plan,
                 mode,
                 variables,
                 f"shard={shard} {detail}",
+                budget,
             )
             for shard, plan in sorted(plans.items())
         }
@@ -431,7 +488,7 @@ class ShardedService:
             return ShardResult([(combined, None)], 0.0, shard_ids)
         streams = []
         for shard in shard_ids:
-            service = self.services[shard]
+            service = executors[shard]
             ordinal_by_container = self._container_ordinals(
                 service, analysis, involved, shard
             )

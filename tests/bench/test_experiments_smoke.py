@@ -14,7 +14,7 @@ def test_registry_complete():
     assert set(EXPERIMENTS) == {
         "e1", "e2", "e3", "e4", "e5", "e6",
         "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16",
-        "e17",
+        "e17", "e18",
     }
 
 
@@ -89,3 +89,19 @@ def test_e17_strategy_answers_are_identical():
         for name, entry in results[section].items():
             for strategy, cell in entry["strategies"].items():
                 assert cell["identical"], (section, name, strategy)
+
+
+def test_e18_serving_contracts_hold_at_small_scale():
+    from repro.bench.experiments import collect_e18
+
+    # Tiny burst, timings ignored: the hard invariants are replica
+    # byte-identity, the structured 422 budget probe, and zero 5xx.
+    results = collect_e18(
+        clients=40, requests_per_client=1, books=4, writers=4,
+        max_inflight=4, queue_limit=64,
+    )
+    assert results["outcomes"]["error"] == 0
+    assert results["replica_identical"] is True
+    assert results["shipped_ops"] == 4
+    probe = results["budget_probe"]
+    assert (probe["status"], probe["code"]) == (422, "budget_exceeded")

@@ -1,0 +1,119 @@
+"""Admission controller unit tests: slots, queueing, shedding."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.admission import AdmissionController, ServiceOverloaded
+from repro.service.metrics import ServiceMetrics
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_admit_release_roundtrip():
+    async def main():
+        controller = AdmissionController(max_inflight=2)
+        await controller.admit()
+        assert controller.inflight == 1
+        controller.release()
+        assert controller.inflight == 0
+        assert controller.admitted == 1
+
+    run(main())
+
+
+def test_slot_context_manager():
+    async def main():
+        controller = AdmissionController(max_inflight=1)
+        async with controller.slot():
+            assert controller.inflight == 1
+        assert controller.inflight == 0
+
+    run(main())
+
+
+def test_full_queue_sheds_immediately():
+    async def main():
+        controller = AdmissionController(
+            max_inflight=1, queue_limit=0, queue_timeout_s=5.0
+        )
+        await controller.admit()  # take the only slot
+        with pytest.raises(ServiceOverloaded) as caught:
+            await controller.admit()
+        assert caught.value.reason == "queue_full"
+        assert caught.value.retry_after_s > 0
+        assert controller.shed == 1
+        controller.release()
+
+    run(main())
+
+
+def test_queue_timeout_sheds():
+    async def main():
+        controller = AdmissionController(
+            max_inflight=1, queue_limit=4, queue_timeout_s=0.02
+        )
+        await controller.admit()
+        with pytest.raises(ServiceOverloaded) as caught:
+            await controller.admit()
+        assert caught.value.reason == "queue_timeout"
+        controller.release()
+
+    run(main())
+
+
+def test_queued_request_admitted_when_slot_frees():
+    async def main():
+        controller = AdmissionController(
+            max_inflight=1, queue_limit=4, queue_timeout_s=2.0
+        )
+        await controller.admit()
+        waiter = asyncio.ensure_future(controller.admit())
+        await asyncio.sleep(0.01)
+        assert controller.waiting == 1
+        controller.release()
+        await waiter  # admitted, no shed
+        assert controller.shed == 0
+        assert controller.inflight == 1
+        controller.release()
+
+    run(main())
+
+
+def test_shed_counts_in_metrics():
+    async def main():
+        metrics = ServiceMetrics()
+        controller = AdmissionController(
+            max_inflight=1, queue_limit=0, metrics=metrics
+        )
+        await controller.admit()
+        with pytest.raises(ServiceOverloaded):
+            await controller.admit()
+        controller.release()
+        counters = metrics.snapshot()["counters"]
+        assert any(key.startswith("serve.shed") for key in counters)
+        assert counters.get("serve.admitted") == 1
+
+    run(main())
+
+
+def test_snapshot_shape():
+    async def main():
+        controller = AdmissionController(max_inflight=3, queue_limit=7)
+        report = controller.snapshot()
+        assert report["max_inflight"] == 3
+        assert report["queue_limit"] == 7
+        assert report["inflight"] == 0
+
+    run(main())
+
+
+def test_invalid_limits_rejected():
+    with pytest.raises(ValueError):
+        AdmissionController(max_inflight=0)
+    with pytest.raises(ValueError):
+        AdmissionController(max_inflight=1, queue_limit=-1)

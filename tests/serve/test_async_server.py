@@ -1,0 +1,274 @@
+"""End-to-end tests for the asyncio serving tier: routing, keep-alive,
+read/write splitting, shedding (429), budget rejection (422), drain."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from repro.query.budget import CostBudget
+from repro.serve.admission import AdmissionController
+from repro.serve.app import ServingApp, build_serving
+from repro.serve.http import AsyncHTTPServer
+from repro.service.service import QueryService
+
+DOC = "<a><b x='1'>t1</b><b x='2'>t2</b><c>z</c></a>"
+
+
+class GatedService(QueryService):
+    """Queries block on ``gate`` — deterministic slow requests."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.gate = threading.Event()
+
+    def execute(self, *args, **kwargs):
+        assert self.gate.wait(10), "test gate never opened"
+        return super().execute(*args, **kwargs)
+
+
+async def request(port, method, path, body=b"", keep_alive=False, reader_writer=None):
+    """One raw HTTP/1.1 exchange; returns (status, headers, body[, conn])."""
+    if reader_writer is None:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    else:
+        reader, writer = reader_writer
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: {connection}\r\n\r\n"
+    )
+    writer.write(head.encode() + body)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    payload = await reader.readexactly(int(headers.get("content-length", 0)))
+    if keep_alive:
+        return status, headers, payload.decode(), (reader, writer)
+    writer.close()
+    return status, headers, payload.decode()
+
+
+def _serve(app):
+    server = AsyncHTTPServer(app)
+    return server
+
+
+def test_query_update_and_replication_roundtrip():
+    service = QueryService(pool_size=2)
+    service.load("doc.xml", DOC)
+    app = build_serving(service, replicas=2, max_inflight=4)
+
+    async def main():
+        server = _serve(app)
+        await server.start()
+        port = server.port
+        status, _, body = await request(
+            port, "POST", "/query?values=1", b"count(doc('doc.xml')//b)"
+        )
+        assert (status, body) == (200, "2")
+        status, _, body = await request(
+            port,
+            "POST",
+            "/update",
+            json.dumps(
+                {"op": "insert", "parent": "1", "fragment": "<d/>"}
+            ).encode(),
+        )
+        assert status == 200
+        assert json.loads(body)["minted"] == ["1.4"]
+        # The write shipped; replica reads observe it (read/write split).
+        # Two reads round-robin both replicas, catching each up.
+        for _ in range(2):
+            status, _, body = await request(
+                port, "POST", "/query?values=1", b"count(doc('doc.xml')/a/*)"
+            )
+            assert (status, body) == (200, "4")
+        status, _, body = await request(port, "GET", "/replication")
+        report = json.loads(body)
+        assert status == 200
+        assert report["replica_sets"][0]["shipped"] == 1
+        assert report["max_lag"] == 0
+        status, _, body = await request(port, "GET", "/healthz")
+        assert json.loads(body)["replicas"] == 2
+        await server.drain(2.0)
+        assert app.replica_set.verify_identical("doc.xml")
+
+    asyncio.run(main())
+
+
+def test_keep_alive_reuses_connection():
+    service = QueryService(pool_size=2)
+    service.load("doc.xml", DOC)
+    app = ServingApp(service)
+
+    async def main():
+        server = _serve(app)
+        await server.start()
+        status, _, body, conn = await request(
+            server.port, "GET", "/healthz", keep_alive=True
+        )
+        assert status == 200
+        status, _, body, conn = await request(
+            server.port,
+            "POST",
+            "/query?values=1",
+            b"count(doc('doc.xml')//b)",
+            keep_alive=True,
+            reader_writer=conn,
+        )
+        assert (status, body) == (200, "2")
+        conn[1].close()
+        await server.drain(2.0)
+
+    asyncio.run(main())
+
+
+def test_overload_sheds_429_with_retry_after():
+    service = GatedService(pool_size=2)
+    service.load("doc.xml", DOC)
+    admission = AdmissionController(
+        max_inflight=1, queue_limit=0, queue_timeout_s=0.05
+    )
+    app = ServingApp(service, admission=admission, workers=2)
+
+    async def main():
+        server = _serve(app)
+        await server.start()
+        port = server.port
+        slow = asyncio.ensure_future(
+            request(port, "POST", "/query?values=1", b"count(doc('doc.xml')//b)")
+        )
+        # Wait until the slow request holds the only slot.
+        for _ in range(200):
+            if admission.inflight == 1:
+                break
+            await asyncio.sleep(0.005)
+        assert admission.inflight == 1
+        status, headers, body = await request(
+            port, "POST", "/query?values=1", b"count(doc('doc.xml')//b)"
+        )
+        assert status == 429
+        assert float(headers["retry-after"]) > 0
+        assert json.loads(body)["code"] == "overloaded"
+        service.gate.set()
+        status, _, body = await slow
+        assert (status, body) == (200, "2")
+        assert admission.shed == 1 and admission.admitted == 1
+        await server.drain(2.0)
+
+    asyncio.run(main())
+
+
+def test_budget_exceeded_is_structured_422():
+    service = QueryService(pool_size=2)
+    service.load("doc.xml", DOC)
+    app = ServingApp(service, max_budget=CostBudget(max_node_visits=100))
+
+    async def main():
+        server = _serve(app)
+        await server.start()
+        status, _, body = await request(
+            server.port, "POST", "/query?max_visits=2", b"doc('doc.xml')//b"
+        )
+        assert status == 422
+        report = json.loads(body)
+        assert report["code"] == "budget_exceeded"
+        assert report["dimension"] == "node_visits"
+        assert report["limit"] == 2
+        assert report["spent"] > 2
+        # Clients cannot loosen the server ceiling.
+        status, _, body = await request(
+            server.port,
+            "POST",
+            "/query?max_visits=999999&values=1",
+            b"count(doc('doc.xml')//b)",
+        )
+        assert status == 200  # ceiling (100) still admits this tiny query
+        await server.drain(2.0)
+
+    asyncio.run(main())
+
+
+def test_drain_finishes_inflight_and_refuses_new():
+    service = GatedService(pool_size=2)
+    service.load("doc.xml", DOC)
+    app = ServingApp(service)
+
+    async def main():
+        server = _serve(app)
+        await server.start()
+        port = server.port
+        slow = asyncio.ensure_future(
+            request(port, "POST", "/query?values=1", b"count(doc('doc.xml')//b)")
+        )
+        await asyncio.sleep(0.05)
+        drain = asyncio.ensure_future(server.drain(5.0))
+        await asyncio.sleep(0.05)
+        service.gate.set()
+        assert await drain is True
+        status, _, body = await slow  # the in-flight answer completed
+        assert (status, body) == (200, "2")
+        try:
+            await request(port, "GET", "/healthz")
+        except OSError:
+            pass  # refused: the listener is closed
+        else:
+            raise AssertionError("drained server accepted a new connection")
+
+    asyncio.run(main())
+
+
+def test_unknown_routes_and_methods():
+    service = QueryService(pool_size=1)
+    service.load("doc.xml", DOC)
+    app = ServingApp(service)
+
+    async def main():
+        server = _serve(app)
+        await server.start()
+        status, _, _ = await request(server.port, "GET", "/nope")
+        assert status == 404
+        status, _, _ = await request(server.port, "PUT", "/query", b"x")
+        assert status == 405
+        status, _, body = await request(server.port, "POST", "/query", b"   ")
+        assert status == 400
+        status, _, body = await request(server.port, "POST", "/query", b"][")
+        assert status == 400
+        assert "error" in json.loads(body)
+        await server.drain(2.0)
+
+    asyncio.run(main())
+
+
+def test_metrics_prometheus_exposes_serving_counters():
+    service = QueryService(pool_size=1)
+    service.load("doc.xml", DOC)
+    app = build_serving(service, replicas=1, max_inflight=2)
+
+    async def main():
+        server = _serve(app)
+        await server.start()
+        await request(
+            server.port, "POST", "/query?values=1", b"count(doc('doc.xml')//b)"
+        )
+        status, _, body = await request(
+            server.port, "GET", "/metrics?format=prometheus"
+        )
+        assert status == 200
+        assert "serve_admitted" in body.replace(".", "_") or "serve" in body
+        status, _, body = await request(server.port, "GET", "/metrics")
+        report = json.loads(body)
+        assert report["admission"]["admitted"] >= 1
+        assert report["replication"][0]["shipped"] == 0
+        await server.drain(2.0)
+
+    asyncio.run(main())

@@ -1,0 +1,136 @@
+"""Replica tier: seeding, shipping, lag, fallback, byte-identity."""
+
+from __future__ import annotations
+
+from repro.pbn.number import Pbn
+from repro.serve.replica import ReplicaSet, ShipLog
+from repro.service.service import QueryService
+from repro.updates.ops import DeleteSubtree, InsertSubtree, ReplaceText
+from repro.workloads.books import books_document
+
+DOC = "<a><b x='1'>t1</b><b x='2'>t2</b><c>z</c></a>"
+
+
+def _primary(source: str = DOC) -> QueryService:
+    service = QueryService(pool_size=2)
+    service.load("doc.xml", source)
+    return service
+
+
+def test_ship_log_sequences():
+    log = ShipLog()
+    assert log.seq == 0
+    assert log.append("u", {"op": "x"}) == 1
+    assert log.append("u", {"op": "y"}) == 2
+    assert [seq for seq, _, _ in log.since(0)] == [1, 2]
+    assert [seq for seq, _, _ in log.since(1)] == [2]
+    assert log.since(2) == []
+
+
+def test_replicas_seeded_with_existing_documents():
+    replica_set = ReplicaSet(_primary(), count=2)
+    for replica in replica_set.replicas:
+        result = replica.service.execute("count(doc('doc.xml')//b)")
+        assert result.values() == ["2"]
+
+
+def test_update_ships_and_replica_reads_converge():
+    replica_set = ReplicaSet(_primary(), count=2)
+    replica_set.update(
+        "doc.xml", InsertSubtree(parent=Pbn.parse("1"), fragment="<d>new</d>")
+    )
+    assert replica_set.ship_log.seq == 1
+    # Reads catch the replica up before serving.
+    for _ in range(2):
+        service = replica_set.read_service()
+        assert service is not replica_set.primary
+        assert service.execute("count(doc('doc.xml')/a/*)").values() == ["4"]
+    assert replica_set.lag() == 0
+
+
+def test_reads_round_robin_across_replicas():
+    replica_set = ReplicaSet(_primary(), count=3)
+    seen = {id(replica_set.read_service()) for _ in range(3)}
+    assert len(seen) == 3
+
+
+def test_bounded_catchup_falls_back_to_primary():
+    replica_set = ReplicaSet(_primary(), count=1, max_lag=0, catchup_batch=1)
+    for index in range(3):
+        replica_set.update(
+            "doc.xml",
+            InsertSubtree(parent=Pbn.parse("1"), fragment=f"<d n='{index}'/>"),
+        )
+    # One read applies one op; the replica is still 2 behind -> primary.
+    assert replica_set.read_service() is replica_set.primary
+    snapshot = replica_set.snapshot()
+    assert snapshot["replicas"][0]["lag"] == 2
+    # Two more reads drain the tail; the replica serves again.
+    replica_set.read_service()
+    assert replica_set.read_service() is replica_set.replicas[0].service
+    assert replica_set.lag() == 0
+
+
+def test_bounded_staleness_serves_lagging_replica():
+    replica_set = ReplicaSet(_primary(), count=1, max_lag=5, catchup_batch=0)
+    for index in range(3):
+        replica_set.update(
+            "doc.xml",
+            InsertSubtree(parent=Pbn.parse("1"), fragment=f"<d n='{index}'/>"),
+        )
+    # Within max_lag: the stale replica may serve (bounded staleness).
+    service = replica_set.read_service()
+    assert service is replica_set.replicas[0].service
+    assert service.execute("count(doc('doc.xml')/a/*)").values() == ["3"]
+
+
+def test_convergence_is_byte_identical():
+    replica_set = ReplicaSet(_primary(), count=2)
+    ops = [
+        InsertSubtree(parent=Pbn.parse("1"), fragment="<d>mid</d>",
+                      before=Pbn.parse("1.2")),
+        ReplaceText(target=Pbn.parse("1.1.2"), text="edited"),
+        DeleteSubtree(target=Pbn.parse("1.3")),
+        InsertSubtree(parent=Pbn.parse("1.1"), fragment="<e/>"),
+    ]
+    for op in ops:
+        replica_set.update("doc.xml", op)
+    assert replica_set.verify_identical("doc.xml")
+
+
+def test_late_loaded_document_is_seeded():
+    primary = _primary()
+    replica_set = ReplicaSet(primary, count=1)
+    replica_set.update(
+        "doc.xml", InsertSubtree(parent=Pbn.parse("1"), fragment="<d/>")
+    )
+    store = primary.load("late.xml", "<late><x/></late>")
+    replica_set.seed("late.xml", store)
+    replica = replica_set.replicas[0]
+    assert replica.service.execute("count(doc('late.xml')//x)").values() == ["1"]
+    # Seeding fast-forwarded the replica past the already-applied tail.
+    assert replica.applied_seq == replica_set.ship_log.seq
+    assert replica_set.verify_identical("doc.xml")
+
+
+def test_replica_results_match_primary_differentially():
+    primary = QueryService(pool_size=2)
+    primary.load("book.xml", books_document(30, seed=11))
+    replica_set = ReplicaSet(primary, count=2)
+    queries = [
+        "count(doc('book.xml')//book)",
+        "doc('book.xml')//book[price > 30]/title",
+        "doc('book.xml')//book[1]/author",
+    ]
+    for query in queries:
+        expected = primary.execute(query).to_xml()
+        for replica in replica_set.replicas:
+            assert replica.service.execute(query).to_xml() == expected
+
+
+def test_plan_cache_shared_view_cache_private():
+    primary = _primary()
+    replica_set = ReplicaSet(primary, count=2)
+    for replica in replica_set.replicas:
+        assert replica.service.plan_cache is primary.plan_cache
+        assert replica.service.view_cache is not primary.view_cache
