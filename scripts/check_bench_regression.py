@@ -133,6 +133,24 @@ def main(argv: list[str]) -> int:
             print(f"  {failure}")
         return 1
     print("BENCH_e18.json serving-tier contract ok")
+
+    # And the committed E19 results: 1%-sampled tracing must stay inside
+    # the 5% overhead budget and the fully-sampled probe's stitched span
+    # inventory must cover every serving hop (scripts/run_e19.py
+    # refreshes the file and applies the same check at collection time).
+    e19_path = Path(__file__).resolve().parent.parent / "BENCH_e19.json"
+    if not e19_path.exists():
+        print("BENCH_e19.json missing; run scripts/run_e19.py to create it")
+        return 1
+    from run_e19 import check as check_e19
+
+    e19_failures = check_e19(json.loads(e19_path.read_text()))
+    if e19_failures:
+        print("BENCH_e19.json breaks the tracing contract:")
+        for failure in e19_failures:
+            print(f"  {failure}")
+        return 1
+    print("BENCH_e19.json tracing contract ok")
     print("bench regression gate passed")
     return 0
 

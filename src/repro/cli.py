@@ -91,6 +91,8 @@ Commands
 
         python -m repro traces --url http://127.0.0.1:8080
         python -m repro traces --slow
+        python -m repro traces --format=chrome > trace.json  # chrome://tracing
+        python -m repro traces --trace-id 263f34eaf56040d7
 
 ``bench``
     Alias for ``python -m repro.bench`` (the experiment suite).
@@ -267,6 +269,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="server base url (default http://127.0.0.1:8080)")
     traces.add_argument("--slow", action="store_true",
                         help="show the slow-query log instead of recent traces")
+    traces.add_argument("--format", choices=("text", "json", "chrome"),
+                        default="text",
+                        help="text (default), json (raw payload), or chrome "
+                             "(trace-event JSON for chrome://tracing/Perfetto)")
+    traces.add_argument("--trace-id", default=None, metavar="HEX",
+                        help="only the trace with this 16-hex id (as printed "
+                             "in X-Trace-Id headers and metric exemplars)")
 
     sub.add_parser("bench", help="run the experiment suite (see repro.bench)")
     return parser
@@ -595,6 +604,19 @@ def _run_traces(args: argparse.Namespace) -> int:
         payload = json.loads(response.read().decode("utf-8"))
     kind = "slow" if args.slow else "recent"
     traces = payload.get(kind, [])
+    if args.trace_id:
+        traces = [t for t in traces if t.get("trace_id") == args.trace_id]
+        if not traces:
+            print(f"no {kind} trace with id {args.trace_id}", file=sys.stderr)
+            return 1
+    if args.format == "chrome":
+        from repro.obs.chrome import render_chrome
+
+        print(render_chrome(traces))
+        return 0
+    if args.format == "json":
+        print(json.dumps(traces, indent=1, sort_keys=True))
+        return 0
     counts = payload.get("counts", {})
     print(f"# {len(traces)} {kind} trace(s); "
           f"sampled {counts.get('sampled', '?')} of "

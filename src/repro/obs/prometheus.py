@@ -68,7 +68,15 @@ def render_prometheus(metrics, storage=None, extra_gauges: Optional[dict] = None
     :param storage: an optional ``StorageStats`` block rendered as
         ``repro_storage_*`` counters.
     :param extra_gauges: optional ``{dotted_name: float}`` gauges (cache
-        occupancy, durable WAL bytes, ...).
+        occupancy, admission queue depth, durable WAL bytes, ...).  A
+        value may also be a list of ``(labels_dict, float)`` pairs for a
+        labeled gauge family (per-replica lag, per-shard ship-log head).
+
+    Histograms carrying an exemplar (a sampled request's trace id, see
+    ``ServiceMetrics.observe``) emit it as a comment line —
+    ``# exemplar <name> {trace_id="..."} <value>`` — which every 0.0.4
+    parser skips but humans and the tests can link back to
+    ``/debug/traces``.
     """
     lines: list[str] = []
 
@@ -93,6 +101,12 @@ def render_prometheus(metrics, storage=None, extra_gauges: Optional[dict] = None
         lines.append(f'{name}_bucket{{le="+Inf"}} {histogram.count}')
         lines.append(f"{name}_sum {_format_float(histogram.total)}")
         lines.append(f"{name}_count {histogram.count}")
+        if getattr(histogram, "exemplar", None) is not None:
+            trace_id, value = histogram.exemplar
+            lines.append(
+                f'# exemplar {name} {{trace_id="{escape_label_value(trace_id)}"}}'
+                f" {_format_float(value)}"
+            )
 
     if storage is not None:
         for counter, value in sorted(storage.snapshot().items()):
@@ -104,6 +118,12 @@ def render_prometheus(metrics, storage=None, extra_gauges: Optional[dict] = None
         for dotted, value in sorted(extra_gauges.items()):
             name = metric_name(dotted)
             lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {_format_float(float(value))}")
+            if isinstance(value, (list, tuple)):
+                for labels, sample in value:
+                    lines.append(
+                        f"{name}{format_labels(labels)} {_format_float(float(sample))}"
+                    )
+            else:
+                lines.append(f"{name} {_format_float(float(value))}")
 
     return "\n".join(lines) + "\n"

@@ -23,7 +23,7 @@ from typing import Optional, Union
 
 from repro.core.virtual_document import VirtualDocument
 from repro.errors import QueryBudgetExceeded, QueryEvaluationError
-from repro.obs.trace import current_span, span
+from repro.obs.trace import current_span, current_trace_id, span
 from repro.pbn.assign import assign_numbers
 from repro.query import ast
 from repro.query.context import Context
@@ -413,9 +413,27 @@ class Engine:
                 root_span.set("strategy", strategy)
         if self.metrics is not None:
             self.metrics.incr("engine.queries")
+            # Sampled requests stamp their trace id onto the latency (and
+            # per-strategy latency) histograms as exemplars, linking a
+            # scrape outlier back to its stitched trace.
+            exemplar = current_trace_id()
+            self.metrics.observe("engine.query_seconds", elapsed, exemplar=exemplar)
             if strategy is not None:
                 self.metrics.incr("engine.queries", labels={"strategy": strategy})
-            self.metrics.observe("engine.query_seconds", elapsed)
+                self.metrics.observe(
+                    f"engine.query_seconds.{strategy}", elapsed, exemplar=exemplar
+                )
+            if meter is not None:
+                # Local import: repro.service imports this module at
+                # package init, so the top level cannot import it back.
+                from repro.service.metrics import count_bounds
+
+                self.metrics.observe(
+                    "engine.budget_visits",
+                    float(meter.node_visits),
+                    exemplar=exemplar,
+                    bounds=count_bounds(),
+                )
         if logger.isEnabledFor(logging.DEBUG) and isinstance(query, str):
             preview = query if len(query) <= 120 else query[:117] + "..."
             logger.debug(

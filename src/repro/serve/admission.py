@@ -23,6 +23,8 @@ import asyncio
 import time
 from typing import Optional
 
+from repro.obs.trace import current_trace_id
+
 
 class ServiceOverloaded(Exception):
     """The admission controller refused a request (HTTP 429).
@@ -106,7 +108,9 @@ class AdmissionController:
         if self.metrics is not None:
             self.metrics.incr("serve.admitted")
             self.metrics.observe(
-                "serve.queue_wait_seconds", time.perf_counter() - started
+                "serve.queue_wait_seconds",
+                time.perf_counter() - started,
+                exemplar=current_trace_id(),
             )
 
     async def __aenter__(self) -> "AdmissionController":
@@ -135,6 +139,16 @@ class AdmissionController:
             "shed": self.shed,
         }
 
+    def gauges(self) -> dict[str, float]:
+        """Instantaneous controller state for the Prometheus exposition
+        (the counters ride in ``ServiceMetrics``; these are the gauges)."""
+        return {
+            "serve.inflight": float(self.inflight),
+            "serve.queue_depth": float(self.waiting),
+            "serve.slots_free": float(self.max_inflight - self.inflight),
+            "serve.queue_capacity": float(self.queue_limit),
+        }
+
 
 class NullAdmission:
     """Admission disabled: every request admitted, nothing counted."""
@@ -150,3 +164,6 @@ class NullAdmission:
 
     def snapshot(self) -> dict:
         return {"disabled": True}
+
+    def gauges(self) -> dict[str, float]:
+        return {}

@@ -29,9 +29,13 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
 from repro.errors import QueryBudgetExceeded, ReproError
+from repro.obs.trace import NOOP, SpanContext, span, wrap
 from repro.query.budget import CostBudget
 from repro.serve.admission import AdmissionController, NullAdmission, ServiceOverloaded
 from repro.serve.replica import ReplicaSet
+
+#: Routes that carry query work (and therefore a request trace).
+_WORK_ROUTES = ("/query", "/update", "/explain")
 
 
 class Response:
@@ -99,26 +103,50 @@ class ServingApp:
         self, method: str, path: str, params: dict, headers: dict, body: bytes
     ) -> Response:
         """Dispatch one parsed request; never raises (errors become
-        structured JSON responses)."""
+        structured JSON responses).
+
+        Work-bearing routes open the ``serve.request`` root span here —
+        on the event loop, *before* admission — so the stitched trace
+        covers the queue wait, the worker-pool hop, and everything the
+        engine fans out to.  An incoming ``traceparent`` header continues
+        the caller's trace (its sampling decision is honored verbatim);
+        traced responses answer with an ``X-Trace-Id`` header.
+        """
         self.metrics.incr("serve.requests")
         started = time.perf_counter()
-        try:
-            response = await self._route(method, path, params, headers, body)
-        except ServiceOverloaded as error:
-            response = _json_response(
-                429,
-                {"error": str(error), **error.to_json()},
-                headers={"Retry-After": f"{error.retry_after_s:.3f}"},
+        tracer = getattr(self.service, "tracer", None)
+        handle = NOOP
+        if tracer is not None and method == "POST" and path in _WORK_ROUTES:
+            handle = tracer.start(
+                "serve.request",
+                detail=f"{method} {path}",
+                stats=getattr(self.service, "stats", None),
+                parent=SpanContext.from_header(headers.get("traceparent")),
             )
-        except QueryBudgetExceeded as error:
-            self.metrics.incr("serve.budget_rejections")
-            response = _json_response(422, {"error": str(error), **error.to_json()})
-        except ReproError as error:
-            response = _json_response(400, {"error": str(error)})
-        except Exception as error:  # noqa: BLE001 - the server must answer
-            response = _json_response(500, {"error": f"internal error: {error}"})
+        with handle as root_span:
+            try:
+                response = await self._route(method, path, params, headers, body)
+            except ServiceOverloaded as error:
+                response = _json_response(
+                    429,
+                    {"error": str(error), **error.to_json()},
+                    headers={"Retry-After": f"{error.retry_after_s:.3f}"},
+                )
+            except QueryBudgetExceeded as error:
+                self.metrics.incr("serve.budget_rejections")
+                response = _json_response(422, {"error": str(error), **error.to_json()})
+            except ReproError as error:
+                response = _json_response(400, {"error": str(error)})
+            except Exception as error:  # noqa: BLE001 - the server must answer
+                response = _json_response(500, {"error": f"internal error: {error}"})
+            root_span.set("status", response.status)
+        trace = handle.trace
+        exemplar = None
+        if trace is not None:
+            exemplar = trace.hex_id
+            response.headers.setdefault("X-Trace-Id", exemplar)
         self.metrics.observe(
-            "serve.latency_seconds", time.perf_counter() - started
+            "serve.latency_seconds", time.perf_counter() - started, exemplar=exemplar
         )
         return response
 
@@ -145,10 +173,26 @@ class ServingApp:
 
     async def _offload(self, fn, *args):
         """Run blocking engine work on the worker pool, one admission
-        slot per request."""
+        slot per request.
+
+        Two explicit trace hand-offs live here: the admission wait
+        records as a ``serve.admission`` span (contextvars survive the
+        ``await`` natively), and the pool execution runs under
+        :func:`repro.obs.trace.wrap` because ``run_in_executor`` does
+        *not* propagate context to pool threads — the captured context
+        is restored there, inside a ``serve.worker`` span, and released
+        again when the call returns, traced or shed alike."""
         loop = asyncio.get_running_loop()
-        async with self.admission.slot():
-            return await loop.run_in_executor(self._executor, fn, *args)
+        slot = self.admission.slot()
+        with span("serve.admission") as wait_span:
+            wait_span.set("queue_depth", getattr(self.admission, "waiting", 0))
+            await slot.__aenter__()
+        try:
+            return await loop.run_in_executor(
+                self._executor, wrap(fn, "serve.worker"), *args
+            )
+        finally:
+            await slot.__aexit__(None, None, None)
 
     # -- read path ---------------------------------------------------------------
 
@@ -297,17 +341,19 @@ class ServingApp:
             return _json_response(200, report)
         from repro.obs.prometheus import render_prometheus
 
-        gauges = {
+        gauges: dict = {
             "cache.plan.entries": len(service.plan_cache),
             "cache.view.entries": len(service.view_cache),
         }
-        admission = self.admission.snapshot()
-        for key in ("inflight", "waiting"):
-            if key in admission:
-                gauges[f"serve.{key}"] = admission[key]
+        gauges.update(self.admission.gauges())
         sets = self._replica_sets()
         if sets:
             gauges["serve.replica.lag"] = max(s.lag() for s in sets)
+            labeled: dict[str, list] = {}
+            for replica_set in sets:
+                for name, rows in replica_set.gauges().items():
+                    labeled.setdefault(name, []).extend(rows)
+            gauges.update(labeled)
         body = render_prometheus(
             service.metrics, storage=service.stats, extra_gauges=gauges
         )
@@ -337,8 +383,9 @@ def build_serving(
                     count=replicas,
                     max_lag=max_lag,
                     catchup_batch=catchup_batch,
+                    label=f"shard{index}",
                 )
-                for shard_service in service.services
+                for index, shard_service in enumerate(service.services)
             ]
             service.attach_replicas(sets)
         else:

@@ -37,9 +37,11 @@ and for exercising the protocol under test.
 from __future__ import annotations
 
 import threading
+import time
 from io import BytesIO
 from typing import Optional
 
+from repro.obs.trace import span
 from repro.service.cache import ViewCache
 from repro.service.service import QueryService
 
@@ -79,6 +81,9 @@ class Replica:
         self.index = index
         self.service = service
         self.applied_seq = 0
+        #: Wall clock of the last applied (or seeded) position — the
+        #: ``serve.replica.apply_age_seconds`` gauge reads it.
+        self.applied_at = time.time()
 
     def lag(self, ship_log: ShipLog) -> int:
         """How many committed ops this replica has not yet applied."""
@@ -97,6 +102,8 @@ class Replica:
             self.service.update(uri, op_from_json(op_json))
             self.applied_seq = seq
             applied += 1
+        if applied:
+            self.applied_at = time.time()
         return applied
 
 
@@ -113,6 +120,8 @@ class ReplicaSet:
         (``None`` = catch all the way up); bounding it forces the
         primary-fallback path, which tests and benchmarks exercise.
     :param pool_size: engines per replica (default: the primary's).
+    :param label: name for this set in span details and gauge labels
+        (``build_serving`` labels per-shard sets ``shard0``, ``shard1``…).
     """
 
     def __init__(
@@ -122,12 +131,14 @@ class ReplicaSet:
         max_lag: int = 0,
         catchup_batch: Optional[int] = None,
         pool_size: Optional[int] = None,
+        label: str = "",
     ) -> None:
         if count < 1:
             raise ValueError(f"need at least one replica, got {count}")
         if max_lag < 0:
             raise ValueError(f"max_lag must be >= 0, got {max_lag}")
         self.primary = primary
+        self.label = label
         self.max_lag = max_lag
         self.catchup_batch = catchup_batch
         self.metrics = primary.metrics
@@ -174,6 +185,7 @@ class ReplicaSet:
                 replica.catch_up(self.ship_log)
                 replica.service.adopt_store(uri, store)
                 replica.applied_seq = self.ship_log.seq
+                replica.applied_at = time.time()
 
     # -- write path --------------------------------------------------------------
 
@@ -192,16 +204,27 @@ class ReplicaSet:
         """Where the next read executes: the next replica round-robin,
         after catching it up to within ``max_lag`` of the log head —
         or the primary when the replica cannot be served fresh enough
-        under the ``catchup_batch`` bound."""
-        with self._lock:
-            replica = self.replicas[self._next_read % len(self.replicas)]
-            self._next_read += 1
-            replica.catch_up(self.ship_log, self.catchup_batch)
-            if replica.lag(self.ship_log) <= self.max_lag:
-                self.metrics.incr("serve.replica.reads")
-                return replica.service
-            self.metrics.incr("serve.replica.fallbacks")
-            return self.primary
+        under the ``catchup_batch`` bound.
+
+        The routing decision (including the redo-tail catch-up it may
+        pay for) records as a ``replica.read`` span on the active trace;
+        the read itself follows as the sibling ``query`` span."""
+        with span("replica.read", self.label) as read_span:
+            with self._lock:
+                replica = self.replicas[self._next_read % len(self.replicas)]
+                self._next_read += 1
+                applied = replica.catch_up(self.ship_log, self.catchup_batch)
+                lag = replica.lag(self.ship_log)
+                read_span.set("replica", replica.index)
+                read_span.set("applied", applied)
+                read_span.set("lag", lag)
+                if lag <= self.max_lag:
+                    read_span.set("target", "replica")
+                    self.metrics.incr("serve.replica.reads")
+                    return replica.service
+                read_span.set("target", "primary")
+                self.metrics.incr("serve.replica.fallbacks")
+                return self.primary
 
     # -- introspection -----------------------------------------------------------
 
@@ -217,8 +240,9 @@ class ReplicaSet:
                 replica.catch_up(self.ship_log)
 
     def snapshot(self) -> dict:
+        now = time.time()
         with self._lock:
-            return {
+            report = {
                 "shipped": self.ship_log.seq,
                 "max_lag": self.max_lag,
                 "replicas": [
@@ -226,10 +250,35 @@ class ReplicaSet:
                         "index": replica.index,
                         "applied_seq": replica.applied_seq,
                         "lag": replica.lag(self.ship_log),
+                        "apply_age_s": round(max(now - replica.applied_at, 0.0), 3),
                     }
                     for replica in self.replicas
                 ],
             }
+            if self.label:
+                report["label"] = self.label
+            return report
+
+    def gauges(self) -> dict[str, list[tuple[dict, float]]]:
+        """Labeled gauge rows for the Prometheus exposition: per-replica
+        lag in ops *and* seconds since the last applied op, plus the
+        ship-log head — the two lag axes the bounded-staleness protocol
+        is specified in."""
+        now = time.time()
+        with self._lock:
+            base = {"set": self.label} if self.label else {}
+            lag_rows: list[tuple[dict, float]] = []
+            age_rows: list[tuple[dict, float]] = []
+            for replica in self.replicas:
+                labels = {**base, "replica": str(replica.index)}
+                lag_rows.append((labels, float(replica.lag(self.ship_log))))
+                age_rows.append((labels, max(now - replica.applied_at, 0.0)))
+            head = [(dict(base), float(self.ship_log.seq))]
+        return {
+            "serve.replica.lag_ops": lag_rows,
+            "serve.replica.apply_age_seconds": age_rows,
+            "serve.replica.ship_log_seq": head,
+        }
 
     def verify_identical(self, uri: str) -> bool:
         """Byte-identity check: after a full catch-up, every replica's

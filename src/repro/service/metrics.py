@@ -62,6 +62,17 @@ def _default_bounds() -> list[float]:
     return bounds
 
 
+def count_bounds(ceiling: float = 2e7) -> list[float]:
+    """Geometric buckets for count-valued histograms (budget node
+    visits, rows) — factor 4 from 1 up to ``ceiling``."""
+    bounds = []
+    edge = 1.0
+    while edge < ceiling:
+        bounds.append(edge)
+        edge *= 4.0
+    return bounds
+
+
 class LatencyHistogram:
     """A fixed-bucket histogram of observations in seconds.
 
@@ -74,7 +85,7 @@ class LatencyHistogram:
     Not locked by itself: :class:`ServiceMetrics` serializes access.
     """
 
-    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max", "exemplar")
 
     def __init__(self, bounds: Optional[list[float]] = None) -> None:
         self.bounds = bounds if bounds is not None else _default_bounds()
@@ -83,6 +94,10 @@ class LatencyHistogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = 0.0
+        #: Last sampled-request observation: ``(trace_id_hex, value)`` or
+        #: ``None``.  Lets the exposition carry an exemplar trace id per
+        #: histogram so a latency outlier links back to its stitched trace.
+        self.exemplar: Optional[tuple[str, float]] = None
 
     def observe(self, seconds: float) -> None:
         self.counts[bisect_right(self.bounds, seconds)] += 1
@@ -133,6 +148,7 @@ class LatencyHistogram:
         duplicate.total = self.total
         duplicate.min = self.min
         duplicate.max = self.max
+        duplicate.exemplar = self.exemplar
         return duplicate
 
     def snapshot(self) -> dict[str, float]:
@@ -182,13 +198,25 @@ class ServiceMetrics:
             series = self._labeled.setdefault(name, {})
             series[key] = series.get(key, 0) + amount
 
-    def observe(self, name: str, seconds: float) -> None:
+    def observe(
+        self,
+        name: str,
+        seconds: float,
+        exemplar: Optional[str] = None,
+        bounds: Optional[list[float]] = None,
+    ) -> None:
+        """Record into a histogram.  ``exemplar`` (a trace id) is kept as
+        the histogram's latest exemplar; ``bounds`` picks the bucket
+        layout the first time a series is created (count-valued series
+        pass :func:`count_bounds`)."""
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
-                histogram = LatencyHistogram()
+                histogram = LatencyHistogram(bounds)
                 self._histograms[name] = histogram
             histogram.observe(seconds)
+            if exemplar is not None:
+                histogram.exemplar = (exemplar, seconds)
 
     def cache_hit(self, cache: str) -> None:
         self.incr(f"cache.{cache}.hits")

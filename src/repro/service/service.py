@@ -533,7 +533,7 @@ class QueryService:
             "summary": {
                 "items": len(result),
                 "elapsed_ms": round(result.elapsed_seconds * 1e3, 4),
-                "trace_id": trace.trace_id,
+                "trace_id": trace.hex_id,
             },
         }
 

@@ -44,7 +44,7 @@ from contextlib import ExitStack
 from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.virtual_document import VNode
-from repro.obs.trace import Tracer
+from repro.obs.trace import Tracer, current_context, fork
 from repro.query.engine import _preview
 from repro.query.items import VirtualDocItem, is_node
 from repro.service.cache import PlanCache, ViewCache
@@ -468,8 +468,14 @@ class ShardedService:
         # (container ordinals) resolves against the very service — primary
         # or replica — that evaluated the specialization.
         executors = {shard: self._read_service(shard) for shard in plans}
+        # Each shard task carries a forked span: parentage is decided
+        # here at fan-out (under the ``scatter`` span), and the fragment
+        # becomes the active span on whichever pool thread runs the task
+        # — pool threads do not inherit the request's contextvars.
         futures = {
             shard: self._pool.submit(
+                _run_forked,
+                fork("shard.scatter", f"shard={shard}"),
                 executors[shard].execute_plan,
                 plan,
                 mode,
@@ -516,6 +522,18 @@ class ShardedService:
                 ordinals[id(vdoc)] = ordinal
         return ordinals
 
+    def _process_shard_task(self, fragment, shard, plan, mode, owned, combine):
+        """One process-mode scatter task on a pool thread: enter the
+        forked span, pass the trace carrier over the pipe, and stitch
+        the span fragment the worker ships back under the fork."""
+        with fragment as scatter_span:
+            shipped, remote = self._process_pool.execute_plan(
+                shard, plan, mode, owned, combine, carrier=current_context()
+            )
+            if remote is not None:
+                scatter_span.adopt(remote)
+            return shipped
+
     def _gather_process(self, plans, analysis, involved, mode, combine) -> ShardResult:
         shard_ids = sorted(plans)
         owned: dict[int, list] = {shard: [] for shard in shard_ids}
@@ -525,7 +543,8 @@ class ShardedService:
                 owned[owner].append((ordinal, source.kind, source.uri, source.spec))
         futures = {
             shard: self._pool.submit(
-                self._process_pool.execute_plan,
+                self._process_shard_task,
+                fork("shard.scatter", f"shard={shard}"),
                 shard,
                 plans[shard],
                 mode,
@@ -678,6 +697,12 @@ class ShardedService:
         self._pool.shutdown(wait=False)
         if self._process_pool is not None:
             self._process_pool.close()
+
+
+def _run_forked(fragment, fn, *args):
+    """Run a scatter task inside its forked span (on the pool thread)."""
+    with fragment:
+        return fn(*args)
 
 
 def _container_id(item) -> Optional[int]:

@@ -13,8 +13,12 @@ price of a narrower contract:
 * result items come back *materialized*: each node crosses the pipe as
   its serialized XML plus its XPath string value
   (:class:`RemoteItem`), not as a live object;
-* per-shard trace spans stay in the worker process and are not stitched
-  into the coordinator's traces.
+* per-shard trace spans ride back with the results: requests carry the
+  coordinator's :class:`~repro.obs.trace.SpanContext` carrier, the
+  worker roots a ``shard.worker`` trace under it (same trace id — ids
+  are 64-bit random, so worker-minted span ids cannot collide), and the
+  finished fragment ships home as a plain dict that the coordinator
+  stitches under its ``shard.scatter`` span.
 
 The merge contract is unchanged: workers key their streams with the same
 ``(source ordinal, position)`` keys (verified against extant PBNs by
@@ -32,6 +36,7 @@ from __future__ import annotations
 import multiprocessing
 from typing import Optional
 
+from repro.obs.trace import SpanContext, current_context, span
 from repro.shard.catalog import ShardError
 
 
@@ -108,6 +113,20 @@ def _revive(payload):
     return payload[1]
 
 
+def _worker_trace(service, carrier):
+    """Root a ``shard.worker`` trace under the coordinator's carrier
+    (the worker's tracer never samples on its own: it records exactly
+    when the coordinator's sampled carrier says to)."""
+    parent = SpanContext(*carrier) if carrier is not None else None
+    return service.tracer.start("shard.worker", stats=service.stats, parent=parent)
+
+
+def _worker_fragment(handle):
+    """The finished trace as a shippable fragment dict, or ``None``."""
+    trace = handle.trace
+    return trace.fragment() if trace is not None else None
+
+
 def worker_main(conn, mode: str, pool_size: int) -> None:
     """The worker process loop: one :class:`QueryService` per shard,
     commands in, picklable payloads out.  Runs until ``close`` or EOF."""
@@ -130,36 +149,44 @@ def worker_main(conn, mode: str, pool_size: int) -> None:
                 service.load(uri, text)
                 conn.send(("ok", None))
             elif command == "query":
-                _, text, mode_override, variables = request
-                result = service.execute(text, mode=mode_override, variables=variables)
-                with service._engine() as engine:
-                    payloads = _materialize(engine, result.items)
-                conn.send(("ok", (payloads, result.elapsed_seconds)))
+                _, text, mode_override, variables, carrier = request
+                handle = _worker_trace(service, carrier)
+                with handle:
+                    result = service.execute(
+                        text, mode=mode_override, variables=variables
+                    )
+                    with service._engine() as engine:
+                        payloads = _materialize(engine, result.items)
+                remote = _worker_fragment(handle)
+                conn.send(("ok", (payloads, result.elapsed_seconds, remote)))
             elif command == "plan":
-                _, expr, mode_override, owned, combine = request
-                result = service.execute_plan(expr, mode_override, None)
-                if combine:
-                    conn.send(("ok", [(None, ("atomic", result.items[0]))]))
-                    continue
-                ordinals: dict[int, int] = {}
-                for ordinal, kind, uri, spec in owned:
-                    if kind == "doc":
-                        ordinals[id(service.store(uri).document)] = ordinal
+                _, expr, mode_override, owned, combine, carrier = request
+                handle = _worker_trace(service, carrier)
+                with handle:
+                    result = service.execute_plan(expr, mode_override, None)
+                    if combine:
+                        shipped = [(None, ("atomic", result.items[0]))]
                     else:
-                        ordinals[id(service.resolve_view(uri, spec))] = ordinal
-                from repro.shard.service import _container_id, _pbn_components
+                        ordinals: dict[int, int] = {}
+                        for ordinal, kind, uri, spec in owned:
+                            if kind == "doc":
+                                ordinals[id(service.store(uri).document)] = ordinal
+                            else:
+                                ordinals[id(service.resolve_view(uri, spec))] = ordinal
+                        from repro.shard.service import _container_id, _pbn_components
 
-                entries = keyed_stream(
-                    result.items,
-                    lambda item: ordinals.get(_container_id(item)),
-                    _pbn_components,
-                )
-                with service._engine() as engine:
-                    shipped = [
-                        (key, _materialize(engine, [item])[0])
-                        for key, item in entries
-                    ]
-                conn.send(("ok", shipped))
+                        entries = keyed_stream(
+                            result.items,
+                            lambda item: ordinals.get(_container_id(item)),
+                            _pbn_components,
+                        )
+                        with service._engine() as engine:
+                            shipped = [
+                                (key, _materialize(engine, [item])[0])
+                                for key, item in entries
+                            ]
+                remote = _worker_fragment(handle)
+                conn.send(("ok", (shipped, remote)))
             else:
                 conn.send(("error", "ShardError", f"unknown command {command!r}"))
         except Exception as error:  # ship the failure, keep serving
@@ -206,7 +233,12 @@ class ProcessShardPool:
     def execute_routed(
         self, shard: int, query: str, mode: Optional[str], variables=None
     ) -> RemoteResult:
-        payloads, elapsed = self._call(shard, ("query", query, mode, variables))
+        with span("shard.route", f"shard={shard}") as route_span:
+            payloads, elapsed, remote = self._call(
+                shard, ("query", query, mode, variables, current_context())
+            )
+            if remote is not None:
+                route_span.adopt(remote)
         return RemoteResult([_revive(p) for p in payloads], elapsed)
 
     def execute_plan(
@@ -216,11 +248,15 @@ class ProcessShardPool:
         mode: Optional[str],
         owned: list,
         combine: Optional[str] = None,
+        carrier: Optional[SpanContext] = None,
     ):
         """Keyed, materialized entries for the global merge (one keyless
-        entry holding the per-shard aggregate under ``combine``)."""
-        shipped = self._call(shard, ("plan", expr, mode, owned, combine))
-        return [(key, _revive(payload)) for key, payload in shipped]
+        entry holding the per-shard aggregate under ``combine``), plus
+        the worker's span fragment (``None`` untraced) for stitching."""
+        shipped, remote = self._call(
+            shard, ("plan", expr, mode, owned, combine, carrier)
+        )
+        return [(key, _revive(payload)) for key, payload in shipped], remote
 
     def close(self) -> None:
         for shard, (process, conn) in self._workers.items():

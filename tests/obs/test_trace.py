@@ -86,9 +86,29 @@ def test_span_budget_drops_children_not_the_trace():
 
 def test_sampling_is_deterministic_every_nth():
     tracer = Tracer(sample_rate=0.25)
-    sampled = [tracer.start("query") is not NOOP for _ in range(12)]
+    sampled = []
+    for _ in range(12):
+        with tracer.start("query"):
+            sampled.append(current_span() is not None)
     assert sampled == [False, False, False, True] * 3
     assert tracer.counts() == {"admitted": 12, "sampled": 3}
+
+
+def test_failed_root_roll_suppresses_nested_starts():
+    # Parent-based sampling: when the root's own dice roll says no, the
+    # whole request is decided — a nested start must NOT re-roll (that
+    # would multiply the effective rate by the nesting depth and record
+    # partial inner traces instead of one tree per request).
+    tracer = Tracer(sample_rate=0.5)
+    with tracer.start("serve.request"):  # 1st admission: not sampled
+        assert current_span() is None
+        with tracer.start("query"):  # would sample if it re-rolled
+            assert current_span() is None
+    assert tracer.recent() == []
+    assert tracer.counts() == {"admitted": 1, "sampled": 0}
+    with tracer.start("serve.request"):  # 2nd admission: sampled
+        assert current_span() is not None
+    assert len(tracer.recent()) == 1
 
 
 def test_disabled_tracer_records_nothing():

@@ -29,6 +29,13 @@ _SAMPLE = re.compile(
 )
 _LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$')
 
+#: ``# exemplar <name> {trace_id="<16 hex>"} <value>`` — the comment line
+#: a histogram's latest sampled trace id rides on (0.0.4-parser-safe).
+_EXEMPLAR = re.compile(
+    r"^# exemplar (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r'\{trace_id="[0-9a-f]{16}"\} (?:[0-9.e+-]+|\+Inf|NaN)$'
+)
+
 
 def parse_prometheus(text: str) -> dict[str, list[tuple[dict, float]]]:
     """Validate and parse exposition text; raises AssertionError on any
@@ -41,6 +48,13 @@ def parse_prometheus(text: str) -> dict[str, list[tuple[dict, float]]]:
             continue
         if line.startswith("#"):
             parts = line.split()
+            if len(parts) > 1 and parts[1] == "exemplar":
+                match = _EXEMPLAR.match(line)
+                assert match, f"malformed exemplar line: {line!r}"
+                assert match.group("name") in typed, (
+                    f"exemplar for untyped metric: {line!r}"
+                )
+                continue
             assert parts[0] == "# TYPE".split()[0] and parts[1] == "TYPE", (
                 f"unexpected comment line: {line!r}"
             )
