@@ -151,6 +151,25 @@ def main(argv: list[str]) -> int:
             print(f"  {failure}")
         return 1
     print("BENCH_e19.json tracing contract ok")
+
+    # And the committed E20 results: the content-and-structure index must
+    # keep its >= 5x speedup on predicate-bearing steps at the largest
+    # context set and stay byte-identical to the scalar loop in every
+    # cell (scripts/run_e20.py refreshes the file and applies the same
+    # check at collection time).
+    e20_path = Path(__file__).resolve().parent.parent / "BENCH_e20.json"
+    if not e20_path.exists():
+        print("BENCH_e20.json missing; run scripts/run_e20.py to create it")
+        return 1
+    from run_e20 import check as check_e20
+
+    e20_failures = check_e20(json.loads(e20_path.read_text()))
+    if e20_failures:
+        print("BENCH_e20.json breaks the CAS contract:")
+        for failure in e20_failures:
+            print(f"  {failure}")
+        return 1
+    print("BENCH_e20.json cas contract ok")
     print("bench regression gate passed")
     return 0
 

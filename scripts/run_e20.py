@@ -1,0 +1,106 @@
+"""CAS-kernel speedup gate for the E20 experiment (CI).
+
+Runs the E20 collection — predicate-bearing axis steps timed with the
+batch kernels off (the per-candidate value-predicate loop) and on (the
+content-and-structure range scan plus structural merge-join) — writes
+the numbers to ``BENCH_e20.json``, and fails when the CAS index breaks
+one of its contracts:
+
+* both arms must produce byte-identical answers in every cell (the CAS
+  is an index, not an approximation — serialized XML and typed values
+  alike);
+* at the largest measured context set (>= 256 contexts) every indexed
+  step must run at least ``SPEEDUP_FLOOR`` (5x) faster through the CAS
+  than through the scalar loop — amortizing the range scan across the
+  batch is the index's whole point;
+* virtual steps clear the softer ``VIRTUAL_FLOOR`` (3x): their values
+  come from the memoized pruned-subtree walk, so the scalar arm is
+  already cheaper per candidate than the stored one.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_e20.py           # CI smoke
+    PYTHONPATH=src python scripts/run_e20.py --full    # reproduce BENCH_e20.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import collect_e20
+from repro.bench.harness import require_key
+
+SPEEDUP_FLOOR = 5.0
+VIRTUAL_FLOOR = 3.0
+MIN_GATED_CONTEXTS = 256
+
+
+def check(results: dict) -> list[str]:
+    """Contract failures in an E20 result dict (shared with the
+    bench-regression gate, which re-checks the committed file)."""
+    failures: list[str] = []
+    modes = require_key(results, "modes", "BENCH_e20.json")
+    for mode_name, per_step in modes.items():
+        floor = SPEEDUP_FLOOR if mode_name == "indexed" else VIRTUAL_FLOOR
+        for label, per_size in per_step.items():
+            context = f"BENCH_e20.json modes/{mode_name}/{label}"
+            for size, cell in per_size.items():
+                if not require_key(cell, "identical", f"{context}/{size}"):
+                    failures.append(
+                        f"{mode_name}/{label} at {size} contexts: CAS answer "
+                        "differs from scalar"
+                    )
+            largest = max(per_size, key=int)
+            if int(largest) < MIN_GATED_CONTEXTS:
+                failures.append(
+                    f"{mode_name}/{label}: largest context set {largest} is "
+                    f"below the gated {MIN_GATED_CONTEXTS}"
+                )
+                continue
+            speedup = require_key(
+                per_size[largest], "speedup", f"{context}/{largest}"
+            )
+            if not speedup >= floor:  # also catches NaN
+                failures.append(
+                    f"{mode_name}/{label} at {largest} contexts: "
+                    f"{speedup:.2f}x below the {floor:.0f}x floor"
+                )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    full = "--full" in argv
+    if full:
+        results = collect_e20(books=1024, sizes=(16, 64, 256, 1024), repeat=3)
+    else:
+        results = collect_e20(books=256, sizes=(16, 64, 256), repeat=2)
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_e20.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    for mode_name, per_step in results["modes"].items():
+        for label, per_size in per_step.items():
+            largest = max(per_size, key=int)
+            cell = per_size[largest]
+            print(
+                f"{mode_name:8s} {label:30s} {largest:>5s} contexts  "
+                f"scalar {cell['scalar_s'] * 1e3:8.2f} ms  "
+                f"cas {cell['cas_s'] * 1e3:8.2f} ms  "
+                f"{cell['speedup']:6.2f}x  "
+                f"{'identical' if cell['identical'] else 'DIFFERS'}"
+            )
+    failures = check(results)
+    if failures:
+        print("cas speedup gate failed:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("cas speedup gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

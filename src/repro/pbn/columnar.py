@@ -33,7 +33,7 @@ integer and rational components.
 from __future__ import annotations
 
 from array import array
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from typing import Optional, Sequence
 
 #: Sentinel strictly greater than any PBN component (ints and positive
@@ -129,3 +129,56 @@ class Column:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Column({len(self.keys)} keys, width={self.width})"
+
+
+class ValueColumn:
+    """A content projection for the CAS index: ``(value, rank)`` pairs
+    sorted by value, where ``rank`` is the row in the owning type's
+    structural :class:`Column` (so a value range scan yields rank runs
+    that translate straight back to PBN keys).
+
+    One projection holds values of one comparable kind — all-float or
+    all-string — so bisect comparisons never mix types.  Every comparison
+    operator maps to at most two contiguous runs over the sorted spine.
+    """
+
+    __slots__ = ("values", "ranks")
+
+    def __init__(self, pairs: list) -> None:
+        pairs.sort()
+        self.values = [value for value, _ in pairs]
+        self.ranks = [rank for _, rank in pairs]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def run_bounds(self, op: str, value) -> tuple:
+        """Half-open ``(lo, hi)`` runs over the value-sorted spine whose
+        values satisfy ``spine[i] <op> value`` — one run for ordered
+        comparisons, two for ``!=``."""
+        values = self.values
+        total = len(values)
+        low = bisect_left(values, value)
+        high = bisect_right(values, value, low)
+        if op == "=":
+            return ((low, high),)
+        if op == "!=":
+            return ((0, low), (high, total))
+        if op == "<":
+            return ((0, low),)
+        if op == "<=":
+            return ((0, high),)
+        if op == ">":
+            return ((high, total),)
+        if op == ">=":
+            return ((low, total),)
+        raise ValueError(f"unknown comparison operator {op!r}")
+
+    def matching_ranks(self, op: str, value) -> list[int]:
+        """Structural rows whose value satisfies the comparison."""
+        ranks = self.ranks
+        return [
+            rank
+            for low, high in self.run_bounds(op, value)
+            for rank in ranks[low:high]
+        ]

@@ -181,13 +181,24 @@ class Evaluator:
             if handled is not None:
                 self._last_kernel = self.backend.kernel
                 return handled
-        if self.use_batch_kernels and items and not step.predicates:
-            batched = self._step_many(items, step.axis, step.test)
-            if batched is not None:
-                # Batch kernels return the step's final form directly:
-                # deduplicated, document order.
-                self._last_kernel = "columnar"
-                return batched
+        if self.use_batch_kernels and items:
+            if not step.predicates:
+                batched = self._step_many(items, step.axis, step.test)
+                if batched is not None:
+                    # Batch kernels return the step's final form directly:
+                    # deduplicated, document order.
+                    self._last_kernel = "columnar"
+                    return batched
+            else:
+                batched = self._step_many_cas(items, step)
+                metrics = self.engine.metrics
+                if batched is not None:
+                    if metrics is not None:
+                        metrics.incr("engine.cas", labels={"result": "hit"})
+                    self._last_kernel = "cas"
+                    return batched
+                if metrics is not None:
+                    metrics.incr("engine.cas", labels={"result": "decline"})
         out: list = []
         for item in items:
             if not is_node(item):
@@ -241,6 +252,76 @@ class Evaluator:
                     return None
             return self.engine.indexed_navigator(store).step_many(items, axis, test)
         return None
+
+    def _step_many_cas(self, items: list, step: ast.Step):
+        """Batch a predicate-bearing step through the CAS index: run the
+        structural kernel for the axis, then filter its candidates with
+        value range scans instead of one predicate evaluation per
+        (candidate, context) pair.
+
+        Sound only when *every* predicate compiles to a single value
+        comparison (:func:`~repro.query.joins.compile_value_predicate`):
+        those are boolean and focus-free, so filtering commutes with the
+        kernels' dedup + document ordering and chaining is intersection.
+        Returns ``None`` — scalar defines the semantics — for
+        non-compilable predicates, for contexts the structural kernels
+        themselves decline (heterogeneous sets, non-linearizable recursive
+        views, non-indexed stored modes), and for document candidates
+        (their string values live outside any type's columns).
+        """
+        from repro.query.joins import compile_value_predicate
+
+        compiled = []
+        for predicate in step.predicates:
+            pred = compile_value_predicate(predicate)
+            if pred is None:
+                return None
+            compiled.append(pred)
+        if len(items) == 1 and isinstance(items[0], (Document, VirtualDocItem)):
+            # `//price[. < 10]` shapes: a lone document item context.  The
+            # batch kernels don't cover it, but the per-item step for one
+            # forward-axis context already *is* the step's final form, so
+            # only the per-candidate predicate loop is left to beat.
+            if step.axis not in ("child", "descendant", "descendant-or-self"):
+                return None
+            if isinstance(items[0], Document) and self.mode != "indexed":
+                return None
+            candidates = self._step(items[0], step.axis, step.test)
+        else:
+            candidates = self._step_many(items, step.axis, step.test)
+        if not candidates:  # declined (None) or nothing to filter ([])
+            return candidates
+        first = candidates[0]
+        if isinstance(first, VNode):
+            from repro.storage.cas_index import virtual_value_matcher
+
+            vdoc = first._vdoc
+            if vdoc is None:
+                return None
+            matchers = [
+                virtual_value_matcher(vdoc, pred, self._virtual_nav._vtype_matches)
+                for pred in compiled
+            ]
+        else:
+            # parent/ancestor kernels prepend the document for node()
+            # tests; no CAS column covers the document's string value.
+            if any(isinstance(candidate, Document) for candidate in candidates):
+                return None
+            from repro.storage.cas_index import stored_value_matcher
+
+            store = self.engine.store_of(first)
+            if store is None:
+                return None
+            type_matches = self.engine.indexed_navigator(store)._type_matches
+            matchers = [
+                stored_value_matcher(store, pred, type_matches)
+                for pred in compiled
+            ]
+        for matcher in matchers:
+            candidates = [c for c in candidates if matcher(c)]
+            if not candidates:
+                break
+        return candidates
 
     def _step(self, item: Any, axis: str, test: ast.NodeTest) -> list:
         if isinstance(item, (VNode, VirtualDocItem)):

@@ -21,9 +21,11 @@ never from ``last component + 1``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.pbn.columnar import Column, Key, subtree_bound
+from repro.query import ast as qast
 from repro.vdataguide.ast import VType
 
 
@@ -151,3 +153,88 @@ def aligned_limit(candidate: VType, reference: VType) -> int:
             break
         limit += 1
     return limit
+
+
+# ---------------------------------------------------------------------------
+# value-predicate compilation (the content half of the CAS kernel)
+# ---------------------------------------------------------------------------
+
+#: Comparison operators a CAS value range scan can answer (each maps to at
+#: most two contiguous runs over a value-sorted projection).
+_COMPARISONS = frozenset(("=", "!=", "<", "<=", ">", ">="))
+
+#: The operator with its operands swapped, so ``5 > child::price`` compiles
+#: to the same normal form as ``child::price < 5``.
+_FLIPPED = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclass(frozen=True)
+class ValuePredicate:
+    """A compiled single-comparison value predicate, normalized so the node
+    value sits on the left: ``<target> <op> <constant>``.
+
+    :ivar op: one of :data:`_COMPARISONS`.
+    :ivar constant: the literal's python value (``str``/``int``/``float``;
+        never ``bool`` — :func:`compile_value_predicate` declines those).
+    :ivar axis: where the compared value lives relative to the candidate —
+        ``self`` (``. op c``) or the existential ``child`` / ``attribute``
+        forms (``child::t op c``: true iff *some* matching child compares).
+    :ivar test: the node test for ``child``/``attribute``; ``None`` for
+        ``self``.
+    """
+
+    op: str
+    constant: object
+    axis: str
+    test: Optional[qast.NodeTest] = None
+
+
+def _comparison_target(expr: qast.Expr):
+    """The ``(axis, test)`` of the value side of a comparison, or ``None``
+    when it is not a CAS-indexable target.  Indexable targets are the
+    context item itself and single, predicate-free ``child``/``attribute``
+    steps — exactly the shapes whose values one type's CAS columns (or its
+    children's) cover."""
+    if isinstance(expr, qast.ContextItem):
+        return ("self", None)
+    if (
+        isinstance(expr, qast.PathExpr)
+        and expr.start is None
+        and len(expr.steps) == 1
+    ):
+        step = expr.steps[0]
+        if (
+            step.axis in ("child", "attribute")
+            and not step.predicates
+            and step.test.kind in ("name", "text", "wildcard")
+        ):
+            return (step.axis, step.test)
+    return None
+
+
+def compile_value_predicate(expr: qast.Expr) -> Optional[ValuePredicate]:
+    """Compile a predicate expression to a :class:`ValuePredicate`, or
+    return ``None`` for anything the CAS kernel cannot answer (the caller
+    then declines to the scalar loop, which defines the semantics).
+
+    Compilable: one comparison between an indexable target (see
+    :func:`_comparison_target`) and a string/number literal, either way
+    around.  Coercion is *not* decided here — the CAS columns replay
+    ``_compare_pair``'s both-sides-numeric rule per value at scan time.
+    """
+    if not isinstance(expr, qast.BinaryOp) or expr.op not in _COMPARISONS:
+        return None
+    if isinstance(expr.right, qast.Literal):
+        target = _comparison_target(expr.left)
+        op, literal = expr.op, expr.right
+    elif isinstance(expr.left, qast.Literal):
+        target = _comparison_target(expr.right)
+        op, literal = _FLIPPED[expr.op], expr.left
+    else:
+        return None
+    if target is None:
+        return None
+    value = literal.value
+    if isinstance(value, bool) or not isinstance(value, (str, int, float)):
+        return None
+    return ValuePredicate(op, value, target[0], target[1])

@@ -90,6 +90,8 @@ class DocumentStore:
         self.value_index = ValueIndex.build(entries, self.stats, order=index_order)
         self._text_index = None
         self._text_index_lock = threading.Lock()
+        self._cas_index = None
+        self._cas_lock = threading.Lock()
         #: Update-subsystem version counter: 0 for a freshly loaded store,
         #: bumped on every copy-on-write derivation (see repro.updates).
         self.version = 0
@@ -135,6 +137,8 @@ class DocumentStore:
         store._type_of_node = type_of_node
         store._text_index = text_index
         store._text_index_lock = threading.Lock()
+        store._cas_index = None
+        store._cas_lock = threading.Lock()
         store.version = version
         return store
 
@@ -197,6 +201,20 @@ class DocumentStore:
                 if self._text_index is None:
                     self._text_index = TextIndex.build(self)
         return self._text_index
+
+    @property
+    def cas_index(self):
+        """The content-and-structure index (lazy, like the keyword index;
+        the columns inside it are lazy again, per type).  The update path
+        replaces this wholesale with a copy-on-write derivation — see
+        :meth:`repro.storage.cas_index.CasIndex.derived`."""
+        if self._cas_index is None:
+            from repro.storage.cas_index import CasIndex
+
+            with self._cas_lock:
+                if self._cas_index is None:
+                    self._cas_index = CasIndex(self)
+        return self._cas_index
 
     # -- reporting -------------------------------------------------------------------
 

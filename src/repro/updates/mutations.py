@@ -169,6 +169,11 @@ def _derive(base: _Derivation) -> DocumentStore:
     removed_pairs: list[tuple[Pbn, int]] = []
     touched_type_ids: set[int] = set()
     touched_paths: set[tuple] = set()
+    # Types whose *string values* change although their postings do not:
+    # every surviving override/ancestor node stretches or rewrites its
+    # value, which invalidates its type's CAS columns even though the
+    # structural type index keeps them untouched.
+    cas_touched: set[int] = set()
 
     # One streaming pass over the old value index.
     entries: list[tuple[Pbn, ValueEntry]] = []
@@ -182,8 +187,10 @@ def _derive(base: _Derivation) -> DocumentStore:
             continue
         if comps in base.overrides:
             s, e, cs, ce = base.overrides[comps]
+            cas_touched.add(entry.type_id)
             entry = ValueEntry(s, e, entry.type_id, entry.kind, cs, ce)
         elif comps in base.ancestors:
+            cas_touched.add(entry.type_id)
             entry = ValueEntry(
                 entry.start,
                 entry.end + delta,
@@ -266,6 +273,10 @@ def _derive(base: _Derivation) -> DocumentStore:
         text_index=text_index,
         version=store.version + 1,
     )
+    if store._cas_index is not None:
+        derived._cas_index = store._cas_index.derived(
+            derived, touched_type_ids | cas_touched
+        )
     return MutationResult(
         store=derived,
         touched_paths=frozenset(touched_paths),

@@ -7,7 +7,11 @@ backend compiles to SQL — positional predicates (``[2]``, ``[last()]``,
 ``[position() <= k]``), nested ``and``/``or`` predicates, ``count()`` in
 filters — and the ones every backend must fall back to Python for
 (``sum()`` in filters), so the differential suites exercise the compiled
-and declined paths alike.
+and declined paths alike.  Single-comparison value predicates (``. op c``,
+``@attr op c``, ``child op c`` — numeric and string constants) are weighted
+in for the same reason on the CAS side: they are exactly what the
+content-and-structure kernel compiles, while the same comparisons inside
+``and``/``or`` chains force its decline path.
 
 Each query is wrapped in a :class:`GeneratedQuery` carrying the two flags
 the comparison discipline needs (see ``tests/conftest.py``):
@@ -75,9 +79,34 @@ def random_query(
             ]
         )
 
+    def value_comparison() -> str:
+        """A single-comparison value predicate body — exactly the shape
+        the CAS kernel compiles (``compile_value_predicate``): ``.``,
+        ``@attr``, or a child name against a numeric or string constant,
+        constant on either side.  Weighted in so the differential suites
+        exercise the CAS range-scan path, its coercion rules (numeric
+        ``@id`` values vs word texts), and its decline-to-scalar edges."""
+        op = rng.choice(["=", "!=", "<", "<=", ">", ">="])
+        roll = rng.randrange(5)
+        if roll == 0:
+            return f'. {op} "{rng.choice(_WORDS)}"'
+        if roll == 1:
+            return f"@id {op} {rng.randrange(1000)}"
+        if roll == 2:
+            return f'{name()} {op} "{rng.choice(_WORDS)}"'
+        if roll == 3:
+            # Constant on the left: compilation must flip the operator.
+            return f'"{rng.choice(_WORDS)}" {op} {name()}'
+        return f". {op} {rng.randrange(10)}"
+
     def condition() -> str:
         """A boolean-valued predicate body (legal as an and/or operand)."""
-        roll = rng.randrange(8)
+        roll = rng.randrange(10)
+        if roll >= 8:
+            # Inside and/or chains the comparison is *not* CAS-compilable
+            # on its own step — the conjunction declines to scalar — so
+            # both the batched and declined paths see these shapes.
+            return value_comparison()
         if roll == 0:
             return f'{name()} = "{rng.choice(_WORDS)}"'
         if roll == 1:
@@ -99,7 +128,9 @@ def random_query(
         roll = rng.random()
         if roll < 0.3:
             return positional()
-        if roll < 0.75:
+        if roll < 0.55:
+            return f"[{value_comparison()}]"
+        if roll < 0.8:
             return f"[{condition()}]"
         op = rng.choice(["and", "or"])
         return f"[{condition()} {op} {condition()}]"

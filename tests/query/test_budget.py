@@ -100,7 +100,13 @@ def test_budget_applies_to_every_mode():
             )
 
 
-def test_budget_counts_predicate_work():
+def test_budget_counts_predicate_work(monkeypatch):
+    from repro.query.eval import Evaluator
+
+    # Pin the scalar path: the CAS kernel answers @i = '3' without inner
+    # steps (that is the point of it), so only scalar evaluation exhibits
+    # the per-candidate predicate charges this test pins down.
+    monkeypatch.setattr(Evaluator, "use_batch_kernels", False)
     engine = _engine()
     spent_plain = CostBudget(max_node_visits=10**9).meter()
     # Same query with and without a predicate: the predicate's inner
@@ -111,6 +117,17 @@ def test_budget_counts_predicate_work():
             "doc('doc.xml')//b[@i = '3']", budget=CostBudget(max_node_visits=25)
         )
     del spent_plain
+
+
+def test_budget_meters_the_cas_kernel():
+    # The CAS path is metered at the same seam: context items in, result
+    # rows out.  A budget below the context fan-in still trips even when
+    # the predicate itself is answered by range scans.
+    engine = _engine()
+    with pytest.raises(QueryBudgetExceeded):
+        engine.execute(
+            "doc('doc.xml')//b[@i = '3']", budget=CostBudget(max_node_visits=1)
+        )
 
 
 def test_budget_rejection_increments_metric():

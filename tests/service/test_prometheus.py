@@ -56,6 +56,22 @@ def test_counters_render_with_type_lines_and_labels():
     assert text.endswith("\n")
 
 
+def test_cas_counters_render_beside_the_query_counters():
+    # The CAS kernel's hit/decline tallies expose as one labeled counter
+    # family, escaped and typed like engine.queries next to it.
+    service = QueryService(pool_size=1)
+    service.load("book.xml", books_document(6, seed=9))
+    service.execute('doc("book.xml")//name[. >= "M"]')  # compilable: hit
+    service.execute('doc("book.xml")//book[count(author) >= 1]')  # decline
+    text = render_prometheus(service.metrics)
+    lines = text.splitlines()
+    assert lines.count("# TYPE repro_engine_cas counter") == 1
+    assert 'repro_engine_cas{result="hit"} 1' in lines
+    assert 'repro_engine_cas{result="decline"} 1' in lines
+    # Same exposition carries the plain query counter family.
+    assert "# TYPE repro_engine_queries counter" in lines
+
+
 def test_histogram_buckets_are_cumulative_and_monotone():
     metrics = ServiceMetrics()
     for seconds in (0.5e-6, 3e-6, 3.5e-6, 0.002, 1.5):
