@@ -170,6 +170,26 @@ def main(argv: list[str]) -> int:
             print(f"  {failure}")
         return 1
     print("BENCH_e20.json cas contract ok")
+
+    # And the committed E21 results: succinct columns must keep their
+    # >= 4x bytes-per-node reduction on books >= 4096, stay within 1.25x
+    # of raw-column query time at the largest context set, and answer
+    # byte-identically in every cell and identity arm
+    # (scripts/run_e21.py refreshes the file and applies the same check
+    # at collection time).
+    e21_path = Path(__file__).resolve().parent.parent / "BENCH_e21.json"
+    if not e21_path.exists():
+        print("BENCH_e21.json missing; run scripts/run_e21.py to create it")
+        return 1
+    from run_e21 import check as check_e21
+
+    e21_failures = check_e21(json.loads(e21_path.read_text()))
+    if e21_failures:
+        print("BENCH_e21.json breaks the codec contract:")
+        for failure in e21_failures:
+            print(f"  {failure}")
+        return 1
+    print("BENCH_e21.json codec contract ok")
     print("bench regression gate passed")
     return 0
 

@@ -12,7 +12,9 @@ and fails on dangling references:
 * backticked module/attribute references (``repro.core.vpbn.VPbn``,
   brace forms like ``repro.transform.{materialize,twopass}``) that no
   longer resolve to a module file containing the named attribute;
-* ``E<N>`` experiment references not in the benchmark registry.
+* ``E<N>`` experiment references not in the benchmark registry;
+* ``BENCH_<...>.json`` result-file mentions (backticked or not) that do
+  not resolve to a checked-in file at the repository root.
 
 Usage::
 
@@ -44,6 +46,7 @@ MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+?)(?:#[^)]*)?\)")
 BACKTICK = re.compile(r"`([^`\n]+)`")
 MODULE = re.compile(r"^repro(?:\.[A-Za-z0-9_{},]+)+$")
 EXPERIMENT = re.compile(r"\bE(\d+)\b")
+BENCH_FILE = re.compile(r"\bBENCH_\w+\.json\b")
 FENCE = re.compile(r"^```.*?^```", re.M | re.S)
 
 
@@ -154,6 +157,13 @@ def check_document(path: Path, experiments: set[str]) -> list[str]:
         name = f"e{match.group(1)}"
         if name not in experiments:
             problems.append(f"unknown experiment reference: E{match.group(1)}")
+
+    # Committed bench results are referenced by bare filename; a rename
+    # (or a result file someone forgot to commit) must fail the build.
+    for match in BENCH_FILE.finditer(prose):
+        name = match.group(0)
+        if not (ROOT / name).exists():
+            problems.append(f"dangling bench results reference: `{name}`")
 
     return problems
 

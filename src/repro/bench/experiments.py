@@ -1995,3 +1995,241 @@ def e20_cas_index() -> list[Table]:
                 )
         tables.append(table)
     return tables
+
+
+def collect_e21(
+    books: int = 4096,
+    sizes: tuple[int, ...] = (16, 64, 256, 1024),
+    repeat: int = 3,
+    identity_books: int = 192,
+    shard_docs: int = 4,
+) -> dict:
+    """Space and speed for the bit-packed PBN column codecs (E21).
+
+    Three sections, one committed JSON:
+
+    * **space** — one indexed engine per codec over the same books
+      document; every type column is force-built inside the codec's
+      ``set_default_codec`` window so the choice is bound at build time,
+      then ``stats.column_bytes`` (cumulative bytes of every column
+      built) divided by the node count gives bytes-per-node.  The gate
+      reads ``reduction_vs_raw`` off the succinct cell.
+    * **queries** — the E15 protocol applied to the codec axis: exact
+      ``$ctx`` context sets, each (step, size) cell timed as one full
+      ``engine.execute`` against the raw-column engine and the
+      succinct-column engine.  Both arms run the same batch kernels;
+      the slowdown column is purely the cost of Elias-Fano probes and
+      bucket decodes replacing tuple comparisons.  Answers are
+      fingerprinted so the JSON records identity, not just speed.
+    * **identity** — the same queries answered under raw and succinct
+      defaults across tree/indexed/sql engines plus a virtual view and
+      a 2-shard scatter-gather; every payload must be byte-identical
+      (``to_xml`` and ``values``) to the raw/tree baseline.
+    """
+    from repro.pbn.succinct import default_codec, set_default_codec
+    from repro.shard import ShardedService
+
+    results: dict = {"books": books, "space": {}, "queries": {}, "identity": {}}
+    saved_codec = default_codec()
+    engines: dict = {}
+    try:
+        # -- space probe: force-build every type column under each codec.
+        space: dict = {}
+        nodes = 0
+        for codec in ("raw", "packed", "succinct"):
+            set_default_codec(codec)
+            engine = Engine(mode="indexed")
+            store = engine.load("book.xml", books_document(books=books, seed=2))
+            built: dict = {}
+            for type_id in range(len(store.types_by_id)):
+                column = store.type_index.column(type_id)
+                if column is not None:
+                    kind = type(column).__name__
+                    built[kind] = built.get(kind, 0) + 1
+            nodes = store.size_summary()["nodes"]
+            space[codec] = {
+                "column_bytes": store.stats.column_bytes,
+                "bytes_per_node": store.stats.column_bytes / nodes,
+                "columns": built,
+            }
+            engines[codec] = engine
+        raw_per_node = space["raw"]["bytes_per_node"]
+        for cell in space.values():
+            cell["reduction_vs_raw"] = raw_per_node / cell["bytes_per_node"]
+        results["space"] = {"nodes": nodes, "codecs": space}
+
+        # -- timing: raw vs succinct over the batch kernels.
+        steps = [
+            ("child-chain", 'doc("book.xml")//book', "$ctx/author/name"),
+            ("descendant", 'doc("book.xml")//book', "$ctx/descendant::name"),
+            ("value-filter", 'doc("book.xml")//book', '$ctx/author[name >= "M"]'),
+            ("count-child", 'doc("book.xml")//book', "count($ctx/author)"),
+        ]
+        pools = {
+            codec: {} for codec in ("raw", "succinct")
+        }
+        for label, pool_query, query in steps:
+            per_size: dict = {}
+            for codec in pools:
+                if pool_query not in pools[codec]:
+                    pools[codec][pool_query] = engines[codec].execute(
+                        pool_query
+                    ).items
+            for size in sizes:
+                cell: dict = {}
+                answers = {}
+                runs = {}
+                for codec in ("raw", "succinct"):
+                    pool = pools[codec][pool_query]
+                    ctx = pool[: min(size, len(pool))]
+
+                    def run(engine=engines[codec], ctx=ctx):
+                        return engine.execute(query, variables={"ctx": ctx})
+
+                    runs[codec] = run
+                    answers[codec] = run()  # warm caches before timing
+                # Interleave the arms instead of timing one block per
+                # codec: a machine-speed drift (GC pause, frequency
+                # step) then lands on both arms of a repeat rather
+                # than inflating the ratio the slowdown gate reads.
+                times = dict.fromkeys(runs, float("inf"))
+                for _ in range(repeat):
+                    for codec, run in runs.items():
+                        times[codec] = min(times[codec], best_of(run, 1))
+                cell["raw_s"] = times["raw"]
+                cell["succinct_s"] = times["succinct"]
+                cell["slowdown"] = cell["succinct_s"] / cell["raw_s"]
+                cell["rows"] = len(answers["succinct"])
+                cell["identical"] = (
+                    answers["raw"].to_xml() == answers["succinct"].to_xml()
+                    and answers["raw"].values() == answers["succinct"].values()
+                )
+                per_size[str(min(size, len(pools["raw"][pool_query])))] = cell
+            results["queries"][label] = per_size
+
+        # -- identity: every strategy, both codecs, one baseline payload.
+        spec = Q.BOOKS_INVERT.spec
+        identity_queries = {
+            "structural": 'doc("id.xml")//book[author/name >= "T"]/title',
+            "descendant": 'doc("id.xml")//name',
+            "count": 'count(doc("id.xml")//author)',
+            "sum": "sum(doc('id.xml')//book/title)",
+            "virtual": f'virtualDoc("id.xml", "{spec}")//title',
+        }
+        payloads: dict = {}
+        for codec in ("raw", "succinct"):
+            set_default_codec(codec)
+            for mode in ("tree", "indexed", "sql"):
+                engine = Engine(mode=mode)
+                engine.load(
+                    "id.xml", books_document(books=identity_books, seed=5)
+                )
+                payloads[(codec, mode)] = [
+                    (answer.to_xml(), tuple(answer.values()))
+                    for answer in (
+                        engine.execute(query)
+                        for query in identity_queries.values()
+                    )
+                ]
+        baseline = payloads[("raw", "tree")]
+        strategy_cells = {
+            name: {"identical": True, "arms": 0}
+            for name in identity_queries
+        }
+        for payload in payloads.values():
+            for name, got, want in zip(identity_queries, payload, baseline):
+                strategy_cells[name]["arms"] += 1
+                if got != want:
+                    strategy_cells[name]["identical"] = False
+        results["identity"]["strategies"] = strategy_cells
+
+        # -- identity: 2-shard scatter-gather, raw vs succinct stores.
+        uris = [f"doc{i}.xml" for i in range(shard_docs)]
+        shard_queries = {
+            "union-titles": " | ".join(f'doc("{u}")//title' for u in uris),
+            "count-all": "count("
+            + " | ".join(f'doc("{u}")//*' for u in uris)
+            + ")",
+        }
+        shard_payloads: dict = {}
+        for codec in ("raw", "succinct"):
+            set_default_codec(codec)
+            service = ShardedService(shards=2, pool_size=1)
+            try:
+                for index, uri in enumerate(uris):
+                    service.load(
+                        uri,
+                        books_document(books=64, seed=200 + index, uri=uri),
+                    )
+                shard_payloads[codec] = [
+                    (answer.to_xml(), tuple(answer.values()))
+                    for answer in (
+                        service.execute(query)
+                        for query in shard_queries.values()
+                    )
+                ]
+            finally:
+                service.close()
+        results["identity"]["sharded"] = {
+            name: {
+                "identical": shard_payloads["raw"][i]
+                == shard_payloads["succinct"][i]
+            }
+            for i, name in enumerate(shard_queries)
+        }
+    finally:
+        set_default_codec(saved_codec)
+    return results
+
+
+@experiment("e21")
+def e21_succinct_columns() -> list[Table]:
+    """Bit-packed PBN columns: bytes per node and query-time overhead."""
+    results = collect_e21()
+    space = Table(
+        "e21-space",
+        f"column bytes per node by codec (books={results['books']}, "
+        f"{results['space']['nodes']} nodes)",
+        ["codec", "column KiB", "bytes/node", "reduction vs raw"],
+        notes=[
+            "expected shape: raw columns hold one Python tuple of boxed "
+            "ints per key, so tens of bytes per node; packed columns "
+            "spend ceil(log2 max+1) bits per PBN component in one machine "
+            "word per key; succinct columns Elias-Fano the packed words "
+            "down to ~2 + log2(universe/n) bits per key, crossing the 4x "
+            "reduction floor with room to spare",
+        ],
+    )
+    for codec, cell in results["space"]["codecs"].items():
+        space.rows.append(
+            [
+                codec,
+                seconds(cell["column_bytes"] / 1024),
+                seconds(cell["bytes_per_node"]),
+                seconds(cell["reduction_vs_raw"]),
+            ]
+        )
+    timing = Table(
+        "e21-overhead",
+        "query wall-clock, succinct vs raw columns (batch kernels on)",
+        ["step", "contexts", "raw ms", "succinct ms", "slowdown", "identical"],
+        notes=[
+            "expected shape: flat — the batch kernels bisect a key view "
+            "either way, and succinct probes replace tuple comparisons "
+            "with packed-word comparisons inside one Elias-Fano bucket; "
+            "the slowdown stays under 1.25x at every context size",
+        ],
+    )
+    for label, per_size in results["queries"].items():
+        for size, cell in per_size.items():
+            timing.rows.append(
+                [
+                    label,
+                    int(size),
+                    seconds(cell["raw_s"] * 1e3),
+                    seconds(cell["succinct_s"] * 1e3),
+                    seconds(cell["slowdown"]),
+                    cell["identical"],
+                ]
+            )
+    return [space, timing]

@@ -30,6 +30,7 @@ from repro.dataguide.build import build_dataguide
 from repro.dataguide.guide import DataGuide, GuideType
 from repro.pbn.assign import assign_numbers
 from repro.pbn.columnar import Column, subtree_bound
+from repro.pbn.succinct import build_column
 from repro.vdataguide.ast import VGuide, VType
 from repro.xmlmodel.nodes import Attribute, Document, Element, Node, NodeKind, Text
 
@@ -183,8 +184,10 @@ class VirtualDocument:
 
     def column(self, original: GuideType) -> Optional[tuple[Column, list[Node]]]:
         """The type's document-ordered key column plus the row-aligned
-        node list (lazy; the column shares the index spine, copying
-        nothing).  ``None`` for a type with no instances."""
+        node list (lazy; built through the codec registry, so stable
+        integer keys come back bit-packed while careted rational keys
+        stay a raw tuple view).  ``None`` for a type with no
+        instances."""
         column = self._columns.get(original)
         if column is None:
             keys = self._keys_by_type.get(original)
@@ -193,7 +196,8 @@ class VirtualDocument:
             with self._memo_lock:
                 column = self._columns.get(original)
                 if column is None:
-                    column = Column(keys)
+                    column = build_column(keys)
+                    self.stats.column_bytes += column.nbytes
                     self._columns[original] = column
         return column, self._nodes_by_type[original]
 
@@ -209,7 +213,11 @@ class VirtualDocument:
             with self._memo_lock:
                 entry = self._reachable_columns.get(vtype)
                 if entry is None:
-                    entry = (Column([node.pbn.components for node in nodes]), nodes)
+                    column = build_column(
+                        [node.pbn.components for node in nodes]
+                    )
+                    self.stats.column_bytes += column.nbytes
+                    entry = (column, nodes)
                     self._reachable_columns[vtype] = entry
         return entry
 

@@ -34,6 +34,7 @@ from repro.obs.trace import Trace
 _STORAGE_KEYS = (
     "page_reads", "buffer_hits", "comparisons",
     "index_probes", "index_range_scans", "bytes_read",
+    "column_bytes",
 )
 
 #: Attribute keys that split navigation by strategy.

@@ -32,6 +32,7 @@ integer and rational components.
 
 from __future__ import annotations
 
+import sys
 from array import array
 from bisect import bisect_left, bisect_right
 from typing import Optional, Sequence
@@ -62,7 +63,7 @@ class Column:
         column is alive; owners drop the column instead).
     """
 
-    __slots__ = ("keys", "width", "_packed")
+    __slots__ = ("keys", "width", "_packed", "_nbytes")
 
     def __init__(self, keys: Sequence[Key]) -> None:
         self.keys = keys
@@ -103,6 +104,67 @@ class Column:
         if row < len(keys) and keys[row] == key:
             return row
         return -1
+
+    def bounds(self, low_key: Key, high_key: Key) -> tuple[int, int]:
+        """Half-open row range of keys in ``[low_key, high_key)`` — the
+        rank/select form of a key-range scan (both ends route through
+        :meth:`lower`, so encoded subclasses answer it from the packed
+        domain)."""
+        low = self.lower(low_key)
+        return (low, self.lower(high_key, low))
+
+    # -- bulk run primitives -------------------------------------------------
+
+    def prefix_runs(
+        self, prefixes: Sequence[Key]
+    ) -> tuple[list[tuple[int, int]], int]:
+        """One ``(low, high)`` run per prefix (sorted ascending, equal
+        length, distinct — the kernels' contract), found with a moving
+        cursor so each bisect searches a shrinking window.  Returns
+        ``(bounds, range_scans)``.  Encoded subclasses override this with
+        a single packed-domain sweep."""
+        bounds: list[tuple[int, int]] = []
+        append = bounds.append
+        cursor = 0
+        for prefix in prefixes:
+            low, high = self.prefix_bounds(prefix, cursor)
+            cursor = high
+            append((low, high))
+        return bounds, len(prefixes)
+
+    def key_runs(self, bounds: Sequence[tuple[int, int]]) -> list[Key]:
+        """Concatenated keys of the ``[low, high)`` runs — the bulk-decode
+        hook: encoded subclasses amortize bucket location and decode setup
+        across all runs instead of paying them per tiny slice."""
+        keys = self.keys
+        out: list[Key] = []
+        extend = out.extend
+        for low, high in bounds:
+            extend(keys[low:high])
+        return out
+
+    # -- space accounting ----------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Heap footprint of this representation, in bytes.  For the raw
+        tuple column that is the spine's slots plus each key tuple
+        (component int objects are shared/interned and deliberately *not*
+        counted, so raw sizes err small and encoded reduction factors err
+        conservative).  Encoded subclasses report their actual buffers."""
+        try:
+            cached = self._nbytes
+        except AttributeError:
+            cached = None
+        if cached is None:
+            keys = self.keys
+            cached = 56 + 8 * len(keys)
+            if self.width > 0 and len(keys):
+                cached += sys.getsizeof(keys[0]) * len(keys)
+            else:
+                cached += sum(sys.getsizeof(key) for key in keys)
+            self._nbytes = cached
+        return cached
 
     # -- packed encoding -----------------------------------------------------
 

@@ -12,7 +12,7 @@ difference.
 from __future__ import annotations
 
 from functools import cmp_to_key
-from typing import Any
+from typing import Any, Optional
 
 from repro.core import vpbn
 from repro.core.virtual_document import VNode
@@ -100,8 +100,40 @@ class Evaluator:
                 f"{expr.name}() takes {min_args}..{max_args} arguments, "
                 f"got {len(expr.args)}"
             )
+        if expr.name in ("count", "sum") and len(expr.args) == 1:
+            fast = self._eval_aggregate(expr.name, expr.args[0], context)
+            if fast is not None:
+                return fast
         evaluated = [self.evaluate(arg, context) for arg in expr.args]
         return impl(context, *evaluated)
+
+    def _eval_aggregate(
+        self, name: str, arg: ast.Expr, context: Context
+    ) -> Optional[list]:
+        """``count()``/``sum()`` over a path argument without materializing
+        the final step: every step but the last runs normally, then the
+        navigators reduce the last predicate-free step's *run bounds* —
+        a count is ``high - low`` per run, a sum is one CAS prefix-sum
+        range per run (the level-array aggregation of paper Section 5).
+
+        Returns the function's result list, or ``None`` when the argument
+        shape is not aggregable — decided *before* any evaluation, so the
+        generic path never repeats work.  Declines past this point (axis,
+        heterogeneous contexts, unsummable values) are handled inside
+        :meth:`_apply_aggregate_step`, which finishes the step itself.
+        """
+        if not self.use_batch_kernels or not isinstance(arg, ast.PathExpr):
+            return None
+        steps = _fuse_descendant_steps(arg.steps)
+        if not steps or steps[-1].predicates:
+            return None
+        if arg.start is None:
+            items: list = [context.require_item()]
+        else:
+            items = self.evaluate(arg.start, context)
+        for step in steps[:-1]:
+            items = self._apply_step(items, step, context)
+        return self._apply_aggregate_step(items, steps[-1], context, name)
 
     # ------------------------------------------------------------------ paths
 
@@ -322,6 +354,103 @@ class Evaluator:
             if not candidates:
                 break
         return candidates
+
+    def _apply_aggregate_step(
+        self, items: list, step: ast.Step, context: Context, name: str
+    ) -> list:
+        """Apply the aggregated final step of a ``count()``/``sum()`` path:
+        one "step" span and one meter charge exactly like
+        :meth:`_apply_step`, but the navigators reduce run bounds to a
+        single number instead of materializing nodes.  When they decline,
+        the step runs through :meth:`_apply_step_inner` *inside the same
+        span* — one operator row in the plan either way, and no step is
+        ever evaluated twice."""
+        meter = self.meter
+        if meter is not None:
+            meter.charge_context(len(items))
+        if current_span() is None:
+            result, rows = self._aggregate_or_apply(items, step, context, name)
+            if meter is not None:
+                meter.charge_rows(rows)
+            return result
+        from repro.query.plan import step_label
+
+        with span("step", step_label(step)) as step_span:
+            result, rows = self._aggregate_or_apply(items, step, context, name)
+            step_span.add("items_in", len(items))
+            step_span.add("items_out", rows)
+            step_span.set("kernel", self._last_kernel)
+        if meter is not None:
+            meter.charge_rows(rows)
+        return result
+
+    def _aggregate_or_apply(
+        self, items: list, step: ast.Step, context: Context, name: str
+    ) -> tuple[list, int]:
+        """``(result, rows)`` for the aggregated final step — ``rows`` is
+        how many nodes the step covers (what the meter and the span's
+        ``items_out`` should see even when nothing is materialized)."""
+        metrics = self.engine.metrics
+        outcome = (
+            self._aggregate_many(items, step.axis, step.test, name)
+            if items
+            else (0, 0)
+        )
+        if outcome is not None:
+            if metrics is not None:
+                metrics.incr("engine.aggregate", labels={"result": "hit"})
+            self._last_kernel = "prefix-sum"
+            value, rows = outcome
+            if name == "count":
+                return [rows], rows
+            # sum(): the scalar loop folds floats, so a non-empty result
+            # is a float; the empty sequence sums to the int 0.
+            if rows == 0:
+                return [0], 0
+            return [float(value)], rows
+        if metrics is not None:
+            metrics.incr("engine.aggregate", labels={"result": "decline"})
+        out = self._apply_step_inner(items, step, context)
+        return REGISTRY[name][2](context, out), len(out)
+
+    def _aggregate_many(self, items: list, axis: str, test: ast.NodeTest, kind: str):
+        """Route an aggregated step to one navigator's bounds kernel, or
+        return ``None`` for context sets no kernel covers (mirrors
+        :meth:`_step_many`, plus the lone stored-document context that
+        ``count(//x)`` produces)."""
+        if self.mode == "sql":
+            # The sql backend claims whole steps; aggregating around it
+            # would dilute what strategy=sql measures.  Results are
+            # identical either way — this keeps the arms comparable.
+            return None
+        first = items[0]
+        if isinstance(first, VNode):
+            vdoc = first._vdoc
+            if vdoc is not None and all(
+                isinstance(item, VNode) and item._vdoc is vdoc for item in items
+            ):
+                return self._virtual_nav.aggregate_many(items, axis, test, kind)
+            return None
+        if self.mode != "indexed" or not isinstance(first, Node):
+            return None
+        if isinstance(first, Document):
+            if len(items) != 1:
+                return None
+        else:
+            for item in items:
+                if (
+                    not isinstance(item, Node)
+                    or isinstance(item, Document)
+                ):
+                    return None
+        store = self.engine.store_of(first)
+        if store is None:
+            return None
+        if any(self.engine.store_of(item) is not store for item in items[1:]):
+            return None
+        return self.engine.indexed_navigator(store).aggregate_many(
+            items, axis, test, kind
+        )
 
     def _step(self, item: Any, axis: str, test: ast.NodeTest) -> list:
         if isinstance(item, (VNode, VirtualDocItem)):

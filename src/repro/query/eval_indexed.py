@@ -251,11 +251,12 @@ class IndexedNavigator:
             stats.index_range_scans += 1
             span_add("index.range_scans")
             return []
-        rows, scans = joins.prefix_run_rows(column, prefixes)
+        bounds, scans = joins.prefix_run_bounds(column, prefixes)
         stats.index_range_scans += scans
         span_add("index.range_scans", scans)
-        keys = column.keys
-        return [keys[row] for row in rows]
+        # Bulk-decode all runs in one pass: encoded columns amortize the
+        # bucket walk across the batch instead of paying it per tiny slice.
+        return column.key_runs(bounds)
 
     def _batch_child_like(self, nodes, test, axis):
         keys: list[tuple] = []
@@ -338,9 +339,10 @@ class IndexedNavigator:
             column_keys = column.keys
             if preceding:
                 upto, exclude = joins.preceding_bounds(column, ctx_keys)
-                keys.extend(
-                    column_keys[row] for row in range(upto) if row != exclude
-                )
+                run = column_keys[:upto]
+                if exclude >= 0:
+                    del run[exclude]
+                keys.extend(run)
             else:
                 start = joins.following_start(column, ctx_keys)
                 keys.extend(column_keys[start:])
@@ -374,7 +376,7 @@ class IndexedNavigator:
                 else:
                     start, end = column.lower(subtree_bound(ref), low, high), high
                 column_keys = column.keys
-                keys.update(column_keys[row] for row in range(start, end))
+                keys.update(column_keys[start:end])
         return [self.store.node_by_components(key) for key in sorted(keys)]
 
     _BATCH_AXES = {
@@ -390,3 +392,124 @@ class IndexedNavigator:
         "following-sibling": _batch_siblings,
         "preceding-sibling": _batch_siblings,
     }
+
+    # -- aggregation (bounds) kernels ------------------------------------------------
+
+    def aggregate_many(self, nodes, axis: str, test: NodeTest, kind: str):
+        """Reduce a predicate-free step over a whole context set to one
+        number without materializing a single node: ``count`` adds up run
+        lengths, ``sum`` folds each run through the type's CAS prefix
+        sums (:meth:`~repro.storage.cas_index.CasColumns.sum_over`).
+
+        Returns ``(value, rows)`` — ``rows`` is how many nodes the step
+        would have produced — or ``None`` when the axis has no bounds
+        form or a run's values are not exactly summable (the evaluator
+        then materializes; scalar defines the semantics).
+        """
+        runs = self._aggregate_runs(nodes, axis, test)
+        if runs is None:
+            return None
+        rows = sum(high - low for _, low, high in runs)
+        if kind == "count":
+            value: object = rows
+        elif rows == 0:
+            value = 0
+        else:
+            total = 0
+            nan = False
+            cas = self.store.cas_index
+            for guide_type, low, high in runs:
+                if low == high:
+                    continue
+                columns = cas.columns(self.store.type_id(guide_type))
+                part = columns.sum_over(low, high) if columns is not None else None
+                if part is None:
+                    return None
+                if part != part:  # a NaN-poisoned run: the whole sum is NaN
+                    nan = True
+                else:
+                    total += part
+            value = float("nan") if nan else total
+        if self.metrics is not None:
+            self.metrics.incr("navigator.indexed.steps", len(nodes))
+        span_add("steps.indexed", len(nodes))
+        return value, rows
+
+    def _aggregate_runs(self, nodes, axis: str, test: NodeTest):
+        """``(guide_type, low, high)`` runs jointly covering the step's
+        result exactly once, or ``None`` for axes without a bounds form.
+
+        Runs never overlap: child ranges of distinct parents are
+        disjoint, staircased subtree tops are disjoint, and a context key
+        never appears in a *descendant* type's column (descendant types
+        sit strictly deeper, so their keys are strictly wider) — the same
+        facts the batch kernels rely on, minus the dedup set they keep
+        for materialized keys.
+        """
+        store = self.store
+        stats = store.stats
+        if len(nodes) == 1 and isinstance(nodes[0], Document):
+            # The lone-document contexts `count(//x)` / `sum(/x)` produce:
+            # every run is a whole column (mirrors _document_step).
+            guide = store.guide
+            if axis == "child":
+                types = self._matching_types(guide.roots, test, axis)
+            elif axis == "descendant":
+                types = self._matching_types(guide.iter_types(), test, axis)
+            else:
+                return None
+            runs: list[tuple[GuideType, int, int]] = []
+            for guide_type in types:
+                stats.index_range_scans += 1
+                span_add("index.range_scans")
+                column = self._column_of(guide_type)
+                if column is not None:
+                    runs.append((guide_type, 0, len(column.keys)))
+            return runs
+        if any(isinstance(node, Document) for node in nodes):
+            return None
+        if axis in ("child", "attribute"):
+            runs = []
+            for guide_type, ctx_keys in self._by_guide_type(nodes):
+                for child_type in self._matching_types(
+                    guide_type.children, test, axis
+                ):
+                    runs.extend(self._run_bounds(child_type, ctx_keys))
+            return runs
+        if axis != "descendant":
+            return None
+        # Per descendant type, pool the context keys of every group whose
+        # subtree reaches it, then staircase the pool: the surviving tops'
+        # runs are disjoint even when context subtrees nest across groups.
+        contrib: dict[int, tuple[GuideType, set]] = {}
+        for guide_type, ctx_keys in self._by_guide_type(nodes):
+            descendant_types = [
+                t for t in guide_type.iter_subtree() if t is not guide_type
+            ]
+            for desc_type in self._matching_types(
+                descendant_types, test, "descendant"
+            ):
+                entry = contrib.get(id(desc_type))
+                if entry is None:
+                    contrib[id(desc_type)] = (desc_type, set(ctx_keys))
+                else:
+                    entry[1].update(ctx_keys)
+        runs = []
+        for desc_type, pooled in contrib.values():
+            tops = joins.staircase(sorted(pooled))
+            runs.extend(self._run_bounds(desc_type, tops))
+        return runs
+
+    def _run_bounds(self, guide_type: GuideType, prefixes: list[tuple]):
+        """``(guide_type, low, high)`` per prefix run — the bounds twin of
+        :meth:`_scan_runs` (same stats accounting, no key decoded)."""
+        stats = self.store.stats
+        column = self._column_of(guide_type)
+        if column is None:
+            stats.index_range_scans += 1
+            span_add("index.range_scans")
+            return []
+        bounds, scans = joins.prefix_run_bounds(column, prefixes)
+        stats.index_range_scans += scans
+        span_add("index.range_scans", scans)
+        return [(guide_type, low, high) for low, high in bounds]

@@ -118,10 +118,9 @@ class VirtualNavigator:
                 continue  # no instances: the token is never built
             column = entry[0]
             width = min_cut[id(t)]
-            keys = column.keys
+            keys = column.keys[:]  # one bulk decode, not two reads per row
             if any(
-                keys[row][:width] == keys[row + 1][:width]
-                for row in range(len(keys) - 1)
+                a[:width] == b[:width] for a, b in zip(keys, keys[1:])
             ):
                 return None
             columns[id(t)] = column
@@ -465,17 +464,24 @@ class VirtualNavigator:
                 column, nodes = entry
                 lca = child_vtype.lca_length
                 prefixes = sorted({key[:lca] for key in ctx_keys})
-                rows, scans = joins.prefix_run_rows(column, prefixes)
+                bounds, scans = joins.prefix_run_bounds(column, prefixes)
                 self.stats.index_range_scans += scans
                 if single:
                     group = 0 if child_vtype.is_attribute else 1
-                    keys = column.keys
+                    run_keys = column.key_runs(bounds)  # one bulk decode
+                    run_nodes = []
+                    for low, high in bounds:
+                        run_nodes.extend(nodes[low:high])
                     triples.extend(
-                        (group, keys[row], position, VNode(child_vtype, nodes[row], vdoc))
-                        for row in rows
+                        (group, key, position, VNode(child_vtype, node, vdoc))
+                        for key, node in zip(run_keys, run_nodes)
                     )
                 else:
-                    found.extend(VNode(child_vtype, nodes[row], vdoc) for row in rows)
+                    for low, high in bounds:
+                        found.extend(
+                            VNode(child_vtype, node, vdoc)
+                            for node in nodes[low:high]
+                        )
         if single:
             # One context: virtual *sibling* order (attributes first, then
             # document order, then specification order) — mirrors
@@ -549,25 +555,23 @@ class VirtualNavigator:
                     column, nodes = entry
                     lca = child_vtype.lca_length
                     prefixes = sorted({key[:lca] for key in keys})
-                    rows, scans = joins.prefix_run_rows(column, prefixes)
+                    bounds, scans = joins.prefix_run_bounds(column, prefixes)
                     self.stats.index_range_scans += scans
-                    if not rows:
+                    run_keys = column.key_runs(bounds)  # one bulk decode
+                    run_nodes: list = []
+                    for low, high in bounds:
+                        run_nodes.extend(nodes[low:high])
+                    if not run_keys:
                         continue
-                    column_keys = column.keys
                     slot = next_frontier.get(id(child_vtype))
                     if slot is None:
-                        next_frontier[id(child_vtype)] = (
-                            child_vtype,
-                            [column_keys[row] for row in rows],
-                        )
+                        next_frontier[id(child_vtype)] = (child_vtype, run_keys)
                     else:
-                        slot[1].extend(column_keys[row] for row in rows)
+                        slot[1].extend(run_keys)
                     if self._vtype_matches(child_vtype, test, "descendant"):
                         by_key = bucket(child_vtype)
-                        for row in rows:
-                            by_key[column_keys[row]] = VNode(
-                                child_vtype, nodes[row], vdoc
-                            )
+                        for key, node in zip(run_keys, run_nodes):
+                            by_key[key] = VNode(child_vtype, node, vdoc)
             frontier = {
                 key: (vtype, sorted(set(keys)))
                 for key, (vtype, keys) in next_frontier.items()
@@ -631,19 +635,24 @@ class VirtualNavigator:
                     if slot is None:
                         slot = next_frontier[id(child_vtype)] = (child_vtype, {})
                     child_map = slot[1]
-                    column_keys = column.keys
-                    cursor = 0
-                    for prefix in sorted(prefix_map):
-                        low, high = column.prefix_bounds(prefix, cursor)
-                        cursor = high
+                    sorted_prefixes = sorted(prefix_map)
+                    bounds, scans = joins.prefix_run_bounds(
+                        column, sorted_prefixes
+                    )
+                    run_keys = column.key_runs(bounds)  # one bulk decode
+                    pos = 0
+                    for prefix, (low, high) in zip(sorted_prefixes, bounds):
                         parent_okey = prefix_map[prefix]
-                        for row in range(low, high):
-                            comps = column_keys[row]
+                        for offset in range(high - low):
+                            comps = run_keys[pos]
+                            pos += 1
                             okey = parent_okey + ((1, comps, child_order),)
                             child_map[comps] = okey
                             if collect:
-                                out[okey] = VNode(child_vtype, nodes[row], vdoc)
-                    self.stats.index_range_scans += len(prefix_map)
+                                out[okey] = VNode(
+                                    child_vtype, nodes[low + offset], vdoc
+                                )
+                    self.stats.index_range_scans += scans
             frontier = next_frontier
         return [out[okey] for okey in sorted(out)]
 
@@ -830,3 +839,67 @@ class VirtualNavigator:
         "following-sibling": _batch_siblings,
         "preceding-sibling": _batch_siblings,
     }
+
+    # -- aggregation (bounds) kernels ------------------------------------------------
+
+    def aggregate_many(self, vnodes: list, axis: str, test: NodeTest, kind: str):
+        """``count``/``sum`` of a predicate-free ``child``/``attribute``
+        step as run bounds over the child types' shared posting lists
+        (``lcaLength`` prefixes, paper Section 5.2) — no :class:`VNode`
+        is built, and a sum folds each run through the child type's
+        *virtual-value* CAS prefix sums.
+
+        Returns ``(value, rows)`` or ``None`` to decline (other axes,
+        non-linearizable views, values a prefix sum cannot add exactly).
+        """
+        if axis not in ("child", "attribute"):
+            return None
+        vdoc: VirtualDocument = vnodes[0]._vdoc
+        if self._order_key_fn(vdoc) is None:
+            # Same guard as step_many: on non-linearizable views the
+            # scalar path defines the semantics, so stay off them even
+            # though a count never orders anything.
+            return None
+        runs: list[tuple[VType, int, int]] = []
+        for vtype, ctx_keys, _ in self._grouped(vnodes):
+            for child_vtype in vtype.children:
+                if not self._vtype_matches(child_vtype, test, axis):
+                    continue
+                entry = vdoc.column(child_vtype.original)
+                if entry is None:
+                    self.stats.index_range_scans += 1
+                    continue
+                column, _nodes = entry
+                lca = child_vtype.lca_length
+                prefixes = sorted({key[:lca] for key in ctx_keys})
+                bounds, scans = joins.prefix_run_bounds(column, prefixes)
+                self.stats.index_range_scans += scans
+                runs.extend(
+                    (child_vtype, low, high) for low, high in bounds
+                )
+        rows = sum(high - low for _, low, high in runs)
+        if kind == "count":
+            value: object = rows
+        elif rows == 0:
+            value = 0
+        else:
+            from repro.storage.cas_index import virtual_cas_columns
+
+            total = 0
+            nan = False
+            for child_vtype, low, high in runs:
+                if low == high:
+                    continue
+                columns = virtual_cas_columns(vdoc, child_vtype)
+                part = columns.sum_over(low, high) if columns is not None else None
+                if part is None:
+                    return None
+                if part != part:  # a NaN-poisoned run: the whole sum is NaN
+                    nan = True
+                else:
+                    total += part
+            value = float("nan") if nan else total
+        if self.metrics is not None:
+            self.metrics.incr("navigator.virtual.steps", len(vnodes))
+        span_add("steps.virtual", len(vnodes))
+        return value, rows

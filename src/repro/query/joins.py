@@ -61,10 +61,13 @@ def descendant_rows(
     for top in tops:
         low, high = column.prefix_bounds(top, cursor)
         cursor = high
-        for row in range(low, high):
-            if not or_self and keys[row] == top:
-                continue
-            rows.append(row)
+        # Only the run's first key can equal the context itself: the run
+        # is sorted and every proper extension sorts after ``top`` — one
+        # key access per run instead of one per row (which matters when
+        # ``keys`` is a decoding view over an encoded column).
+        if not or_self and low < high and keys[low] == top:
+            low += 1
+        rows.extend(range(low, high))
     return rows, len(tops)
 
 
@@ -81,6 +84,19 @@ def prefix_run_rows(
         cursor = high
         rows.extend(range(low, high))
     return rows, len(prefixes)
+
+
+def prefix_run_bounds(
+    column: Column, prefixes: Sequence[Key]
+) -> tuple[list[tuple[int, int]], int]:
+    """Like :func:`prefix_run_rows` but returning the half-open ``(low,
+    high)`` run per prefix instead of materializing row indexes — the
+    shape aggregation wants (a count is ``high - low``, a sum is one
+    prefix-sum range per run) and the one encoded columns answer without
+    decoding a single key.  Dispatches to
+    :meth:`~repro.pbn.columnar.Column.prefix_runs` so encoded columns
+    answer the whole batch in one packed-domain sweep."""
+    return column.prefix_runs(prefixes)
 
 
 def following_start(column: Column, context_keys: Sequence[Key]) -> int:

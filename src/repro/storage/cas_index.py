@@ -39,9 +39,11 @@ the stored type's projections would be wrong for it.
 from __future__ import annotations
 
 import threading
+from array import array
 from typing import Callable, Optional
 
 from repro.pbn.columnar import ValueColumn
+from repro.pbn.succinct import PrefixSums
 
 #: Per-type cap on memoized predicate answers (one entry per distinct
 #: ``(op, constant)``); cleared wholesale when full so a churning workload
@@ -57,7 +59,15 @@ class CasColumns:
     :param values: the string value of each spine row, rank-aligned.
     """
 
-    __slots__ = ("keys", "numeric", "nonnumeric", "strings", "_matches")
+    __slots__ = (
+        "keys",
+        "numeric",
+        "nonnumeric",
+        "strings",
+        "_matches",
+        "_numbers",
+        "_sums",
+    )
 
     def __init__(self, keys, values: list[str]) -> None:
         from repro.query.items import to_number
@@ -66,9 +76,11 @@ class CasColumns:
         numeric_pairs: list = []
         nonnumeric_pairs: list = []
         string_pairs: list = []
+        numbers = array("d", bytes(8 * len(values)))
         for rank, value in enumerate(values):
             string_pairs.append((value, rank))
             number = to_number(value)
+            numbers[rank] = number
             if number == number:
                 numeric_pairs.append((number, rank))
             else:
@@ -77,6 +89,10 @@ class CasColumns:
         self.nonnumeric = ValueColumn(nonnumeric_pairs)
         self.strings = ValueColumn(string_pairs)
         self._matches: dict = {}
+        #: rank-ordered coerced values (NaN for non-coercible), backing
+        #: the aggregation fast path; the PrefixSums pair is built lazily.
+        self._numbers = numbers
+        self._sums = None
 
     def __len__(self) -> int:
         return len(self.strings)
@@ -102,11 +118,51 @@ class CasColumns:
         else:
             ranks = self.strings.matching_ranks(op, string_value(constant))
         keys = self.keys
+        if not isinstance(keys, (list, tuple)) and 4 * len(ranks) > len(keys):
+            # Dense match over an encoded spine: one bulk decode beats a
+            # bucket probe per rank.
+            keys = keys[:]
         matched = frozenset(keys[rank] for rank in ranks)
         if len(self._matches) >= _MATCH_CACHE_CAP:
             self._matches.clear()
         self._matches[token] = matched
         return matched
+
+    def sum_over(self, lo: int, hi: int):
+        """Sum of the rank run ``[lo, hi)``'s coerced values, matching the
+        scalar ``sum()`` byte for byte, or ``None`` when the column
+        declines (some value is a non-integral finite number, where
+        float addition order would show).
+
+        Answerable columns split into a :class:`PrefixSums` over exact
+        ints (integral floats below 2**53 add exactly in any association
+        order) and one over NaN flags — a run containing a non-coercible
+        value sums to NaN, exactly like the scalar loop.  Returns an
+        ``int`` total; the caller owns the int-vs-float result shaping.
+        """
+        sums = self._sums
+        if sums is None:
+            ints: list[int] = []
+            nans: list[int] = []
+            for number in self._numbers:
+                if number != number:
+                    ints.append(0)
+                    nans.append(1)
+                elif number.is_integer() and -(2**53) < number < 2**53:
+                    ints.append(int(number))
+                    nans.append(0)
+                else:
+                    sums = False
+                    break
+            else:
+                sums = (PrefixSums(ints), PrefixSums(nans))
+            self._sums = sums
+        if sums is False:
+            return None
+        totals, nan_flags = sums
+        if nan_flags.range_sum(lo, hi):
+            return float("nan")
+        return totals.range_sum(lo, hi)
 
 
 class CasIndex:

@@ -22,6 +22,9 @@ class StorageStats:
     :ivar index_probes: point lookups against any index.
     :ivar index_range_scans: range scans started against any index.
     :ivar comparisons: PBN/vPBN axis comparisons performed by evaluators.
+    :ivar column_bytes: bytes of column representations built (cumulative
+        over lazy builds; a rebuild after invalidation counts again).
+        Divide by node count for the bytes-per-node axis E21 gates.
     """
 
     page_reads: int = 0
@@ -31,6 +34,7 @@ class StorageStats:
     index_probes: int = 0
     index_range_scans: int = 0
     comparisons: int = 0
+    column_bytes: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

@@ -20,6 +20,7 @@ from repro.errors import StorageError
 from repro.obs.trace import span_add
 from repro.pbn.columnar import Column, subtree_bound
 from repro.pbn.number import Pbn
+from repro.pbn.succinct import build_column
 from repro.storage.stats import StorageStats
 
 
@@ -42,14 +43,21 @@ class TypeIndex:
 
     def column(self, type_id: int) -> Column | None:
         """The type's keys as a :class:`~repro.pbn.columnar.Column`
-        (built lazily over the live posting list), or ``None`` for a type
-        with no postings."""
+        (built lazily through the codec registry — bit-packed when the
+        keys allow it, a raw tuple view otherwise), or ``None`` for a
+        type with no postings.  Encoded columns are immutable snapshots;
+        the posting list stays the mutable source of truth, and every
+        mutation path drops the column before touching the list.  Each
+        build adds the representation's footprint to
+        ``stats.column_bytes`` (a cumulative bytes-built counter, the
+        space axis E21 reads)."""
         column = self._columns.get(type_id)
         if column is None:
             postings = self._postings.get(type_id)
             if not postings:
                 return None
-            column = Column(postings)
+            column = build_column(postings)
+            self.stats.column_bytes += column.nbytes
             self._columns[type_id] = column
         return column
 

@@ -234,6 +234,12 @@ def _derive(base: _Derivation) -> DocumentStore:
 
     value_index = ValueIndex.build(entries, store.stats)
 
+    # Copy-on-write: touched posting lists are copied, everything else is
+    # shared — including the untouched types' (possibly bit-packed)
+    # columns, which are immutable snapshots over the shared lists.  A
+    # touched type's column is dropped here and lazily rebuilt through
+    # the codec registry on the next query; insert/remove below mutate
+    # only the copied posting lists (the source of truth).
     type_index = store.type_index.derived(touched_type_ids, store.stats)
     for number, type_id in removed_pairs:
         type_index.remove(type_id, number)

@@ -14,7 +14,7 @@ def test_registry_complete():
     assert set(EXPERIMENTS) == {
         "e1", "e2", "e3", "e4", "e5", "e6",
         "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16",
-        "e17", "e18", "e19", "e20",
+        "e17", "e18", "e19", "e20", "e21",
     }
 
 
@@ -89,6 +89,26 @@ def test_e17_strategy_answers_are_identical():
         for name, entry in results[section].items():
             for strategy, cell in entry["strategies"].items():
                 assert cell["identical"], (section, name, strategy)
+
+
+def test_e21_codec_answers_are_identical():
+    from repro.bench.experiments import collect_e21
+
+    # Tiny scale, timings ignored: the hard invariants are that encoded
+    # columns shrink the spine and that every answer — per timing cell,
+    # per strategy arm, and through the 2-shard scatter — stays
+    # byte-identical between the raw and succinct codecs.
+    results = collect_e21(
+        books=256, sizes=(8,), repeat=1, identity_books=24, shard_docs=2
+    )
+    codecs = results["space"]["codecs"]
+    assert codecs["succinct"]["column_bytes"] < codecs["raw"]["column_bytes"]
+    for per_size in results["queries"].values():
+        assert all(cell["identical"] for cell in per_size.values())
+    for cell in results["identity"]["strategies"].values():
+        assert cell["identical"], cell
+    for cell in results["identity"]["sharded"].values():
+        assert cell["identical"], cell
 
 
 def test_e18_serving_contracts_hold_at_small_scale():
